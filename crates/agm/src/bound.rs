@@ -1,0 +1,295 @@
+//! AGM worst-case size bounds via fractional edge cover, and the paper's
+//! dual formulation (Equation 1).
+//!
+//! For a query hypergraph `H` with relation sizes `N_e`, the AGM bound is
+//!
+//! ```text
+//!   |Q| <= min { Π_e N_e^{x_e}  :  x a fractional edge cover of H }
+//! ```
+//!
+//! computed here in log space as an LP. For the uniform case `N_e = n` the
+//! exponent is the fractional edge cover number `ρ*`, which by LP duality
+//! equals the maximum fractional vertex packing — exactly the program the
+//! paper writes in Equation 1 (maximise `Σ_a y_a` subject to
+//! `Σ_{a ∈ e} y_a ≤ 1`). Both sides are exposed so tests can confirm strong
+//! duality and extract the tight-instance construction of Lemma 3.2 from the
+//! dual solution.
+
+use crate::hypergraph::{AgmError, Hypergraph};
+use crate::simplex::{solve, Cmp, LinearProgram, LpOutcome};
+
+/// A fractional edge cover (primal) solution.
+#[derive(Debug, Clone)]
+pub struct CoverSolution {
+    /// Cover weight `x_e` per edge, in edge order.
+    pub weights: Vec<f64>,
+    /// The objective value: `Σ_e x_e · w_e` (for [`fractional_edge_cover`]
+    /// all `w_e = 1`, so this is the cover number `ρ*`).
+    pub value: f64,
+}
+
+/// A fractional vertex packing (dual) solution — the paper's Equation 1.
+#[derive(Debug, Clone)]
+pub struct PackingSolution {
+    /// Packing weight `y_a` per vertex, in vertex order.
+    pub weights: Vec<f64>,
+    /// The objective value `Σ_a y_a`.
+    pub value: f64,
+}
+
+/// Computes the minimum fractional edge cover with unit weights: the
+/// exponent `ρ*` such that the uniform-size bound is `n^{ρ*}`.
+pub fn fractional_edge_cover(h: &Hypergraph) -> Result<CoverSolution, AgmError> {
+    weighted_edge_cover(h, &vec![1.0; h.num_edges()])
+}
+
+/// Computes the minimum-weight fractional edge cover: minimise
+/// `Σ_e x_e · w_e` subject to every vertex being covered.
+///
+/// With `w_e = ln N_e`, `exp(value)` is the AGM bound.
+pub fn weighted_edge_cover(h: &Hypergraph, weights: &[f64]) -> Result<CoverSolution, AgmError> {
+    if h.num_edges() == 0 {
+        return Err(AgmError::Empty);
+    }
+    assert_eq!(weights.len(), h.num_edges(), "one weight per edge");
+    h.check_covered()?;
+    let mut lp = LinearProgram::minimize(weights.to_vec());
+    for v in 0..h.num_vertices() {
+        let mut row = vec![0.0; h.num_edges()];
+        for (e, edge) in h.edges().iter().enumerate() {
+            if edge.vertices.contains(&v) {
+                row[e] = 1.0;
+            }
+        }
+        lp.constraint(row, Cmp::Ge, 1.0);
+    }
+    match solve(&lp) {
+        LpOutcome::Optimal(s) => Ok(CoverSolution { weights: s.x, value: s.value }),
+        // A covered hypergraph always has the all-ones feasible cover, and
+        // non-negative weights can make the objective at worst 0-bounded;
+        // negative weights (sizes < 1) could in principle drive portions
+        // negative but the cover constraints keep it bounded.
+        LpOutcome::Infeasible => Err(AgmError::Empty),
+        LpOutcome::Unbounded => unreachable!("edge cover LP is bounded below"),
+    }
+}
+
+/// Computes the maximum fractional vertex packing (the paper's Equation 1):
+/// maximise `Σ_a y_a` subject to `Σ_{a ∈ e} y_a ≤ 1` per edge, `y ≥ 0`.
+pub fn vertex_packing(h: &Hypergraph) -> Result<PackingSolution, AgmError> {
+    if h.num_edges() == 0 {
+        return Err(AgmError::Empty);
+    }
+    h.check_covered()?;
+    let mut lp = LinearProgram::maximize(vec![1.0; h.num_vertices()]);
+    for edge in h.edges() {
+        let mut row = vec![0.0; h.num_vertices()];
+        for &v in &edge.vertices {
+            row[v] = 1.0;
+        }
+        lp.constraint(row, Cmp::Le, 1.0);
+    }
+    match solve(&lp) {
+        LpOutcome::Optimal(s) => Ok(PackingSolution { weights: s.x, value: s.value }),
+        LpOutcome::Infeasible => unreachable!("y = 0 is always feasible"),
+        LpOutcome::Unbounded => Err(AgmError::Empty),
+    }
+}
+
+/// The AGM bound for the given per-edge cardinalities: `exp(min Σ x_e ln N_e)`.
+///
+/// Returns `0.0` if any relation is empty.
+pub fn agm_bound(h: &Hypergraph, sizes: &[usize]) -> Result<f64, AgmError> {
+    assert_eq!(sizes.len(), h.num_edges(), "one size per edge");
+    if sizes.contains(&0) {
+        return Ok(0.0);
+    }
+    let logs: Vec<f64> = sizes.iter().map(|&s| (s as f64).ln()).collect();
+    let cover = weighted_edge_cover(h, &logs)?;
+    Ok(cover.value.exp())
+}
+
+/// The uniform-size exponent `ρ*`: the AGM bound is `n^{ρ*}` when every
+/// relation has `n` tuples.
+pub fn agm_exponent(h: &Hypergraph) -> Result<f64, AgmError> {
+    Ok(fractional_edge_cover(h)?.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    fn triangle() -> Hypergraph {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "b"]);
+        h.edge("S", &["b", "c"]);
+        h.edge("T", &["a", "c"]);
+        h
+    }
+
+    /// Example 3.3 of the paper: R1(B,D), R2(F,G,H) plus the transformed
+    /// twig relations R3(A,B), R4(A,D), R5(C,E), R6(F,H), R7(G).
+    fn example_3_3() -> Hypergraph {
+        let mut h = Hypergraph::new();
+        h.edge("R1", &["B", "D"]);
+        h.edge("R2", &["F", "G", "H"]);
+        h.edge("R3", &["A", "B"]);
+        h.edge("R4", &["A", "D"]);
+        h.edge("R5", &["C", "E"]);
+        h.edge("R6", &["F", "H"]);
+        h.edge("R7", &["G"]);
+        h
+    }
+
+    /// Example 3.4 / Figure 3: R1(A,B,C,D), R2(E,F,G,H) plus the same twig.
+    fn example_3_4() -> Hypergraph {
+        let mut h = Hypergraph::new();
+        h.edge("R1", &["A", "B", "C", "D"]);
+        h.edge("R2", &["E", "F", "G", "H"]);
+        h.edge("R3", &["A", "B"]);
+        h.edge("R4", &["A", "D"]);
+        h.edge("R5", &["C", "E"]);
+        h.edge("R6", &["F", "H"]);
+        h.edge("R7", &["G"]);
+        h
+    }
+
+    #[test]
+    fn triangle_exponent_is_three_halves() {
+        assert!(close(agm_exponent(&triangle()).unwrap(), 1.5));
+    }
+
+    #[test]
+    fn triangle_bound_with_sizes() {
+        // All sizes n: bound n^1.5.
+        let n = 64usize;
+        let bound = agm_bound(&triangle(), &[n, n, n]).unwrap();
+        assert!(close(bound, (n as f64).powf(1.5)));
+        // Heterogeneous sizes: bound = sqrt(|R||S||T|).
+        let bound = agm_bound(&triangle(), &[4, 16, 64]).unwrap();
+        assert!(close(bound, (4.0f64 * 16.0 * 64.0).sqrt()));
+    }
+
+    #[test]
+    fn example_3_3_mixed_bound_is_n_to_3_5() {
+        // The paper: size bound of Q is n^{7/2}.
+        assert!(close(agm_exponent(&example_3_3()).unwrap(), 3.5));
+    }
+
+    #[test]
+    fn example_3_3_twig_only_bound_is_n_to_5() {
+        // Drop R1, R2: the twig-only bound is n^5.
+        let mut h = Hypergraph::new();
+        h.edge("R3", &["A", "B"]);
+        h.edge("R4", &["A", "D"]);
+        h.edge("R5", &["C", "E"]);
+        h.edge("R6", &["F", "H"]);
+        h.edge("R7", &["G"]);
+        assert!(close(agm_exponent(&h).unwrap(), 5.0));
+    }
+
+    #[test]
+    fn example_3_4_bounds_match_paper() {
+        // Q: n^2 (R1 and R2 cover everything).
+        assert!(close(agm_exponent(&example_3_4()).unwrap(), 2.0));
+        // Q1 (relational only): n^2.
+        let mut q1 = Hypergraph::new();
+        q1.edge("R1", &["A", "B", "C", "D"]);
+        q1.edge("R2", &["E", "F", "G", "H"]);
+        assert!(close(agm_exponent(&q1).unwrap(), 2.0));
+    }
+
+    #[test]
+    fn duality_holds_on_examples() {
+        for h in [triangle(), example_3_3(), example_3_4()] {
+            let primal = fractional_edge_cover(&h).unwrap();
+            let dual = vertex_packing(&h).unwrap();
+            assert!(
+                close(primal.value, dual.value),
+                "primal {} != dual {}",
+                primal.value,
+                dual.value
+            );
+        }
+    }
+
+    #[test]
+    fn cover_solution_is_feasible() {
+        let h = example_3_3();
+        let s = fractional_edge_cover(&h).unwrap();
+        for v in 0..h.num_vertices() {
+            let covered: f64 = h
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.vertices.contains(&v))
+                .map(|(i, _)| s.weights[i])
+                .sum();
+            assert!(covered >= 1.0 - 1e-6, "vertex {v} covered only {covered}");
+        }
+    }
+
+    #[test]
+    fn packing_solution_is_feasible() {
+        let h = example_3_3();
+        let s = vertex_packing(&h).unwrap();
+        for e in h.edges() {
+            let load: f64 = e.vertices.iter().map(|&v| s.weights[v]).sum();
+            assert!(load <= 1.0 + 1e-6);
+        }
+        assert!(s.weights.iter().all(|&y| y >= -1e-9));
+    }
+
+    #[test]
+    fn empty_relation_gives_zero_bound() {
+        let b = agm_bound(&triangle(), &[10, 0, 10]).unwrap();
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    fn single_edge_bound_is_its_size() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "b"]);
+        assert!(close(agm_bound(&h, &[37]).unwrap(), 37.0));
+    }
+
+    #[test]
+    fn cartesian_product_bound_multiplies() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a"]);
+        h.edge("S", &["b"]);
+        assert!(close(agm_bound(&h, &[10, 20]).unwrap(), 200.0));
+    }
+
+    #[test]
+    fn uncovered_vertex_is_an_error() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a"]);
+        h.vertex("b");
+        assert!(agm_exponent(&h).is_err());
+    }
+
+    #[test]
+    fn restricted_prefix_bounds_are_monotone_on_triangle() {
+        // Prefix bounds for the order a, b, c: {a} -> n, {a,b} -> n, full -> n^1.5
+        // (restriction of S to {a,b} is just... S∩{a,b}={b}; T∩={a}; R={a,b})
+        let h = triangle();
+        let n = 100usize;
+        let b1 = {
+            let r = h.restrict(&["a"]).unwrap();
+            agm_bound(&r, &vec![n; r.num_edges()]).unwrap()
+        };
+        let b2 = {
+            let r = h.restrict(&["a", "b"]).unwrap();
+            agm_bound(&r, &vec![n; r.num_edges()]).unwrap()
+        };
+        let b3 = agm_bound(&h, &[n, n, n]).unwrap();
+        assert!(close(b1, n as f64));
+        assert!(close(b2, n as f64));
+        assert!(close(b3, (n as f64).powf(1.5)));
+    }
+}

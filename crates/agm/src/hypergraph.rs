@@ -1,0 +1,216 @@
+//! Query hypergraphs: attributes as vertices, relations as hyperedges.
+//!
+//! The AGM bound of a join query is a property of its hypergraph plus the
+//! relation cardinalities. The multi-model queries of the paper produce one
+//! hyperedge per relational atom *and* one per root-leaf path relation of
+//! each transformed twig (Figure 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from hypergraph construction and bound computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgmError {
+    /// A vertex belongs to no hyperedge, so no finite cover exists.
+    UncoveredVertex(String),
+    /// An edge referenced an unknown vertex name.
+    UnknownVertex(String),
+    /// The hypergraph has no edges.
+    Empty,
+}
+
+impl fmt::Display for AgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgmError::UncoveredVertex(v) => {
+                write!(f, "attribute `{v}` occurs in no relation: cover is infeasible")
+            }
+            AgmError::UnknownVertex(v) => write!(f, "unknown attribute `{v}`"),
+            AgmError::Empty => write!(f, "hypergraph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for AgmError {}
+
+/// One hyperedge: a named relation over a set of vertices.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Display name (relation name).
+    pub name: String,
+    /// Vertex indices (sorted, distinct).
+    pub vertices: Vec<usize>,
+}
+
+/// A query hypergraph.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    vertex_names: Vec<String>,
+    vertex_ids: BTreeMap<String, usize>,
+    edges: Vec<Edge>,
+}
+
+impl Hypergraph {
+    /// Creates an empty hypergraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a vertex (attribute) name.
+    pub fn vertex(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.vertex_ids.get(name) {
+            return id;
+        }
+        let id = self.vertex_names.len();
+        self.vertex_names.push(name.to_owned());
+        self.vertex_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds an edge over the given attribute names, interning new vertices.
+    pub fn edge(&mut self, name: &str, attrs: &[&str]) -> usize {
+        let mut vertices: Vec<usize> = attrs.iter().map(|a| self.vertex(a)).collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        self.edges.push(Edge { name: name.to_owned(), vertices });
+        self.edges.len() - 1
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The vertex names, indexed by vertex id.
+    pub fn vertex_names(&self) -> &[String] {
+        &self.vertex_names
+    }
+
+    /// The id of a named vertex.
+    pub fn vertex_id(&self, name: &str) -> Result<usize, AgmError> {
+        self.vertex_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| AgmError::UnknownVertex(name.to_owned()))
+    }
+
+    /// Whether every vertex occurs in at least one edge (else no cover).
+    pub fn check_covered(&self) -> Result<(), AgmError> {
+        let mut covered = vec![false; self.num_vertices()];
+        for e in &self.edges {
+            for &v in &e.vertices {
+                covered[v] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(AgmError::UncoveredVertex(self.vertex_names[v].clone()));
+        }
+        Ok(())
+    }
+
+    /// Restricts the hypergraph to a subset of vertices: each edge becomes
+    /// its intersection with the subset (empty intersections are dropped).
+    ///
+    /// The AGM bound of the restriction bounds the size of the join's
+    /// projection onto the subset — the quantity that level-wise engines
+    /// materialise after binding those attributes.
+    pub fn restrict(&self, vertex_subset: &[&str]) -> Result<Hypergraph, AgmError> {
+        let mut keep = vec![false; self.num_vertices()];
+        for name in vertex_subset {
+            keep[self.vertex_id(name)?] = true;
+        }
+        let mut out = Hypergraph::new();
+        for e in &self.edges {
+            let attrs: Vec<&str> = e
+                .vertices
+                .iter()
+                .filter(|&&v| keep[v])
+                .map(|&v| self.vertex_names[v].as_str())
+                .collect();
+            if !attrs.is_empty() {
+                out.edge(&e.name, &attrs);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.edges {
+            write!(f, "{}(", e.name)?;
+            for (i, &v) in e.vertices.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.vertex_names[v])?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertices_are_interned() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "b"]);
+        h.edge("S", &["b", "c"]);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.vertex_id("b").unwrap(), 1);
+        assert!(h.vertex_id("z").is_err());
+    }
+
+    #[test]
+    fn duplicate_attrs_in_edge_collapse() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "a", "b"]);
+        assert_eq!(h.edges()[0].vertices.len(), 2);
+    }
+
+    #[test]
+    fn coverage_check() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a"]);
+        h.vertex("lonely");
+        assert!(matches!(h.check_covered(), Err(AgmError::UncoveredVertex(v)) if v == "lonely"));
+        h.edge("S", &["lonely"]);
+        assert!(h.check_covered().is_ok());
+    }
+
+    #[test]
+    fn restriction_drops_and_trims_edges() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "b"]);
+        h.edge("S", &["c", "d"]);
+        let r = h.restrict(&["a", "c"]).unwrap();
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.num_vertices(), 2);
+        let r2 = h.restrict(&["a"]).unwrap();
+        assert_eq!(r2.num_edges(), 1); // S vanishes entirely
+        assert!(h.restrict(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut h = Hypergraph::new();
+        h.edge("R", &["x", "y"]);
+        let text = h.to_string();
+        assert!(text.contains("R(x,y)"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Worst-case size bounds for join queries (AGM, FOCS 2008), including the
+//! multi-model formulation of the paper.
+//!
+//! * [`simplex`] — a from-scratch two-phase primal simplex LP solver;
+//! * [`hypergraph`] — query hypergraphs (attributes = vertices, relations =
+//!   hyperedges), with the prefix restriction used to bound intermediate
+//!   results;
+//! * [`bound`] — fractional edge cover (primal) and fractional vertex
+//!   packing (the paper's Equation 1, dual) with the resulting AGM bounds.
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod hypergraph;
+pub mod simplex;
+
+pub use bound::{
+    agm_bound, agm_exponent, fractional_edge_cover, vertex_packing, weighted_edge_cover,
+    CoverSolution, PackingSolution,
+};
+pub use hypergraph::{AgmError, Edge, Hypergraph};
+pub use simplex::{solve, Cmp, LinearProgram, LpOutcome, LpSolution};

@@ -1,0 +1,406 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Written from scratch for the fractional edge cover / vertex packing
+//! programs behind the AGM bound (the paper's Equation 1). These LPs are
+//! tiny (one variable per relation or attribute), so a dense tableau with
+//! Bland's anti-cycling rule is both simple and robust.
+
+/// Comparison operator of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a · x <= b`
+    Le,
+    /// `a · x >= b`
+    Ge,
+    /// `a · x == b`
+    Eq,
+}
+
+/// A linear program over `n` non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients (length `n`).
+    pub objective: Vec<f64>,
+    /// Constraints as `(coefficients, cmp, rhs)`; coefficient vectors must
+    /// have length `n`.
+    pub constraints: Vec<(Vec<f64>, Cmp, f64)>,
+    /// Maximize instead of minimize.
+    pub maximize: bool,
+}
+
+impl LinearProgram {
+    /// Creates a minimization program with no constraints yet.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        LinearProgram { objective, constraints: Vec::new(), maximize: false }
+    }
+
+    /// Creates a maximization program with no constraints yet.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        LinearProgram { objective, constraints: Vec::new(), maximize: true }
+    }
+
+    /// Adds a constraint.
+    pub fn constraint(&mut self, coeffs: Vec<f64>, cmp: Cmp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.objective.len(), "coefficient arity mismatch");
+        self.constraints.push((coeffs, cmp, rhs));
+        self
+    }
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal variable assignment (length = number of original variables).
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the user's sense: maximized value for
+    /// maximization programs).
+    pub value: f64,
+}
+
+/// Outcome of solving a linear program.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// An optimum was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution, panicking otherwise (test helper).
+    pub fn unwrap_optimal(self) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal solution, got {other:?}"),
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// `rows x (cols + 1)`; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row: reduced costs, last entry = -(objective value).
+    obj: Vec<f64>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS);
+        for v in &mut self.a[row] {
+            *v /= p;
+        }
+        for r in 0..self.a.len() {
+            if r != row {
+                let f = self.a[r][col];
+                if f.abs() > EPS {
+                    for c in 0..=self.cols {
+                        self.a[r][c] -= f * self.a[row][c];
+                    }
+                }
+            }
+        }
+        let f = self.obj[col];
+        if f.abs() > EPS {
+            for c in 0..=self.cols {
+                self.obj[c] -= f * self.a[row][c];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop (minimization). Returns `false` on unbounded.
+    fn run(&mut self, allowed: &dyn Fn(usize) -> bool) -> bool {
+        loop {
+            // Bland's rule: smallest-index column with negative reduced cost.
+            let entering = (0..self.cols)
+                .find(|&j| allowed(j) && self.obj[j] < -EPS);
+            let Some(j) = entering else { return true };
+            // Ratio test (Bland tie-break on basis variable index).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let aij = self.a[r][j];
+                if aij > EPS {
+                    let ratio = self.a[r][self.cols] / aij;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((r, _)) = leave else { return false };
+            self.pivot(r, j);
+        }
+    }
+}
+
+/// Solves a linear program with the two-phase primal simplex method.
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.objective.len();
+    let m = lp.constraints.len();
+
+    // Normalise: all RHS non-negative.
+    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = lp.constraints.clone();
+    for (coeffs, cmp, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *cmp = match *cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    // Column layout: [originals | slacks/surpluses | artificials].
+    let n_slack = rows
+        .iter()
+        .filter(|(_, c, _)| matches!(c, Cmp::Le | Cmp::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, c, _)| matches!(c, Cmp::Ge | Cmp::Eq))
+        .count();
+    let cols = n + n_slack + n_art;
+    let art_begin = n + n_slack;
+
+    let mut a = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut next_slack = n;
+    let mut next_art = art_begin;
+    for (i, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+        a[i][..n].copy_from_slice(coeffs);
+        a[i][cols] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                a[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                a[i][next_slack] = -1.0;
+                next_slack += 1;
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau { a, obj: vec![0.0; cols + 1], basis, cols };
+
+    // ---- Phase 1: minimise the sum of artificials.
+    if n_art > 0 {
+        for j in art_begin..cols {
+            t.obj[j] = 1.0;
+        }
+        // Canonicalise: basic artificials must have zero reduced cost.
+        for r in 0..m {
+            if t.basis[r] >= art_begin {
+                for c in 0..=cols {
+                    t.obj[c] -= t.a[r][c];
+                }
+            }
+        }
+        if !t.run(&|_| true) {
+            // Phase 1 objective is bounded below by 0; "unbounded" cannot
+            // happen, but guard anyway.
+            return LpOutcome::Infeasible;
+        }
+        let phase1 = -t.obj[cols];
+        if phase1 > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis.
+        for r in 0..m {
+            if t.basis[r] >= art_begin {
+                if let Some(j) = (0..art_begin).find(|&j| t.a[r][j].abs() > EPS) {
+                    t.pivot(r, j);
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value 0, which is harmless as long as artificial
+                // columns are barred from entering in phase 2.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective.
+    let sign = if lp.maximize { -1.0 } else { 1.0 };
+    t.obj = vec![0.0; cols + 1];
+    for j in 0..n {
+        t.obj[j] = sign * lp.objective[j];
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = if b < n { sign * lp.objective[b] } else { 0.0 };
+        if cb.abs() > EPS {
+            for c in 0..=cols {
+                t.obj[c] -= cb * t.a[r][c];
+            }
+        }
+    }
+    if !t.run(&|j| j < art_begin) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.a[r][cols];
+        }
+    }
+    let value = sign * -t.obj[cols];
+    LpOutcome::Optimal(LpSolution { x, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max x + y  s.t. x <= 2, y <= 3  -> 5 at (2, 3).
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constraint(vec![1.0, 0.0], Cmp::Le, 2.0);
+        lp.constraint(vec![0.0, 1.0], Cmp::Le, 3.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 5.0));
+        assert!(close(s.x[0], 2.0) && close(s.x[1], 3.0));
+    }
+
+    #[test]
+    fn simple_minimization_with_ge() {
+        // min 2x + 3y  s.t. x + y >= 4, x >= 1  -> x=4, y=0, value 8.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constraint(vec![1.0, 1.0], Cmp::Ge, 4.0);
+        lp.constraint(vec![1.0, 0.0], Cmp::Ge, 1.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 8.0), "value {}", s.value);
+        assert!(close(s.x[0], 4.0) && close(s.x[1], 0.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y  s.t. x + 2y == 4, x <= 2  -> x=2, y=1, value 3? Check:
+        // alternatives: x=0,y=2 -> 2. So optimum is 2 at (0, 2).
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constraint(vec![1.0, 2.0], Cmp::Eq, 4.0);
+        lp.constraint(vec![1.0, 0.0], Cmp::Le, 2.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 2.0), "value {}", s.value);
+        assert!(close(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn infeasible_program() {
+        // x >= 3 and x <= 1.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constraint(vec![1.0], Cmp::Ge, 3.0);
+        lp.constraint(vec![1.0], Cmp::Le, 1.0);
+        assert!(matches!(solve(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_program() {
+        // max x with x >= 1 only.
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.constraint(vec![1.0], Cmp::Ge, 1.0);
+        assert!(matches!(solve(&lp), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // min x s.t. -x <= -2  (i.e. x >= 2) -> 2.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constraint(vec![-1.0], Cmp::Le, -2.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 2.0));
+    }
+
+    #[test]
+    fn triangle_fractional_cover() {
+        // Vertices a,b,c; edges ab, bc, ca. min x1+x2+x3 with each vertex
+        // covered -> 1.5 (all halves).
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0]);
+        lp.constraint(vec![1.0, 0.0, 1.0], Cmp::Ge, 1.0); // a in ab, ca
+        lp.constraint(vec![1.0, 1.0, 0.0], Cmp::Ge, 1.0); // b in ab, bc
+        lp.constraint(vec![0.0, 1.0, 1.0], Cmp::Ge, 1.0); // c in bc, ca
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 1.5), "value {}", s.value);
+    }
+
+    #[test]
+    fn triangle_dual_packing() {
+        // max ya+yb+yc s.t. pairwise sums <= 1 -> 1.5.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0, 1.0]);
+        lp.constraint(vec![1.0, 1.0, 0.0], Cmp::Le, 1.0);
+        lp.constraint(vec![0.0, 1.0, 1.0], Cmp::Le, 1.0);
+        lp.constraint(vec![1.0, 0.0, 1.0], Cmp::Le, 1.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 1.5));
+    }
+
+    #[test]
+    fn degenerate_pivots_terminate() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let mut lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        lp.constraint(vec![0.25, -60.0, -0.04, 9.0], Cmp::Le, 0.0);
+        lp.constraint(vec![0.5, -90.0, -0.02, 3.0], Cmp::Le, 0.0);
+        lp.constraint(vec![0.0, 0.0, 1.0, 0.0], Cmp::Le, 1.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 0.05), "value {}", s.value);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y == 2 stated twice.
+        let mut lp = LinearProgram::minimize(vec![1.0, 0.0]);
+        lp.constraint(vec![1.0, 1.0], Cmp::Eq, 2.0);
+        lp.constraint(vec![1.0, 1.0], Cmp::Eq, 2.0);
+        let s = solve(&lp).unwrap_optimal();
+        assert!(close(s.value, 0.0));
+        assert!(close(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn solution_satisfies_constraints() {
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0]);
+        lp.constraint(vec![1.0, 1.0], Cmp::Le, 4.0);
+        lp.constraint(vec![1.0, 3.0], Cmp::Le, 6.0);
+        let s = solve(&lp).unwrap_optimal();
+        for (coeffs, cmp, rhs) in &lp.constraints {
+            let lhs: f64 = coeffs.iter().zip(&s.x).map(|(c, x)| c * x).sum();
+            match cmp {
+                Cmp::Le => assert!(lhs <= rhs + 1e-6),
+                Cmp::Ge => assert!(lhs >= rhs - 1e-6),
+                Cmp::Eq => assert!(close(lhs, *rhs)),
+            }
+        }
+        assert!(close(s.value, 12.0), "value {}", s.value);
+    }
+}

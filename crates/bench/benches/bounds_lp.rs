@@ -1,0 +1,57 @@
+//! E3/E4 — the size-bound machinery: solving the fractional edge cover /
+//! vertex packing LPs of the paper's Examples 3.3 and 3.4, and scaling the
+//! solver on larger random hypergraphs.
+
+use agm::{agm_exponent, fractional_edge_cover, vertex_packing, Hypergraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn example_3_3() -> Hypergraph {
+    let mut h = Hypergraph::new();
+    h.edge("R1", &["B", "D"]);
+    h.edge("R2", &["F", "G", "H"]);
+    h.edge("R3", &["A", "B"]);
+    h.edge("R4", &["A", "D"]);
+    h.edge("R5", &["C", "E"]);
+    h.edge("R6", &["F", "H"]);
+    h.edge("R7", &["G"]);
+    h
+}
+
+/// A cyclic hypergraph with `k` vertices and all `k` consecutive pairs —
+/// the k-cycle, whose cover number is k/2.
+fn cycle(k: usize) -> Hypergraph {
+    let names: Vec<String> = (0..k).map(|i| format!("v{i}")).collect();
+    let mut h = Hypergraph::new();
+    for i in 0..k {
+        let a = names[i].as_str();
+        let b = names[(i + 1) % k].as_str();
+        h.edge(&format!("e{i}"), &[a, b]);
+    }
+    h
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds_lp");
+    let h = example_3_3();
+    group.bench_function("example33_primal", |b| {
+        b.iter(|| black_box(fractional_edge_cover(&h).expect("covered").value))
+    });
+    group.bench_function("example33_dual", |b| {
+        b.iter(|| black_box(vertex_packing(&h).expect("covered").value))
+    });
+    for k in [8usize, 16, 32] {
+        let hc = cycle(k);
+        group.bench_with_input(BenchmarkId::new("cycle_exponent", k), &k, |b, _| {
+            b.iter(|| {
+                let rho = agm_exponent(&hc).expect("covered");
+                assert!((rho - k as f64 / 2.0).abs() < 1e-6);
+                black_box(rho)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

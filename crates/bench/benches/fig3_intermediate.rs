@@ -1,0 +1,44 @@
+//! E2 — Figure 3, intermediate-size axis: the cost of materialising
+//! intermediates, Baseline vs XJoin, on random instances of the Figure 3
+//! query (the regime where the paper's 10–20× bars live).
+//!
+//! Criterion measures time; the exact intermediate *counts* behind this
+//! bench are printed by `cargo run --release -p bench --bin experiments --
+//! fig3` and recorded in EXPERIMENTS.md. Time on these instances is
+//! dominated by intermediate materialisation, so the two views agree.
+
+use bench::workloads::{fig3_query, fig3_random};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, XJoinConfig};
+
+fn bench_fig3_intermediate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_intermediate");
+    for n in [4usize, 8] {
+        let inst = fig3_random(n, n as i64, 1);
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        let q = fig3_query();
+        group.bench_with_input(BenchmarkId::new("xjoin_total_intermediate", n), &n, |b, _| {
+            b.iter(|| {
+                let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
+                black_box(out.stats.total_intermediate())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline_total_intermediate", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let out =
+                        baseline(&ctx, &q, &BaselineConfig::default()).expect("baseline runs");
+                    black_box(out.stats.total_intermediate())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_intermediate);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — Figure 3, running-time axis: Baseline vs XJoin on the Figure 3
+//! query, over AGM-tight instances of growing `n`.
+//!
+//! The paper's bar chart reports baseline ≈ 10–20× XJoin; on the tight
+//! instances the gap grows as `n^3` (baseline tracks the `n^5` twig bound,
+//! XJoin the `n^2` combined bound), so expect the ratio to blow past the
+//! paper's bars as `n` rises — the *shape* (XJoin wins, increasingly) is the
+//! reproduced claim.
+
+use bench::workloads::{fig3_query, fig3_tight};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, XJoinConfig};
+
+fn bench_fig3_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_runtime");
+    for n in [2usize, 4, 6] {
+        let inst = fig3_tight(n);
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        let q = fig3_query();
+        group.bench_with_input(BenchmarkId::new("xjoin", n), &n, |b, _| {
+            b.iter(|| {
+                let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
+                black_box(out.results.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let out = baseline(&ctx, &q, &BaselineConfig::default()).expect("baseline runs");
+                black_box(out.results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_runtime);
+criterion_main!(benches);

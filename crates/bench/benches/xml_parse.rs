@@ -1,0 +1,48 @@
+//! Microbenchmarks of the XML substrate: parsing, labeling (document
+//! build), and tag-index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relational::Dict;
+use std::hint::black_box;
+use xmldb::generator::comb_document;
+use xmldb::parser::{parse_xml, to_xml_string};
+use xmldb::TagIndex;
+
+/// Deterministic document of predictable size: `width` chains of
+/// line/isbn/price under one root.
+fn make_xml(width: usize) -> String {
+    let mut dict = Dict::new();
+    let doc = comb_document(&mut dict, "inv", &["line", "isbn", "price"], width, 1000);
+    to_xml_string(&doc, &dict)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    for width in [64usize, 1024] {
+        let xml = make_xml(width);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &xml, |b, xml| {
+            b.iter(|| {
+                let mut dict = Dict::new();
+                black_box(parse_xml(xml, &mut dict).expect("parses").len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_index_build");
+    for width in [64usize, 1024] {
+        let xml = make_xml(width);
+        let mut dict = Dict::new();
+        let doc = parse_xml(&xml, &mut dict).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(width), &doc, |b, doc| {
+            b.iter(|| black_box(TagIndex::build(doc).tag_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_index);
+criterion_main!(benches);

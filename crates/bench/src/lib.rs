@@ -1,0 +1,6 @@
+//! Benchmark harness for the XJoin reproduction: workload generators shared
+//! by the Criterion benches and the `experiments` binary.
+
+#![warn(missing_docs)]
+
+pub mod workloads;

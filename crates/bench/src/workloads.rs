@@ -1,0 +1,346 @@
+//! Workload generators for the paper's experiments.
+//!
+//! * [`fig3_tight`] — the AGM-tight instance of the Figure 3 query, built
+//!   from the dual (vertex packing) solution per Lemma 3.2: the twig-only
+//!   bound `n^5` is attained while the combined bound stays `n^2`, so the
+//!   baseline's `Q2` blows up and XJoin does not.
+//! * [`fig3_random`] — a uniform random instance of the same query (the
+//!   "synthetic data" style of the paper's bar chart).
+//! * [`bookstore`] — the Figure 1 scenario (orders table ⋈ invoices
+//!   document).
+
+use relational::{Database, Relation, Schema, Value};
+use xjoin_core::MultiModelQuery;
+use xmldb::{TagIndex, XmlDocument};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The twig of Figures 2 and 3: `A[/B][/D][//C[/E[//F[/H]][//G]]]`.
+pub const FIG3_TWIG: &str = "//A[/B][/D]//C[/E[//F[/H]][//G]]";
+
+/// A generated multi-model instance.
+pub struct Instance {
+    /// Relational side (owns the shared dictionary).
+    pub db: Database,
+    /// XML side.
+    pub doc: XmlDocument,
+}
+
+impl Instance {
+    /// Builds the tag index (kept separate so benchmarks can include or
+    /// exclude index construction).
+    pub fn index(&self) -> TagIndex {
+        TagIndex::build(&self.doc)
+    }
+}
+
+/// The Figure 3 query: `R1(A,B,C,D) ⋈ R2(E,F,G,H) ⋈ twig`.
+pub fn fig3_query() -> MultiModelQuery {
+    MultiModelQuery::new(&["R1", "R2"], &[FIG3_TWIG]).expect("twig parses")
+}
+
+/// The Figure 2 / Example 3.3 query: `R1(B,D) ⋈ R2(F,G,H) ⋈ twig`.
+pub fn fig2_query() -> MultiModelQuery {
+    MultiModelQuery::new(&["R1", "R2"], &[FIG3_TWIG]).expect("twig parses")
+}
+
+// Distinct value offsets per attribute so tags never collide accidentally.
+const B0: i64 = 100_000;
+const D0: i64 = 200_000;
+const E0: i64 = 300_000;
+const H0: i64 = 400_000;
+const G0: i64 = 500_000;
+const A_VAL: i64 = 1;
+const C_VAL: i64 = 2;
+const F_VAL: i64 = 3;
+
+/// AGM-tight Figure 3 instance of size parameter `n`:
+///
+/// * `R1(A,B,C,D) = {(a, b_i, c, d_i)}` (diagonal, `n` tuples);
+/// * `R2(E,F,G,H) = {(e_j, f, g_j, h_j)}` (diagonal, `n` tuples);
+/// * document: one `A` with `n` `B` children, `n` `D` children, and a `C`
+///   child holding `n` `E` nodes, each with an `F` over `n` `H` children
+///   plus `n` `G` children.
+///
+/// Twig matches: `n^5` (the twig-only bound). Combined result: `n^2`.
+pub fn fig3_tight(n: usize) -> Instance {
+    let mut db = Database::new();
+    let r1: Vec<Vec<Value>> = (0..n as i64)
+        .map(|i| {
+            vec![
+                Value::Int(A_VAL),
+                Value::Int(B0 + i),
+                Value::Int(C_VAL),
+                Value::Int(D0 + i),
+            ]
+        })
+        .collect();
+    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1).expect("load R1");
+    let r2: Vec<Vec<Value>> = (0..n as i64)
+        .map(|j| {
+            vec![
+                Value::Int(E0 + j),
+                Value::Int(F_VAL),
+                Value::Int(G0 + j),
+                Value::Int(H0 + j),
+            ]
+        })
+        .collect();
+    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2).expect("load R2");
+
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("A");
+    b.value(A_VAL);
+    for i in 0..n as i64 {
+        b.leaf("B", B0 + i);
+    }
+    for i in 0..n as i64 {
+        b.leaf("D", D0 + i);
+    }
+    b.begin("C");
+    b.value(C_VAL);
+    for j in 0..n as i64 {
+        b.begin("E");
+        b.value(E0 + j);
+        b.begin("F");
+        b.value(F_VAL);
+        for k in 0..n as i64 {
+            b.leaf("H", H0 + k);
+        }
+        b.end(); // F
+        for k in 0..n as i64 {
+            b.leaf("G", G0 + k);
+        }
+        b.end(); // E
+    }
+    b.end(); // C
+    b.end(); // A
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// Random Figure 3 instance: relations drawn uniformly over per-attribute
+/// domains of size `domain`, document shaped like [`fig3_tight`] but with
+/// random values. With `domain ≈ n` the baseline typically materialises one
+/// to two orders of magnitude more intermediate tuples than XJoin — the
+/// regime of the paper's bar chart.
+pub fn fig3_random(n: usize, domain: i64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let draw = |rng: &mut StdRng, base: i64| Value::Int(base + rng.gen_range(0..domain));
+    let r1: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(A_VAL),
+                draw(&mut rng, B0),
+                Value::Int(C_VAL),
+                draw(&mut rng, D0),
+            ]
+        })
+        .collect();
+    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1).expect("load R1");
+    let r2: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            vec![
+                draw(&mut rng, E0),
+                Value::Int(F_VAL),
+                draw(&mut rng, G0),
+                draw(&mut rng, H0),
+            ]
+        })
+        .collect();
+    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2).expect("load R2");
+
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("A");
+    b.value(A_VAL);
+    for _ in 0..n {
+        let v = B0 + rng.gen_range(0..domain);
+        b.leaf("B", v);
+    }
+    for _ in 0..n {
+        let v = D0 + rng.gen_range(0..domain);
+        b.leaf("D", v);
+    }
+    b.begin("C");
+    b.value(C_VAL);
+    for _ in 0..n {
+        b.begin("E");
+        let e = E0 + rng.gen_range(0..domain);
+        b.value(e);
+        b.begin("F");
+        b.value(F_VAL);
+        for _ in 0..n {
+            let h = H0 + rng.gen_range(0..domain);
+            b.leaf("H", h);
+        }
+        b.end();
+        for _ in 0..n {
+            let g = G0 + rng.gen_range(0..domain);
+            b.leaf("G", g);
+        }
+        b.end();
+    }
+    b.end();
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// Example 3.3 instance: `R1(B,D)`, `R2(F,G,H)` uniform diagonals of size
+/// `n`, over the same document as [`fig3_tight`].
+pub fn fig2_instance(n: usize) -> Instance {
+    let base = fig3_tight(n);
+    let mut db = Database::new();
+    *db.dict_mut() = base.db.dict().clone();
+    let r1: Vec<Vec<Value>> = (0..n as i64)
+        .map(|i| vec![Value::Int(B0 + i), Value::Int(D0 + i)])
+        .collect();
+    db.load("R1", Schema::of(&["B", "D"]), r1).expect("load R1");
+    let r2: Vec<Vec<Value>> = (0..n as i64)
+        .map(|j| vec![Value::Int(F_VAL), Value::Int(G0 + j), Value::Int(H0 + j)])
+        .collect();
+    db.load("R2", Schema::of(&["F", "G", "H"]), r2).expect("load R2");
+    Instance { db, doc: base.doc }
+}
+
+/// The Figure 1 bookstore scenario.
+pub fn bookstore() -> Instance {
+    let mut db = Database::new();
+    db.load(
+        "R",
+        Schema::of(&["orderID", "userID"]),
+        vec![
+            vec![Value::Int(10963), Value::str("jack")],
+            vec![Value::Int(20134), Value::str("tom")],
+            vec![Value::Int(35768), Value::str("bob")],
+        ],
+    )
+    .expect("load orders");
+    let xml = "<invoices>\
+        <orderLine><orderID>10963</orderID><ISBN>978-3-16-1</ISBN>\
+        <price>30</price><discount>0.1</discount></orderLine>\
+        <orderLine><orderID>20134</orderID><ISBN>634-3-12-2</ISBN>\
+        <price>20</price><discount>0.3</discount></orderLine>\
+        </invoices>";
+    let mut dict = db.dict().clone();
+    let doc = xmldb::parse_xml(xml, &mut dict).expect("bookstore XML parses");
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// The Figure 1 query: `Q(userID, ISBN, price)`.
+pub fn bookstore_query() -> MultiModelQuery {
+    MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+        .expect("twig parses")
+        .with_output(&["userID", "ISBN", "price"])
+}
+
+/// Expected relation cardinalities of the tight instance (used in tests).
+pub fn fig3_tight_expectations(n: usize) -> Fig3Expectations {
+    Fig3Expectations {
+        q_result: n * n,
+        twig_matches: n.pow(5),
+        q1: n * n,
+        doc_nodes: 2 + 2 * n + n * (2 + 2 * n),
+    }
+}
+
+/// Cardinalities predicted for the tight instance.
+pub struct Fig3Expectations {
+    /// Final result size (`n^2`).
+    pub q_result: usize,
+    /// Twig-only match count (`n^5`).
+    pub twig_matches: usize,
+    /// Relational-only result size (`n^2`).
+    pub q1: usize,
+    /// Document node count.
+    pub doc_nodes: usize,
+}
+
+/// Reference helper: a relation's contents as decoded values (tests).
+pub fn decoded(db: &Database, rel: &Relation) -> Vec<Vec<Value>> {
+    db.decode(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, XJoinConfig};
+
+    #[test]
+    fn tight_instance_has_predicted_shape() {
+        let n = 3;
+        let inst = fig3_tight(n);
+        let exp = fig3_tight_expectations(n);
+        assert_eq!(inst.doc.len(), exp.doc_nodes);
+        assert_eq!(inst.db.relation("R1").unwrap().len(), n);
+        assert_eq!(inst.db.relation("R2").unwrap().len(), n);
+        let idx = inst.index();
+        let matches = xmldb::matcher::count_matches(
+            &inst.doc,
+            &idx,
+            &xmldb::TwigPattern::parse(FIG3_TWIG).unwrap(),
+        );
+        assert_eq!(matches, exp.twig_matches);
+    }
+
+    #[test]
+    fn tight_instance_engines_agree_and_hit_n2() {
+        let n = 3;
+        let inst = fig3_tight(n);
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        let q = fig3_query();
+        let x = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        let b = baseline(&ctx, &q, &BaselineConfig::default()).unwrap();
+        let b_aligned = b.results.project(x.results.schema().attrs()).unwrap();
+        assert!(x.results.set_eq(&b_aligned));
+        assert_eq!(x.results.len(), n * n);
+        // The paper's claim: baseline intermediates reach n^5 while XJoin
+        // stays at n^2.
+        assert!(b.stats.max_intermediate() >= n.pow(5));
+        assert!(x.stats.max_intermediate() <= n * n);
+    }
+
+    #[test]
+    fn random_instance_engines_agree() {
+        for seed in 0..3 {
+            let inst = fig3_random(4, 4, seed);
+            let idx = inst.index();
+            let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+            let q = fig3_query();
+            let x = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+            let b = baseline(&ctx, &q, &BaselineConfig::default()).unwrap();
+            let b_aligned = b.results.project(x.results.schema().attrs()).unwrap();
+            assert!(x.results.set_eq(&b_aligned), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bookstore_returns_figure_1_rows() {
+        let inst = bookstore();
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        let out = xjoin(&ctx, &bookstore_query(), &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 2);
+        let rows = decoded(&inst.db, &out.results);
+        assert!(rows.contains(&vec![
+            Value::str("jack"),
+            Value::str("978-3-16-1"),
+            Value::Int(30)
+        ]));
+    }
+
+    #[test]
+    fn fig2_instance_loads() {
+        let inst = fig2_instance(2);
+        assert_eq!(inst.db.relation("R1").unwrap().arity(), 2);
+        assert_eq!(inst.db.relation("R2").unwrap().arity(), 3);
+    }
+}

@@ -1,0 +1,430 @@
+//! XJoin — the paper's Algorithm 1: a worst-case optimal join over
+//! relational tables and XML twigs *as a whole*.
+//!
+//! ```text
+//! S ← Sr ∪ transform(Sx)                  // atoms: tables + twig path relations
+//! R ← ∅ ; A ← ∅
+//! foreach p ∈ PA:
+//!     E ← common values of p across S     // per-tuple leapfrog intersection
+//!     filter E by relations between p and A   // implicit: candidates come
+//!                                             // from trie nodes reached by A
+//!     expand R by E
+//!     A ← A ∪ {p}
+//! filter R by validating structure of Sx  // final twig-structure check
+//! ```
+//!
+//! Every intermediate `R` is the exact join of the atoms projected onto the
+//! bound prefix, so its size obeys the AGM bound of the prefix hypergraph —
+//! the paper's Lemma 3.5 (checked empirically by the test-suite and the
+//! experiments harness).
+//!
+//! Two optional filters implement the paper's stated on-going work
+//! ("filtering infeasible intermediate results and partially validating the
+//! twig structure during the joining"):
+//!
+//! * `ad_filter` — prunes candidates violating a cut A-D edge's value pairs
+//!   as soon as both endpoints are bound;
+//! * `partial_validation` — runs the (memoised) structure check on bound
+//!   prefixes instead of only at the end.
+
+use crate::atoms::{collect_atoms, Atoms};
+use crate::error::Result;
+use crate::order::{compute_order, OrderStrategy};
+use crate::query::{DataContext, MultiModelQuery};
+use crate::validate::TwigValidator;
+use relational::leapfrog::{leapfrog_foreach, SliceCursor};
+use relational::{Attr, JoinPlan, JoinStats, Relation, Schema, ValueId};
+use std::collections::HashSet;
+use std::time::Instant;
+use xmldb::transform::ad_edge_relation;
+
+/// Configuration of an XJoin run.
+#[derive(Debug, Clone, Default)]
+pub struct XJoinConfig {
+    /// Variable expansion priority (the paper's `PA`).
+    pub order: OrderStrategy,
+    /// Validate twig structure incrementally during expansion (paper's
+    /// on-going-work extension) instead of only at the end.
+    pub partial_validation: bool,
+    /// Prune candidates using the value pairs of cut A-D edges as soon as
+    /// both endpoints are bound (paper's "filtering infeasible intermediate
+    /// results").
+    pub ad_filter: bool,
+}
+
+/// Result of an XJoin run.
+#[derive(Debug)]
+pub struct XJoinOutput {
+    /// The query result (schema = output attributes, or the full variable
+    /// order when the query has no explicit output list).
+    pub results: Relation,
+    /// Per-stage intermediate sizes, timings.
+    pub stats: JoinStats,
+    /// The variable order that was used.
+    pub order: Vec<Attr>,
+    /// `(name, cardinality)` of every atom, path relations included.
+    pub atom_sizes: Vec<(String, usize)>,
+}
+
+/// Sentinel for "no trie level bound yet".
+const NO_NODE: u32 = u32::MAX;
+
+/// One A-D edge filter: order positions of the endpoints plus the legal
+/// value pairs.
+type AdCheck = (usize, usize, HashSet<(ValueId, ValueId)>);
+
+/// Runs XJoin on a multi-model query.
+pub fn xjoin(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    cfg: &XJoinConfig,
+) -> Result<XJoinOutput> {
+    let start = Instant::now();
+    let atoms = collect_atoms(ctx, query)?;
+    let order = compute_order(&atoms, &cfg.order)?;
+    let mut stats = JoinStats::default();
+    for (name, size) in atoms.sizes().iter().skip(atoms.first_path_atom) {
+        stats.record(format!("materialise {name}"), *size);
+    }
+
+    let refs = atoms.rel_refs();
+    let plan = JoinPlan::new(&refs, &order)?;
+
+    // Per-twig validators (used by partial validation and the final filter).
+    let mut validators: Vec<TwigValidator<'_>> = query
+        .twigs
+        .iter()
+        .map(|t| TwigValidator::new(ctx.doc, ctx.index, t, &order))
+        .collect::<Result<_>>()?;
+
+    // A-D edge filters: (anc position, desc position, value-pair set),
+    // triggered at the level where the later endpoint binds.
+    let mut ad_checks: Vec<Vec<AdCheck>> = vec![Vec::new(); order.len()];
+    if cfg.ad_filter {
+        for (twig, dec) in query.twigs.iter().zip(&atoms.decompositions) {
+            for &edge in &dec.ad_edges {
+                let va = &twig.node(edge.0).var;
+                let vd = &twig.node(edge.1).var;
+                let pa = order.iter().position(|o| o == va).expect("order covers vars");
+                let pd = order.iter().position(|o| o == vd).expect("order covers vars");
+                let rel = ad_edge_relation(ctx.doc, ctx.index, twig, edge);
+                let set: HashSet<(ValueId, ValueId)> =
+                    rel.rows().map(|r| (r[0], r[1])).collect();
+                ad_checks[pa.max(pd)].push((pa, pd, set));
+            }
+        }
+    }
+
+    let schema = Schema::new(order.iter().cloned()).expect("order vars distinct");
+    let natoms = plan.tries().len();
+
+    let (tuples, count) = if plan.has_empty_atom() {
+        for var in &order {
+            stats.record_var(var, 0);
+        }
+        (Vec::new(), 0)
+    } else {
+        let mut width = 0usize;
+        let mut tuples: Vec<ValueId> = Vec::new();
+        let mut ptrs: Vec<u32> = vec![NO_NODE; natoms];
+        let mut count = 1usize;
+        let mut cand: Vec<ValueId> = Vec::with_capacity(order.len());
+
+        for (d, vp) in plan.var_plans().iter().enumerate() {
+            let mut next_tuples: Vec<ValueId> = Vec::new();
+            let mut next_ptrs: Vec<u32> = Vec::new();
+            let mut next_count = 0usize;
+            let mut range_starts: Vec<u32> = Vec::with_capacity(vp.participants.len());
+            let mut cursors: Vec<SliceCursor<'_>> = Vec::with_capacity(vp.participants.len());
+
+            for t in 0..count {
+                let prefix = &tuples[t * width..t * width + width];
+                let tuple_ptrs = &ptrs[t * natoms..t * natoms + natoms];
+                range_starts.clear();
+                cursors.clear();
+                for p in &vp.participants {
+                    let trie = &plan.tries()[p.atom];
+                    let range = if p.level == 0 {
+                        trie.root_range()
+                    } else {
+                        trie.children(p.level - 1, tuple_ptrs[p.atom])
+                    };
+                    range_starts.push(range.start);
+                    cursors.push(SliceCursor::new(trie.values(p.level, range)));
+                }
+
+                leapfrog_foreach(&mut cursors, |v, cs| {
+                    // "Filter E by satisfying relation between p and A":
+                    // the cut A-D edges…
+                    for (pa, pd, set) in &ad_checks[d] {
+                        let va = if *pa == d { v } else { prefix[*pa] };
+                        let vd = if *pd == d { v } else { prefix[*pd] };
+                        if !set.contains(&(va, vd)) {
+                            return;
+                        }
+                    }
+                    // …and (optionally) partial structure validation.
+                    if cfg.partial_validation {
+                        cand.clear();
+                        cand.extend_from_slice(prefix);
+                        cand.push(v);
+                        for val in validators.iter_mut() {
+                            if val.involves_position(d) && !val.check_prefix(&cand, d + 1) {
+                                return;
+                            }
+                        }
+                    }
+                    next_tuples.extend_from_slice(prefix);
+                    next_tuples.push(v);
+                    let base = next_ptrs.len();
+                    next_ptrs.extend_from_slice(tuple_ptrs);
+                    for (k, p) in vp.participants.iter().enumerate() {
+                        next_ptrs[base + p.atom] = range_starts[k] + cs[k].pos() as u32;
+                    }
+                    next_count += 1;
+                });
+            }
+
+            tuples = next_tuples;
+            ptrs = next_ptrs;
+            count = next_count;
+            width = d + 1;
+            stats.record_var(&vp.var, count);
+            if count == 0 {
+                for rest in &plan.var_plans()[d + 1..] {
+                    stats.record_var(&rest.var, 0);
+                }
+                break;
+            }
+        }
+        (tuples, count)
+    };
+
+    // Final structure validation ("Filter R by validating structure of Sx").
+    let width = order.len();
+    let mut result = Relation::with_capacity(schema, count);
+    for t in 0..count {
+        let tuple = &tuples[t * width..t * width + width];
+        if validators.iter_mut().all(|v| v.check(tuple)) {
+            result.push(tuple).expect("width matches arity");
+        }
+    }
+    if !query.twigs.is_empty() {
+        stats.record("validate structure", result.len());
+    }
+
+    if let Some(out_attrs) = &query.output {
+        result = result.project(out_attrs)?;
+    }
+    stats.output_rows = result.len();
+    stats.elapsed = start.elapsed();
+    Ok(XJoinOutput { results: result, stats, order, atom_sizes: atoms.sizes() })
+}
+
+/// Re-exported helper: lowers a query to its atom set without running the
+/// join (the experiments harness uses this to compute bounds).
+pub fn lower<'a>(ctx: &DataContext<'a>, query: &MultiModelQuery) -> Result<Atoms<'a>> {
+    collect_atoms(ctx, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Database, Schema, Value};
+    use xmldb::{TagIndex, XmlDocument};
+
+    /// Figure 1 of the paper: orders table ⋈ invoice twig.
+    fn bookstore() -> (Database, XmlDocument) {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["orderID", "userID"]),
+            vec![
+                vec![Value::Int(10963), Value::str("jack")],
+                vec![Value::Int(20134), Value::str("tom")],
+                vec![Value::Int(35768), Value::str("bob")],
+            ],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("invoices");
+        b.begin("orderLine");
+        b.leaf("orderID", 10963i64);
+        b.leaf("ISBN", "978-3-16-1");
+        b.leaf("price", 30i64);
+        b.leaf("discount", "0.1");
+        b.end();
+        b.begin("orderLine");
+        b.leaf("orderID", 20134i64);
+        b.leaf("ISBN", "634-3-12-2");
+        b.leaf("price", 20i64);
+        b.leaf("discount", "0.3");
+        b.end();
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        (db, doc)
+    }
+
+    #[test]
+    fn figure_1_query_returns_expected_rows() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(
+            &["R"],
+            &["//invoices/orderLine[/orderID][/ISBN][/price]"],
+        )
+        .unwrap()
+        .with_output(&["userID", "ISBN", "price"]);
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 2);
+        let decoded = db.decode(&out.results);
+        assert!(decoded.contains(&vec![
+            Value::str("jack"),
+            Value::str("978-3-16-1"),
+            Value::Int(30)
+        ]));
+        assert!(decoded.contains(&vec![
+            Value::str("tom"),
+            Value::str("634-3-12-2"),
+            Value::Int(20)
+        ]));
+    }
+
+    #[test]
+    fn pure_relational_query_works() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 3);
+    }
+
+    #[test]
+    fn pure_twig_query_works() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new::<&str>(&[], &["//orderLine/price"]).unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 2); // ("", 30), ("", 20)
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new::<&str>(&[], &[]).unwrap();
+        assert!(xjoin(&ctx, &q, &XJoinConfig::default()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_cross_node_combinations() {
+        // Two orderLines with the same price but different ISBNs: the
+        // value-level path join alone would fabricate (ISBN_1, discount_2)
+        // pairs; validation must kill them.
+        let mut db = Database::new();
+        db.load("Dummy", Schema::of(&["price"]), vec![vec![Value::Int(30)]])
+            .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("invoices");
+        b.begin("orderLine");
+        b.leaf("ISBN", "X");
+        b.leaf("price", 30i64);
+        b.end();
+        b.begin("orderLine");
+        b.leaf("ISBN", "Y");
+        b.leaf("price", 30i64);
+        b.end();
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        // Twig binds the *same* orderLine for ISBN and price; with output
+        // (ISBN, price) there are exactly 2 valid combinations, not 2x2.
+        let q = MultiModelQuery::new(&["Dummy"], &["//orderLine[/ISBN][/price]"])
+            .unwrap()
+            .with_output(&["ISBN", "price"]);
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn partial_validation_gives_same_results() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(
+            &["R"],
+            &["//invoices/orderLine[/orderID][/ISBN][/price]"],
+        )
+        .unwrap();
+        let base = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        let cfg = XJoinConfig { partial_validation: true, ad_filter: true, ..Default::default() };
+        let opt = xjoin(&ctx, &q, &cfg).unwrap();
+        assert!(base.results.set_eq(&opt.results));
+        // Filtering can only shrink intermediates.
+        assert!(opt.stats.max_intermediate() <= base.stats.max_intermediate());
+    }
+
+    #[test]
+    fn ad_edges_are_enforced_by_validation() {
+        // Twig //invoices//price with an A-D edge; prices exist under
+        // orderLines which are under invoices -> both match; but a price
+        // outside invoices must not.
+        let mut db = Database::new();
+        db.load("Dummy", Schema::of(&["price"]), vec![
+            vec![Value::Int(30)],
+            vec![Value::Int(99)],
+        ])
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("root");
+        b.begin("invoices");
+        b.begin("orderLine");
+        b.leaf("price", 30i64);
+        b.end();
+        b.end();
+        b.leaf("price", 99i64); // outside invoices
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["Dummy"], &["//invoices//price"])
+            .unwrap()
+            .with_output(&["price"]);
+        for cfg in [
+            XJoinConfig::default(),
+            XJoinConfig { ad_filter: true, ..Default::default() },
+            XJoinConfig { partial_validation: true, ..Default::default() },
+        ] {
+            let out = xjoin(&ctx, &q, &cfg).unwrap();
+            assert_eq!(out.results.len(), 1, "cfg {cfg:?}");
+            let decoded = db.decode(&out.results);
+            assert_eq!(decoded[0][0], Value::Int(30));
+        }
+    }
+
+    #[test]
+    fn stats_track_every_stage() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &["//orderLine/orderID"]).unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        // Stages: materialise path, 4 vars, validate.
+        let labels: Vec<&str> = out.stats.stages.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("materialise")));
+        assert!(labels.iter().any(|l| l.starts_with("expand")));
+        assert!(labels.last().unwrap().starts_with("validate"));
+        assert_eq!(out.stats.output_rows, out.results.len());
+    }
+}

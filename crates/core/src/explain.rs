@@ -1,0 +1,141 @@
+//! `EXPLAIN` for multi-model queries: the lowered atom set, the chosen
+//! variable order, and the size bounds (full and per prefix) — everything
+//! the paper's Section 3 computes, rendered for humans.
+
+use crate::atoms::collect_atoms;
+use crate::bounds::{mixed_hypergraph, prefix_bounds, query_bound};
+use crate::error::Result;
+use crate::order::{compute_order, OrderStrategy};
+use crate::query::{DataContext, MultiModelQuery};
+use std::fmt::Write as _;
+
+/// A query explanation: structure, order, and bounds.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// `(atom name, schema rendering, cardinality)` per atom.
+    pub atoms: Vec<(String, String, usize)>,
+    /// The variable order that would be used.
+    pub order: Vec<String>,
+    /// AGM bound of the full query with actual sizes (Lemma 3.1).
+    pub bound: f64,
+    /// AGM bound after each expansion step (Lemma 3.5's per-stage bound).
+    pub prefix_bounds: Vec<f64>,
+    /// Cut A-D edges per twig, as variable pairs.
+    pub ad_edges: Vec<(String, String)>,
+}
+
+/// Explains a query without running it.
+pub fn explain(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    strategy: &OrderStrategy,
+) -> Result<Explanation> {
+    let atoms = collect_atoms(ctx, query)?;
+    let order = compute_order(&atoms, strategy)?;
+    let bound = query_bound(&atoms)?;
+    let prefixes = prefix_bounds(&atoms, &order)?;
+    let (_h, _sizes) = mixed_hypergraph(&atoms);
+    let mut ad_edges = Vec::new();
+    for (twig, dec) in query.twigs.iter().zip(&atoms.decompositions) {
+        for &(a, d) in &dec.ad_edges {
+            ad_edges.push((
+                twig.node(a).var.name().to_owned(),
+                twig.node(d).var.name().to_owned(),
+            ));
+        }
+    }
+    Ok(Explanation {
+        atoms: atoms
+            .names
+            .iter()
+            .zip(&atoms.rels)
+            .map(|(n, r)| (n.clone(), r.rel().schema().to_string(), r.rel().len()))
+            .collect(),
+        order: order.iter().map(|a| a.name().to_owned()).collect(),
+        bound,
+        prefix_bounds: prefixes,
+        ad_edges,
+    })
+}
+
+impl Explanation {
+    /// Renders the explanation as an indented text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "atoms:");
+        for (name, schema, size) in &self.atoms {
+            let _ = writeln!(out, "  {name}{schema}  [{size} tuples]");
+        }
+        let _ = writeln!(out, "variable order: {}", self.order.join(", "));
+        if !self.ad_edges.is_empty() {
+            let rendered: Vec<String> = self
+                .ad_edges
+                .iter()
+                .map(|(a, d)| format!("{a}//{d}"))
+                .collect();
+            let _ = writeln!(out, "cut A-D edges (validated post-join): {}", rendered.join(", "));
+        }
+        let _ = writeln!(out, "worst-case result bound (Lemma 3.1): {:.1}", self.bound);
+        let _ = writeln!(out, "per-stage intermediate bounds (Lemma 3.5):");
+        for (var, b) in self.order.iter().zip(&self.prefix_bounds) {
+            let _ = writeln!(out, "  after {var:<12} <= {b:.1}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Database, Schema, Value};
+    use xmldb::{TagIndex, XmlDocument};
+
+    fn setup() -> (Database, XmlDocument) {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["B", "D"]),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("A");
+        b.value(0i64);
+        b.leaf("B", 1i64);
+        b.leaf("D", 2i64);
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        (db, doc)
+    }
+
+    #[test]
+    fn explanation_lists_atoms_and_bounds() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &["//A[/B]//D"]).unwrap();
+        let e = explain(&ctx, &q, &OrderStrategy::Appearance).unwrap();
+        assert_eq!(e.atoms.len(), 3); // R + path(A,B) + path(D)
+        assert_eq!(e.order.len(), 3); // B, D (shared with R) and A
+        assert_eq!(e.prefix_bounds.len(), e.order.len());
+        assert_eq!(e.ad_edges, vec![("A".to_owned(), "D".to_owned())]);
+        assert!(e.bound >= 1.0);
+        let text = e.render();
+        assert!(text.contains("variable order"));
+        assert!(text.contains("Lemma 3.1"));
+        assert!(text.contains("A//D"));
+    }
+
+    #[test]
+    fn prefix_bounds_end_at_full_bound() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &["//A[/B][/D]"]).unwrap();
+        let e = explain(&ctx, &q, &OrderStrategy::Appearance).unwrap();
+        let last = *e.prefix_bounds.last().unwrap();
+        assert!((last - e.bound).abs() < 1e-6 * (1.0 + e.bound));
+    }
+}

@@ -1,0 +1,358 @@
+//! MMQL — a tiny datalog-style surface syntax for multi-model queries.
+//!
+//! ```text
+//! Q(userID, price) :- orders(orderID, userID), //orderLine[/orderID][/price]
+//! Q(who) :- orders(oid, who), ratings(oid, 5), //line[/oid]
+//! ```
+//!
+//! * an optional **head** `Q(v1, …, vk) :-` fixes the output variables;
+//! * **relational atoms** `name(t1, …, tk)` bind the stored relation's
+//!   columns positionally. A term is a variable, an integer constant, or a
+//!   double-quoted string constant (a selection); a variable repeated within
+//!   one atom is an intra-atom equality, datalog style. Arity is checked at
+//!   resolution time, so the same table can appear twice under different
+//!   variables;
+//! * **twig atoms** are the XPath-like twig expressions of
+//!   [`xmldb::TwigPattern`], starting with `/` or `//`; variables default to
+//!   tag names and can be renamed with `tag$var`.
+//!
+//! Atoms are separated by commas at bracket depth zero (commas inside a
+//! twig's `[...]` predicates belong to the twig).
+
+use crate::error::{CoreError, Result};
+use crate::query::{MultiModelQuery, RelAtom, Term};
+use relational::{Attr, Value};
+use xmldb::TwigPattern;
+
+/// Parses an MMQL query string.
+pub fn parse_query(input: &str) -> Result<MultiModelQuery> {
+    let (head, body) = match input.split_once(":-") {
+        Some((h, b)) => (Some(h.trim()), b.trim()),
+        None => (None, input.trim()),
+    };
+    if body.is_empty() {
+        return Err(CoreError::BadOrder("query body is empty".into()));
+    }
+
+    let output = match head {
+        None => None,
+        Some(h) => {
+            let (_, terms) = parse_atom_shape(h)?;
+            let vars: Vec<Attr> = terms
+                .into_iter()
+                .map(|t| match t {
+                    Term::Var(v) => Ok(v),
+                    Term::Const(c) => Err(CoreError::BadOrder(format!(
+                        "constant `{c}` in query head"
+                    ))),
+                })
+                .collect::<Result<_>>()?;
+            Some(vars)
+        }
+    };
+
+    let mut relations = Vec::new();
+    let mut twigs = Vec::new();
+    for atom_src in split_atoms(body) {
+        let atom_src = atom_src.trim();
+        if atom_src.is_empty() {
+            return Err(CoreError::BadOrder("empty atom in query body".into()));
+        }
+        if atom_src.starts_with('/') {
+            twigs.push(TwigPattern::parse(atom_src)?);
+        } else {
+            let (name, terms) = parse_atom_shape(atom_src)?;
+            relations.push(RelAtom::with_terms(name, terms));
+        }
+    }
+    if relations.is_empty() && twigs.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    Ok(MultiModelQuery { relations, twigs, output })
+}
+
+/// Splits the body on commas at bracket depth 0 (`[` / `]` and `(` / `)`),
+/// ignoring commas inside string literals.
+fn split_atoms(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            _ if in_str => {}
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Parses `name(t1, …, tk)` into its name and term list.
+fn parse_atom_shape(src: &str) -> Result<(String, Vec<Term>)> {
+    let src = src.trim();
+    let open = src
+        .find('(')
+        .ok_or_else(|| CoreError::BadOrder(format!("expected `name(terms…)` in `{src}`")))?;
+    if !src.ends_with(')') {
+        return Err(CoreError::BadOrder(format!("missing `)` in atom `{src}`")));
+    }
+    let name = src[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(CoreError::BadOrder(format!("bad relation name in `{src}`")));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let terms: Vec<Term> = split_terms(inner)
+        .into_iter()
+        .map(|t| parse_term(t.trim()))
+        .collect::<Result<_>>()?;
+    if terms.is_empty() {
+        return Err(CoreError::BadOrder(format!("atom `{src}` binds no terms")));
+    }
+    Ok((name.to_owned(), terms))
+}
+
+/// Splits the argument list on commas outside string literals.
+fn split_terms(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !inner[start..].trim().is_empty() || !parts.is_empty() {
+        parts.push(&inner[start..]);
+    }
+    parts
+}
+
+fn parse_term(t: &str) -> Result<Term> {
+    if t.is_empty() {
+        return Err(CoreError::BadOrder("empty term".into()));
+    }
+    if let Some(stripped) = t.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| CoreError::BadOrder(format!("unterminated string `{t}`")))?;
+        return Ok(Term::Const(Value::str(inner)));
+    }
+    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+        let i: i64 = t
+            .parse()
+            .map_err(|_| CoreError::BadOrder(format!("bad numeric constant `{t}`")))?;
+        return Ok(Term::Const(Value::Int(i)));
+    }
+    if !t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(CoreError::BadOrder(format!("bad variable name `{t}`")));
+    }
+    Ok(Term::Var(Attr::new(t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{xjoin, XJoinConfig};
+    use crate::query::DataContext;
+    use relational::{Database, Schema, Value};
+    use xmldb::{TagIndex, XmlDocument};
+
+    #[test]
+    fn parses_head_and_mixed_body() {
+        let q = parse_query(
+            "Q(userID, price) :- orders(orderID, userID), //orderLine[/orderID][/price]",
+        )
+        .unwrap();
+        assert_eq!(
+            q.output,
+            Some(vec![Attr::new("userID"), Attr::new("price")])
+        );
+        assert_eq!(q.relations.len(), 1);
+        assert_eq!(q.relations[0].name, "orders");
+        assert_eq!(
+            q.relations[0].terms,
+            Some(vec![
+                Term::Var(Attr::new("orderID")),
+                Term::Var(Attr::new("userID"))
+            ])
+        );
+        assert_eq!(q.twigs.len(), 1);
+        assert_eq!(q.twigs[0].len(), 3);
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_query(r#"R(a, 5, "new york")"#).unwrap();
+        assert_eq!(
+            q.relations[0].terms,
+            Some(vec![
+                Term::Var(Attr::new("a")),
+                Term::Const(Value::Int(5)),
+                Term::Const(Value::str("new york")),
+            ])
+        );
+        let q = parse_query("R(a, -3)").unwrap();
+        assert_eq!(
+            q.relations[0].terms.as_ref().unwrap()[1],
+            Term::Const(Value::Int(-3))
+        );
+    }
+
+    #[test]
+    fn headless_query_outputs_everything() {
+        let q = parse_query("orders(a, b), //x/y").unwrap();
+        assert!(q.output.is_none());
+        assert_eq!(q.relations.len(), 1);
+        assert_eq!(q.twigs.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variables_are_allowed_in_atoms() {
+        let q = parse_query("R(a, a)").unwrap();
+        assert_eq!(q.relations[0].terms.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q() :- R(a)").is_err());
+        assert!(parse_query("R(a").is_err());
+        assert!(parse_query("bad name(a)").is_err());
+        assert!(parse_query("//a[").is_err());
+        assert!(parse_query("Q(a) :- ").is_err());
+        assert!(parse_query(r#"R("unterminated)"#).is_err());
+        assert!(parse_query("Q(3) :- R(a)").is_err()); // constant in head
+        assert!(parse_query("R(a-b)").is_err());
+    }
+
+    fn orders_db() -> (Database, XmlDocument) {
+        let mut db = Database::new();
+        db.load(
+            "orders",
+            Schema::of(&["col0", "col1"]),
+            vec![
+                vec![Value::Int(1), Value::str("jack")],
+                vec![Value::Int(2), Value::str("tom")],
+            ],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("lines");
+        b.begin("line");
+        b.leaf("oid", 1i64);
+        b.leaf("price", 30i64);
+        b.end();
+        b.begin("line");
+        b.leaf("oid", 2i64);
+        b.leaf("price", 99i64);
+        b.end();
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        (db, doc)
+    }
+
+    #[test]
+    fn parsed_query_runs_end_to_end() {
+        let (db, doc) = orders_db();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = parse_query("Q(who, price) :- orders(oid, who), //line[/oid][/price]").unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn constant_selection_filters_rows() {
+        let (db, doc) = orders_db();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = parse_query(r#"Q(oid) :- orders(oid, "jack"), //line/oid"#).unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(db.decode(&out.results)[0], vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty_result() {
+        let (db, doc) = orders_db();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = parse_query(r#"Q(oid) :- orders(oid, "nobody"), //line/oid"#).unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_selects_diagonal() {
+        let mut db = Database::new();
+        db.load(
+            "E",
+            Schema::of(&["s", "t"]),
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("g");
+        b.leaf("n", 1i64);
+        b.leaf("n", 3i64);
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = parse_query("Q(n) :- E(n, n), //g/n").unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        let mut vals = db.decode(&out.results);
+        vals.sort();
+        assert_eq!(vals, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn same_relation_twice_with_different_bindings() {
+        let mut db = Database::new();
+        db.load(
+            "E",
+            Schema::of(&["src", "dst"]),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("g");
+        b.leaf("n", 2i64);
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+
+        let q = parse_query("Q(a, n, c) :- E(a, n), E(n, c), //g/n").unwrap();
+        let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 1);
+        let rows = db.decode(&out.results);
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Attribute expansion priorities — the paper's `PA` input to Algorithm 1.
+//!
+//! Any order yields a worst-case optimal join (the bound holds for every
+//! prefix hypergraph), but orders differ by constant factors and by how
+//! early structural filters can fire; the strategies here are the common
+//! heuristics plus a fully manual override for experiments.
+
+use crate::atoms::Atoms;
+use crate::error::{CoreError, Result};
+use relational::Attr;
+
+/// How to choose the global variable order.
+#[derive(Debug, Clone, Default)]
+pub enum OrderStrategy {
+    /// Variables in first-appearance order (relational atoms first, then
+    /// twig paths) — deterministic and cheap.
+    #[default]
+    Appearance,
+    /// Greedy ascending by the smallest atom containing the variable
+    /// (bind selective variables early).
+    Cardinality,
+    /// An explicit order (must cover every query variable exactly once).
+    Given(Vec<Attr>),
+}
+
+/// Computes the global variable order for an atom set.
+pub fn compute_order(atoms: &Atoms<'_>, strategy: &OrderStrategy) -> Result<Vec<Attr>> {
+    let mut vars: Vec<Attr> = Vec::new();
+    for a in &atoms.rels {
+        for attr in a.rel().schema().attrs() {
+            if !vars.contains(attr) {
+                vars.push(attr.clone());
+            }
+        }
+    }
+    if vars.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    match strategy {
+        OrderStrategy::Appearance => Ok(vars),
+        OrderStrategy::Cardinality => {
+            let mut keyed: Vec<(usize, usize, Attr)> = vars
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let min_size = atoms
+                        .rels
+                        .iter()
+                        .filter(|a| a.rel().schema().contains(&v))
+                        .map(|a| a.rel().len())
+                        .min()
+                        .unwrap_or(usize::MAX);
+                    (min_size, i, v)
+                })
+                .collect();
+            keyed.sort();
+            Ok(keyed.into_iter().map(|(_, _, v)| v).collect())
+        }
+        OrderStrategy::Given(order) => {
+            for v in &vars {
+                if !order.contains(v) {
+                    return Err(CoreError::BadOrder(format!(
+                        "explicit order misses variable `{v}`"
+                    )));
+                }
+            }
+            for o in order {
+                if !vars.contains(o) {
+                    return Err(CoreError::BadOrder(format!(
+                        "explicit order names unknown variable `{o}`"
+                    )));
+                }
+            }
+            let mut seen = Vec::new();
+            for o in order {
+                if seen.contains(o) {
+                    return Err(CoreError::BadOrder(format!("duplicate variable `{o}`")));
+                }
+                seen.push(o.clone());
+            }
+            Ok(order.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::collect_atoms;
+    use crate::query::{DataContext, MultiModelQuery};
+    use relational::{Database, Schema, Value};
+    use xmldb::{TagIndex, XmlDocument};
+
+    fn setup() -> (Database, XmlDocument) {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["x", "y"]),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        db.load("S", Schema::of(&["y", "z"]), vec![vec![Value::Int(2), Value::Int(5)]])
+            .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("T");
+        b.leaf("z", 5i64);
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        (db, doc)
+    }
+
+    #[test]
+    fn appearance_order_is_first_seen() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R", "S"], &["//T/z$z2"]).unwrap();
+        let atoms = collect_atoms(&ctx, &q).unwrap();
+        let order = compute_order(&atoms, &OrderStrategy::Appearance).unwrap();
+        let names: Vec<&str> = order.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["x", "y", "z", "T", "z2"]);
+    }
+
+    #[test]
+    fn cardinality_order_prefers_small_atoms() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R", "S"], &[]).unwrap();
+        let atoms = collect_atoms(&ctx, &q).unwrap();
+        let order = compute_order(&atoms, &OrderStrategy::Cardinality).unwrap();
+        // S has 1 tuple -> y and z come before x (R has 2).
+        let names: Vec<&str> = order.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["y", "z", "x"]);
+    }
+
+    #[test]
+    fn given_order_is_validated() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let atoms = collect_atoms(&ctx, &q).unwrap();
+        let ok = OrderStrategy::Given(vec!["y".into(), "x".into()]);
+        assert_eq!(
+            compute_order(&atoms, &ok).unwrap(),
+            vec![Attr::new("y"), Attr::new("x")]
+        );
+        let missing = OrderStrategy::Given(vec!["x".into()]);
+        assert!(compute_order(&atoms, &missing).is_err());
+        let unknown = OrderStrategy::Given(vec!["x".into(), "y".into(), "qq".into()]);
+        assert!(compute_order(&atoms, &unknown).is_err());
+        let dup = OrderStrategy::Given(vec!["x".into(), "y".into(), "x".into()]);
+        assert!(compute_order(&atoms, &dup).is_err());
+    }
+}

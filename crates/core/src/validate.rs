@@ -1,0 +1,214 @@
+//! Twig structure validation — the last line of the paper's Algorithm 1.
+//!
+//! The transformed path relations are *value-level*: joining them can accept
+//! tuples where a branching variable's value is realised by different
+//! document nodes on different paths (see the worked example in the tests).
+//! "Filter R by validating structure of Sx" repairs this: a result tuple
+//! survives only if the original twig (A-D edges and all) has an embedding
+//! whose node values equal the tuple's values.
+//!
+//! Validation of one tuple is a constrained twig match through the
+//! (tag, value) index; results are memoised per distinct projection onto the
+//! twig's variables, so repeated value combinations cost one lookup.
+
+use crate::error::{CoreError, Result};
+use relational::{Attr, ValueId};
+use std::collections::HashMap;
+use xmldb::matcher::match_exists_with_values;
+use xmldb::{TagIndex, TwigPattern, XmlDocument};
+
+/// Sentinel for "variable not bound yet" in memo keys.
+const UNBOUND: u32 = u32::MAX;
+
+/// A memoising validator for one twig against one document.
+pub struct TwigValidator<'a> {
+    doc: &'a XmlDocument,
+    index: &'a TagIndex,
+    twig: &'a TwigPattern,
+    /// For each twig node, the position of its variable in the engine's
+    /// global variable order (= the tuple layout).
+    positions: Vec<usize>,
+    cache: HashMap<Vec<u32>, bool>,
+    /// Number of cache misses (actual twig searches) — exposed for tests and
+    /// the experiments harness.
+    pub lookups: usize,
+    /// Number of validation calls.
+    pub calls: usize,
+}
+
+impl<'a> TwigValidator<'a> {
+    /// Builds a validator; `order` is the engine's global variable order.
+    pub fn new(
+        doc: &'a XmlDocument,
+        index: &'a TagIndex,
+        twig: &'a TwigPattern,
+        order: &[Attr],
+    ) -> Result<Self> {
+        let positions = twig
+            .vars()
+            .iter()
+            .map(|v| {
+                order.iter().position(|o| o == v).ok_or_else(|| {
+                    CoreError::BadOrder(format!("twig variable `{v}` missing from order"))
+                })
+            })
+            .collect::<Result<Vec<usize>>>()?;
+        Ok(TwigValidator {
+            doc,
+            index,
+            twig,
+            positions,
+            cache: HashMap::new(),
+            lookups: 0,
+            calls: 0,
+        })
+    }
+
+    /// Checks a tuple whose first `bound` positions (in global order) are
+    /// bound. Returns `true` iff some embedding of the twig is consistent
+    /// with every bound twig variable.
+    ///
+    /// With `bound == order.len()` this is the full final validation; with
+    /// smaller `bound` it is the paper's *partial validation during the
+    /// join* (its stated on-going work).
+    pub fn check_prefix(&mut self, tuple: &[ValueId], bound: usize) -> bool {
+        self.calls += 1;
+        let key: Vec<u32> = self
+            .positions
+            .iter()
+            .map(|&p| if p < bound { tuple[p].0 } else { UNBOUND })
+            .collect();
+        if let Some(&hit) = self.cache.get(&key) {
+            return hit;
+        }
+        self.lookups += 1;
+        let constraints: Vec<Option<ValueId>> = key
+            .iter()
+            .map(|&k| if k == UNBOUND { None } else { Some(ValueId(k)) })
+            .collect();
+        let ok = match_exists_with_values(self.doc, self.index, self.twig, &constraints);
+        self.cache.insert(key, ok);
+        ok
+    }
+
+    /// Full validation of a complete tuple.
+    pub fn check(&mut self, tuple: &[ValueId]) -> bool {
+        let n = self.positions.iter().map(|&p| p + 1).max().unwrap_or(0);
+        debug_assert!(tuple.len() >= n);
+        self.check_prefix(tuple, tuple.len())
+    }
+
+    /// Whether this twig has any variable at global order position `pos`.
+    pub fn involves_position(&self, pos: usize) -> bool {
+        self.positions.contains(&pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Dict, Value};
+    use xmldb::TagIndex;
+
+    /// Document with two `c` nodes sharing the value 9 but with different
+    /// children: the canonical value-join false positive.
+    fn doc(dict: &mut Dict) -> XmlDocument {
+        let mut b = XmlDocument::builder();
+        b.begin("r");
+        b.begin("c");
+        b.value(9i64);
+        b.leaf("b", 1i64);
+        b.end();
+        b.begin("c");
+        b.value(9i64);
+        b.leaf("d", 2i64);
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    #[test]
+    fn rejects_cross_node_value_combination() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c[/b][/d]").unwrap();
+        let order: Vec<Attr> = vec!["c".into(), "b".into(), "d".into()];
+        let mut v = TwigValidator::new(&d, &idx, &twig, &order).unwrap();
+        let nine = dict.lookup(&Value::Int(9)).unwrap();
+        let one = dict.lookup(&Value::Int(1)).unwrap();
+        let two = dict.lookup(&Value::Int(2)).unwrap();
+        // Value-level join would produce (c=9, b=1, d=2); no single c node
+        // has both children.
+        assert!(!v.check(&[nine, one, two]));
+    }
+
+    #[test]
+    fn accepts_real_embeddings() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c/b").unwrap();
+        let order: Vec<Attr> = vec!["c".into(), "b".into()];
+        let mut v = TwigValidator::new(&d, &idx, &twig, &order).unwrap();
+        let nine = dict.lookup(&Value::Int(9)).unwrap();
+        let one = dict.lookup(&Value::Int(1)).unwrap();
+        assert!(v.check(&[nine, one]));
+    }
+
+    #[test]
+    fn partial_prefix_checks() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c[/b][/d]").unwrap();
+        let order: Vec<Attr> = vec!["c".into(), "b".into(), "d".into()];
+        let mut v = TwigValidator::new(&d, &idx, &twig, &order).unwrap();
+        let nine = dict.lookup(&Value::Int(9)).unwrap();
+        let one = dict.lookup(&Value::Int(1)).unwrap();
+        // With only c bound: there is NO c with both a b and a d child,
+        // so even the prefix (c=9) is already invalid.
+        assert!(!v.check_prefix(&[nine, one, one], 1));
+    }
+
+    #[test]
+    fn cache_deduplicates_lookups() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c/b").unwrap();
+        let order: Vec<Attr> = vec!["c".into(), "b".into()];
+        let mut v = TwigValidator::new(&d, &idx, &twig, &order).unwrap();
+        let nine = dict.lookup(&Value::Int(9)).unwrap();
+        let one = dict.lookup(&Value::Int(1)).unwrap();
+        for _ in 0..5 {
+            v.check(&[nine, one]);
+        }
+        assert_eq!(v.calls, 5);
+        assert_eq!(v.lookups, 1);
+    }
+
+    #[test]
+    fn order_must_cover_twig_vars() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c/b").unwrap();
+        let order: Vec<Attr> = vec!["c".into()];
+        assert!(TwigValidator::new(&d, &idx, &twig, &order).is_err());
+    }
+
+    #[test]
+    fn involves_position_maps_vars() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//c/b").unwrap();
+        let order: Vec<Attr> = vec!["z".into(), "c".into(), "b".into()];
+        // "z" is not a twig var; positions 1 and 2 are.
+        let v = TwigValidator::new(&d, &idx, &twig, &order).unwrap();
+        assert!(!v.involves_position(0));
+        assert!(v.involves_position(1));
+        assert!(v.involves_position(2));
+    }
+}

@@ -1,0 +1,174 @@
+//! A tiny catalog: named relations sharing one dictionary.
+
+use crate::error::{RelError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::{Dict, Value, ValueId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A named collection of relations sharing a [`Dict`].
+///
+/// In the multi-model setting, the same dictionary is also handed to XML
+/// documents so that values join across models.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    dict: Dict,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared read access to the dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (for interning new values).
+    pub fn dict_mut(&mut self) -> &mut Dict {
+        &mut self.dict
+    }
+
+    /// Registers (or replaces) a relation under `name`.
+    pub fn add_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Names of all registered relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Creates a relation from user-facing values, interning them.
+    pub fn load<R, V>(&mut self, name: &str, schema: Schema, rows: R) -> Result<()>
+    where
+        R: IntoIterator,
+        R::Item: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let mut rel = Relation::new(schema);
+        let mut buf: Vec<ValueId> = Vec::new();
+        for row in rows {
+            buf.clear();
+            buf.extend(row.into_iter().map(|v| self.dict.intern(v.into())));
+            rel.push(&buf)?;
+        }
+        rel.sort_dedup();
+        self.add_relation(name, rel);
+        Ok(())
+    }
+
+    /// Decodes a relation's tuples back into user-facing values.
+    pub fn decode(&self, rel: &Relation) -> Vec<Vec<Value>> {
+        rel.rows()
+            .map(|r| r.iter().map(|&id| self.dict.decode(id).clone()).collect())
+            .collect()
+    }
+
+    /// Renders a relation as a plain-text table (for examples and the
+    /// experiments harness).
+    pub fn render_table(&self, rel: &Relation) -> String {
+        let attrs = rel.schema().attrs();
+        let mut cols: Vec<Vec<String>> = attrs
+            .iter()
+            .map(|a| vec![a.name().to_owned()])
+            .collect();
+        for row in rel.rows() {
+            for (c, &id) in row.iter().enumerate() {
+                cols[c].push(self.dict.decode(id).to_string());
+            }
+        }
+        let widths: Vec<usize> = cols
+            .iter()
+            .map(|c| c.iter().map(|s| s.len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        let nrows = rel.len() + 1;
+        for r in 0..nrows {
+            for (c, col) in cols.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", col[r], w = widths[c]);
+            }
+            out.push('\n');
+            if r == 0 {
+                for &w in &widths {
+                    let _ = write!(out, "{}  ", "-".repeat(w));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_interns_and_dedups() {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["userID", "ISBN"]),
+            vec![
+                vec![Value::str("jack"), Value::str("978-3-16-1")],
+                vec![Value::str("tom"), Value::str("634-3-12-2")],
+                vec![Value::str("jack"), Value::str("978-3-16-1")],
+            ],
+        )
+        .unwrap();
+        let r = db.relation("R").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(db.dict().len(), 4);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = Database::new();
+        assert!(db.relation("missing").is_err());
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut db = Database::new();
+        db.load("R", Schema::of(&["x"]), vec![vec![Value::Int(42)]]).unwrap();
+        let rel = db.relation("R").unwrap().clone();
+        let rows = db.decode(&rel);
+        assert_eq!(rows, vec![vec![Value::Int(42)]]);
+    }
+
+    #[test]
+    fn render_table_contains_headers_and_values() {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["userID", "price"]),
+            vec![vec![Value::str("jack"), Value::str("30")]],
+        )
+        .unwrap();
+        let rel = db.relation("R").unwrap().clone();
+        let table = db.render_table(&rel);
+        assert!(table.contains("userID"));
+        assert!(table.contains("jack"));
+        assert!(table.contains("30"));
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut db = Database::new();
+        db.add_relation("zeta", Relation::new(Schema::of(&["a"])));
+        db.add_relation("alpha", Relation::new(Schema::of(&["a"])));
+        assert_eq!(db.relation_names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by relational operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// An attribute name was not found in the schema it was looked up in.
+    UnknownAttribute(String),
+    /// A tuple's arity did not match the relation's schema.
+    ArityMismatch {
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// The same attribute appeared twice in a schema.
+    DuplicateAttribute(String),
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// A join was requested over zero atoms.
+    EmptyQuery,
+    /// A variable order was invalid (missing or duplicate variables).
+    InvalidOrder(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} attributes, tuple has {got}")
+            }
+            RelError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}` in schema"),
+            RelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelError::EmptyQuery => write!(f, "join query has no atoms"),
+            RelError::InvalidOrder(m) => write!(f, "invalid variable order: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenient result alias for the relational substrate.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelError::UnknownAttribute("x".into());
+        assert!(e.to_string().contains('x'));
+        let e = RelError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = RelError::DuplicateAttribute("a".into());
+        assert!(e.to_string().contains('a'));
+        let e = RelError::UnknownRelation("R".into());
+        assert!(e.to_string().contains('R'));
+        assert!(!RelError::EmptyQuery.to_string().is_empty());
+        let e = RelError::InvalidOrder("missing v".into());
+        assert!(e.to_string().contains("missing v"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RelError::EmptyQuery, RelError::EmptyQuery);
+        assert_ne!(
+            RelError::UnknownAttribute("a".into()),
+            RelError::UnknownAttribute("b".into())
+        );
+    }
+}

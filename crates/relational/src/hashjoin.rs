@@ -1,0 +1,236 @@
+//! Binary hash joins and left-deep multiway plans — the classical relational
+//! comparator.
+//!
+//! The paper's baseline evaluates the relational part of a mixed query with a
+//! conventional pairwise plan; this module provides that engine, instrumented
+//! with per-operator intermediate sizes so the blow-ups that worst-case
+//! optimal joins avoid become visible in the stats.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::stats::JoinStats;
+use crate::value::ValueId;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Natural hash join of two relations (cartesian product when they share no
+/// attributes). Output schema: `left`'s attributes then `right`'s remaining
+/// attributes.
+pub fn hash_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    let common = left.schema().common(right.schema());
+    let lkey: Vec<usize> = common
+        .iter()
+        .map(|a| left.schema().require(a))
+        .collect::<Result<_>>()?;
+    let rkey: Vec<usize> = common
+        .iter()
+        .map(|a| right.schema().require(a))
+        .collect::<Result<_>>()?;
+    let rrest: Vec<usize> = right
+        .schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !common.contains(a))
+        .map(|(i, _)| i)
+        .collect();
+
+    let out_schema = left.schema().join(right.schema());
+    let mut out = Relation::new(out_schema);
+
+    // Build on the right side: key -> row indices.
+    let mut table: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::with_capacity(right.len());
+    for (i, row) in right.rows().enumerate() {
+        let key: Vec<ValueId> = rkey.iter().map(|&p| row[p]).collect();
+        table.entry(key).or_default().push(i as u32);
+    }
+
+    let mut buf: Vec<ValueId> = Vec::with_capacity(out.arity());
+    let mut probe_key: Vec<ValueId> = Vec::with_capacity(lkey.len());
+    for lrow in left.rows() {
+        probe_key.clear();
+        probe_key.extend(lkey.iter().map(|&p| lrow[p]));
+        if let Some(matches) = table.get(&probe_key) {
+            for &ri in matches {
+                let rrow = right.row(ri as usize);
+                buf.clear();
+                buf.extend_from_slice(lrow);
+                buf.extend(rrest.iter().map(|&p| rrow[p]));
+                out.push(&buf)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Greedy left-deep plan: start from the smallest relation, repeatedly join
+/// the smallest relation sharing at least one attribute with the accumulated
+/// schema (falling back to the smallest remaining relation — a cartesian
+/// product — when the join graph is disconnected).
+///
+/// Returns the atom order (indices into `relations`).
+pub fn left_deep_order(relations: &[&Relation]) -> Vec<usize> {
+    let n = relations.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    remaining.sort_by_key(|&i| relations[i].len());
+    let mut order = vec![remaining.remove(0)];
+    let mut schema = relations[order[0]].schema().clone();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&i| !relations[i].schema().common(&schema).is_empty())
+            .unwrap_or(0);
+        let i = remaining.remove(pick);
+        schema = schema.join(relations[i].schema());
+        order.push(i);
+    }
+    order
+}
+
+/// Multiway natural join via pairwise hash joins along a greedy left-deep
+/// plan, recording every operator's intermediate cardinality.
+pub fn multiway_hash_join(relations: &[&Relation]) -> Result<(Relation, JoinStats)> {
+    let start = Instant::now();
+    let mut stats = JoinStats::default();
+    assert!(!relations.is_empty(), "multiway join over zero relations");
+    let order = left_deep_order(relations);
+    let mut acc = relations[order[0]].clone();
+    stats.record(format!("scan {}", relations[order[0]].schema()), acc.len());
+    for &i in &order[1..] {
+        acc = hash_join(&acc, relations[i])?;
+        stats.record(format!("join {}", relations[i].schema()), acc.len());
+    }
+    stats.output_rows = acc.len();
+    stats.elapsed = start.elapsed();
+    Ok((acc, stats))
+}
+
+/// Semi-join `left ⋉ right`: the left tuples with at least one match.
+pub fn semi_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    let common = left.schema().common(right.schema());
+    let lkey: Vec<usize> = common
+        .iter()
+        .map(|a| left.schema().require(a))
+        .collect::<Result<_>>()?;
+    let rkeys = right.project(&common)?;
+    let set = rkeys.row_set();
+    let mut out = Relation::new(left.schema().clone());
+    for row in left.rows() {
+        let key: Vec<ValueId> = lkey.iter().map(|&p| row[p]).collect();
+        if set.contains(key.as_slice()) {
+            out.push(row)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::generic_join;
+    use crate::schema::{Attr, Schema};
+
+    fn v(i: u32) -> ValueId {
+        ValueId(i)
+    }
+
+    fn rel(names: &[&str], rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(Schema::of(names));
+        for row in rows {
+            let ids: Vec<ValueId> = row.iter().map(|&x| v(x)).collect();
+            r.push(&ids).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn natural_join_on_shared_attr() {
+        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
+        let s = rel(&["b", "c"], &[&[10, 7], &[10, 8], &[30, 9]]);
+        let out = hash_join(&r, &s).unwrap();
+        assert_eq!(out.schema(), &Schema::of(&["a", "b", "c"]));
+        assert_eq!(out.len(), 2);
+        assert!(out.contains_row(&[v(1), v(10), v(7)]));
+        assert!(out.contains_row(&[v(1), v(10), v(8)]));
+    }
+
+    #[test]
+    fn join_without_shared_attrs_is_cartesian() {
+        let r = rel(&["a"], &[&[1], &[2]]);
+        let s = rel(&["b"], &[&[5], &[6], &[7]]);
+        let out = hash_join(&r, &s).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn join_on_all_attrs_is_intersection() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
+        let s = rel(&["a", "b"], &[&[3, 4], &[5, 6]]);
+        let out = hash_join(&r, &s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), &[v(3), v(4)]);
+    }
+
+    #[test]
+    fn multiway_matches_generic_join() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 1], &[1, 3]]);
+        let s = rel(&["b", "c"], &[&[2, 3], &[3, 1], &[1, 2], &[3, 3]]);
+        let t = rel(&["a", "c"], &[&[1, 3], &[2, 1], &[3, 2], &[1, 1]]);
+        let (hash_out, stats) = multiway_hash_join(&[&r, &s, &t]).unwrap();
+        let order: Vec<Attr> = ["a", "b", "c"].iter().map(|&n| Attr::new(n)).collect();
+        let (gen_out, _) = generic_join(&[&r, &s, &t], &order).unwrap();
+        let hash_reordered = hash_out.project(&order).unwrap();
+        assert!(hash_reordered.set_eq(&gen_out));
+        assert_eq!(stats.stages.len(), 3); // scan + 2 joins
+    }
+
+    #[test]
+    fn left_deep_order_prefers_connected_atoms() {
+        let r = rel(&["a", "b"], &[&[1, 1]]);
+        let s = rel(&["x", "y"], &[&[1, 1], &[2, 2]]);
+        let t = rel(&["b", "x"], &[&[1, 1], &[2, 2], &[3, 3]]);
+        // Smallest is r; t connects to r via b; s connects via x after t.
+        let order = left_deep_order(&[&r, &s, &t]);
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn intermediate_blowup_is_visible_in_stats() {
+        // R(a,b) ⋈ S(b,c) explodes to n^2 before T(a,c) prunes to 0.
+        let n = 20u32;
+        let rows_r: Vec<Vec<ValueId>> = (0..n).map(|i| vec![v(i), v(1000)]).collect();
+        let rows_s: Vec<Vec<ValueId>> = (0..n).map(|i| vec![v(1000), v(2000 + i)]).collect();
+        let r = Relation::from_rows(Schema::of(&["a", "b"]), rows_r).unwrap();
+        let s = Relation::from_rows(Schema::of(&["b", "c"]), rows_s).unwrap();
+        let t = rel(&["a", "c"], &[]);
+        let (out, stats) = multiway_hash_join(&[&t, &r, &s]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.max_intermediate(), 0); // t first: everything empty
+        // Without the empty atom first, the blow-up appears:
+        let (out2, stats2) = multiway_hash_join(&[&r, &s]).unwrap();
+        assert_eq!(out2.len(), (n * n) as usize);
+        assert_eq!(stats2.max_intermediate(), (n * n) as usize);
+    }
+
+    #[test]
+    fn semi_join_filters_left() {
+        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
+        let s = rel(&["b"], &[&[10]]);
+        let out = semi_join(&r, &s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), &[v(1), v(10)]);
+    }
+
+    #[test]
+    fn hash_join_respects_duplicate_free_inputs() {
+        let r = rel(&["a"], &[&[1], &[1]]);
+        let mut rr = r.clone();
+        rr.sort_dedup();
+        let s = rel(&["a"], &[&[1]]);
+        let out = hash_join(&rr, &s).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Leapfrog intersection of sorted value slices (Veldhuizen 2012).
+//!
+//! The unary kernel shared by every worst-case optimal engine here: given k
+//! sorted, duplicate-free slices, enumerate their intersection in
+//! `O(k · n_min · log(n_max / n_min))`-ish time using galloping seeks.
+
+use crate::value::ValueId;
+
+/// Returns the first index `i` in `lo..slice.len()` with `slice[i] >= target`
+/// (or `slice.len()` when no such index exists), using exponential probing
+/// followed by binary search. `slice` must be sorted ascending.
+pub fn gallop(slice: &[ValueId], mut lo: usize, target: ValueId) -> usize {
+    if lo >= slice.len() || slice[lo] >= target {
+        return lo;
+    }
+    // Invariant below: slice[lo] < target.
+    let mut step = 1usize;
+    while lo + step < slice.len() && slice[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let mut hi = (lo + step).min(slice.len());
+    // Invariant: slice[lo] < target, and slice[hi..] >= target (or hi == len).
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if slice[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// A cursor over a sorted slice, supporting the leapfrog `key / next / seek`
+/// interface.
+#[derive(Debug, Clone)]
+pub struct SliceCursor<'a> {
+    slice: &'a [ValueId],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// Creates a cursor positioned at the slice's first element.
+    pub fn new(slice: &'a [ValueId]) -> Self {
+        SliceCursor { slice, pos: 0 }
+    }
+
+    /// Whether the cursor has moved past the last element.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.slice.len()
+    }
+
+    /// The value under the cursor.
+    ///
+    /// # Panics
+    /// Panics if the cursor is at end.
+    #[inline]
+    pub fn key(&self) -> ValueId {
+        self.slice[self.pos]
+    }
+
+    /// Advances to the next element.
+    #[inline]
+    pub fn next(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Seeks forward to the first element `>= target`.
+    #[inline]
+    pub fn seek(&mut self, target: ValueId) {
+        self.pos = gallop(self.slice, self.pos, target);
+    }
+
+    /// The cursor's current index within its slice.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The underlying slice.
+    pub fn slice(&self) -> &'a [ValueId] {
+        self.slice
+    }
+}
+
+/// Runs leapfrog intersection over `cursors`, invoking `f(v, cursors)` for
+/// every value `v` present in all of them. When `f` is called, every cursor
+/// is positioned exactly at `v`, so callers can read [`SliceCursor::pos`] to
+/// recover per-slice match positions (the join engines use this to derive
+/// trie child indices).
+///
+/// An empty `cursors` list yields nothing (the neutral intersection is
+/// handled by callers, who know the variable's domain).
+pub fn leapfrog_foreach(cursors: &mut [SliceCursor<'_>], mut f: impl FnMut(ValueId, &[SliceCursor<'_>])) {
+    let k = cursors.len();
+    if k == 0 || cursors.iter().any(|c| c.at_end()) {
+        return;
+    }
+    if k == 1 {
+        while !cursors[0].at_end() {
+            f(cursors[0].key(), cursors);
+            cursors[0].next();
+        }
+        return;
+    }
+    // `order` holds cursor indices sorted ascending by current key; `p`
+    // cycles through it, always pointing at the (currently) smallest key.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| cursors[i].key());
+    let mut p = 0usize;
+    let mut max = cursors[order[k - 1]].key();
+    loop {
+        let i = order[p];
+        let x = cursors[i].key();
+        if x == max {
+            // All k cursors agree on x.
+            f(x, cursors);
+            cursors[i].next();
+        } else {
+            cursors[i].seek(max);
+        }
+        if cursors[i].at_end() {
+            return;
+        }
+        max = cursors[i].key();
+        p = (p + 1) % k;
+    }
+}
+
+/// Materialises the intersection of the given sorted slices.
+pub fn intersect(slices: &[&[ValueId]]) -> Vec<ValueId> {
+    let mut cursors: Vec<SliceCursor<'_>> = slices.iter().map(|s| SliceCursor::new(s)).collect();
+    let mut out = Vec::new();
+    leapfrog_foreach(&mut cursors, |v, _| out.push(v));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<ValueId> {
+        xs.iter().map(|&x| ValueId(x)).collect()
+    }
+
+    #[test]
+    fn gallop_finds_first_geq() {
+        let s = ids(&[1, 3, 5, 7, 9, 11]);
+        assert_eq!(gallop(&s, 0, ValueId(0)), 0);
+        assert_eq!(gallop(&s, 0, ValueId(1)), 0);
+        assert_eq!(gallop(&s, 0, ValueId(2)), 1);
+        assert_eq!(gallop(&s, 0, ValueId(7)), 3);
+        assert_eq!(gallop(&s, 0, ValueId(8)), 4);
+        assert_eq!(gallop(&s, 0, ValueId(11)), 5);
+        assert_eq!(gallop(&s, 0, ValueId(12)), 6);
+    }
+
+    #[test]
+    fn gallop_respects_lower_bound() {
+        let s = ids(&[1, 3, 5, 7]);
+        assert_eq!(gallop(&s, 2, ValueId(2)), 2);
+        assert_eq!(gallop(&s, 2, ValueId(6)), 3);
+        assert_eq!(gallop(&s, 4, ValueId(0)), 4);
+    }
+
+    #[test]
+    fn gallop_on_long_runs() {
+        let s: Vec<ValueId> = (0..1000).map(|i| ValueId(2 * i)).collect();
+        for probe in [0u32, 1, 2, 999, 1000, 1998, 1999, 2000, 5000] {
+            let want = s.iter().position(|&v| v >= ValueId(probe)).unwrap_or(s.len());
+            assert_eq!(gallop(&s, 0, ValueId(probe)), want, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = ids(&[1, 2, 3, 5, 8]);
+        let b = ids(&[2, 3, 4, 8, 9]);
+        let c = ids(&[0, 2, 8]);
+        assert_eq!(intersect(&[&a, &b, &c]), ids(&[2, 8]));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = ids(&[1, 3, 5]);
+        let b = ids(&[2, 4, 6]);
+        assert!(intersect(&[&a, &b]).is_empty());
+    }
+
+    #[test]
+    fn intersect_with_empty_slice_is_empty() {
+        let a = ids(&[1, 2]);
+        let b = ids(&[]);
+        assert!(intersect(&[&a, &b]).is_empty());
+    }
+
+    #[test]
+    fn intersect_single_slice_yields_all() {
+        let a = ids(&[4, 6, 9]);
+        assert_eq!(intersect(&[&a]), a);
+    }
+
+    #[test]
+    fn intersect_identical_slices() {
+        let a = ids(&[1, 5, 7]);
+        assert_eq!(intersect(&[&a, &a, &a]), a);
+    }
+
+    #[test]
+    fn no_cursors_yields_nothing() {
+        assert!(intersect(&[]).is_empty());
+    }
+
+    #[test]
+    fn emit_positions_point_at_match() {
+        let a = ids(&[1, 2, 7]);
+        let b = ids(&[0, 2, 3, 7]);
+        let mut cursors = vec![SliceCursor::new(&a), SliceCursor::new(&b)];
+        let mut seen = Vec::new();
+        leapfrog_foreach(&mut cursors, |v, cs| {
+            seen.push((v, cs[0].pos(), cs[1].pos()));
+            assert_eq!(cs[0].slice()[cs[0].pos()], v);
+            assert_eq!(cs[1].slice()[cs[1].pos()], v);
+        });
+        assert_eq!(seen, vec![(ValueId(2), 1, 1), (ValueId(7), 2, 3)]);
+    }
+
+    #[test]
+    fn intersect_matches_naive_on_skewed_sizes() {
+        let a: Vec<ValueId> = (0..500).map(|i| ValueId(i * 3)).collect();
+        let b: Vec<ValueId> = (0..50).map(|i| ValueId(i * 30)).collect();
+        let naive: Vec<ValueId> = a.iter().filter(|v| b.contains(v)).copied().collect();
+        assert_eq!(intersect(&[&a, &b]), naive);
+        assert_eq!(intersect(&[&b, &a]), naive);
+    }
+}

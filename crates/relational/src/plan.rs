@@ -1,0 +1,210 @@
+//! Join plans: a set of trie-backed atoms under one global variable order.
+//!
+//! Worst-case optimal engines bind variables one at a time in a fixed global
+//! order (the paper's *priority of attributes expansion*, `PA`). Every atom's
+//! trie must be leveled by the restriction of that global order to the atom's
+//! attributes — [`JoinPlan`] enforces this, precomputing for each variable
+//! the list of atoms containing it and at which trie level.
+
+use crate::error::{RelError, Result};
+use crate::relation::Relation;
+use crate::schema::Attr;
+use crate::trie::Trie;
+
+/// One atom's participation in a variable's expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Participant {
+    /// Index of the atom in [`JoinPlan::tries`].
+    pub atom: usize,
+    /// The trie level of the variable within that atom.
+    pub level: usize,
+}
+
+/// Per-variable expansion plan.
+#[derive(Debug, Clone)]
+pub struct VarPlan {
+    /// The variable being expanded.
+    pub var: Attr,
+    /// Atoms containing the variable, with its trie level in each.
+    pub participants: Vec<Participant>,
+}
+
+/// A validated multiway join plan: atoms as tries, leveled consistently with
+/// a global variable order.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    order: Vec<Attr>,
+    tries: Vec<Trie>,
+    var_plans: Vec<VarPlan>,
+}
+
+impl JoinPlan {
+    /// Builds a plan from relations: each atom's trie is constructed with the
+    /// restriction of `order` to its schema.
+    ///
+    /// Errors if some relation attribute is missing from `order`, or if some
+    /// variable of `order` occurs in no relation (its domain would be
+    /// unconstrained).
+    pub fn new(relations: &[&Relation], order: &[Attr]) -> Result<JoinPlan> {
+        if relations.is_empty() {
+            return Err(RelError::EmptyQuery);
+        }
+        for (i, a) in order.iter().enumerate() {
+            if order[..i].contains(a) {
+                return Err(RelError::InvalidOrder(format!("duplicate variable `{a}`")));
+            }
+        }
+        let mut tries = Vec::with_capacity(relations.len());
+        for rel in relations {
+            let proj = rel.schema().order_projection(order)?;
+            let restricted: Vec<Attr> = proj
+                .iter()
+                .map(|&p| rel.schema().attrs()[p].clone())
+                .collect();
+            tries.push(Trie::build(rel, &restricted)?);
+        }
+        Self::from_tries(tries, order)
+    }
+
+    /// Builds a plan from pre-leveled tries, validating that every trie's
+    /// attribute order is a subsequence of `order`.
+    pub fn from_tries(tries: Vec<Trie>, order: &[Attr]) -> Result<JoinPlan> {
+        if tries.is_empty() {
+            return Err(RelError::EmptyQuery);
+        }
+        for trie in &tries {
+            let mut last = None;
+            for a in trie.attrs() {
+                let pos = order.iter().position(|o| o == a).ok_or_else(|| {
+                    RelError::InvalidOrder(format!("atom attribute `{a}` missing from order"))
+                })?;
+                if let Some(l) = last {
+                    if pos <= l {
+                        return Err(RelError::InvalidOrder(format!(
+                            "atom order violates global order at `{a}`"
+                        )));
+                    }
+                }
+                last = Some(pos);
+            }
+        }
+        let mut var_plans = Vec::with_capacity(order.len());
+        for var in order {
+            let mut participants = Vec::new();
+            for (atom, trie) in tries.iter().enumerate() {
+                if let Some(level) = trie.attrs().iter().position(|a| a == var) {
+                    participants.push(Participant { atom, level });
+                }
+            }
+            if participants.is_empty() {
+                return Err(RelError::InvalidOrder(format!(
+                    "variable `{var}` occurs in no atom"
+                )));
+            }
+            var_plans.push(VarPlan { var: var.clone(), participants });
+        }
+        Ok(JoinPlan { order: order.to_vec(), tries, var_plans })
+    }
+
+    /// The global variable order.
+    pub fn order(&self) -> &[Attr] {
+        &self.order
+    }
+
+    /// The atoms' tries (leveled consistently with [`JoinPlan::order`]).
+    pub fn tries(&self) -> &[Trie] {
+        &self.tries
+    }
+
+    /// Per-variable plans, aligned with [`JoinPlan::order`].
+    pub fn var_plans(&self) -> &[VarPlan] {
+        &self.var_plans
+    }
+
+    /// Whether any atom is empty (making the whole join empty).
+    pub fn has_empty_atom(&self) -> bool {
+        self.tries.iter().any(|t| t.num_tuples() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueId;
+
+    fn v(i: u32) -> ValueId {
+        ValueId(i)
+    }
+
+    fn attrs(names: &[&str]) -> Vec<Attr> {
+        names.iter().map(|&n| Attr::new(n)).collect()
+    }
+
+    fn rel(names: &[&str], rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(Schema::of(names));
+        for row in rows {
+            let ids: Vec<ValueId> = row.iter().map(|&x| v(x)).collect();
+            r.push(&ids).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn plan_builds_restricted_tries() {
+        let r = rel(&["b", "a"], &[&[1, 2], &[3, 4]]);
+        let s = rel(&["a", "c"], &[&[2, 5]]);
+        let plan = JoinPlan::new(&[&r, &s], &attrs(&["a", "b", "c"])).unwrap();
+        // R(b,a) must be re-leveled to (a, b).
+        assert_eq!(plan.tries()[0].attrs(), &attrs(&["a", "b"])[..]);
+        assert_eq!(plan.tries()[1].attrs(), &attrs(&["a", "c"])[..]);
+        // Variable "a" participates in both atoms at level 0.
+        let vp = &plan.var_plans()[0];
+        assert_eq!(vp.participants.len(), 2);
+        assert!(vp.participants.iter().all(|p| p.level == 0));
+        // "b" only in atom 0 at level 1.
+        assert_eq!(plan.var_plans()[1].participants, vec![Participant { atom: 0, level: 1 }]);
+    }
+
+    #[test]
+    fn plan_rejects_uncovered_variable() {
+        let r = rel(&["a"], &[&[1]]);
+        let err = JoinPlan::new(&[&r], &attrs(&["a", "zz"])).unwrap_err();
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    fn plan_rejects_attr_missing_from_order() {
+        let r = rel(&["a", "b"], &[&[1, 2]]);
+        assert!(JoinPlan::new(&[&r], &attrs(&["a"])).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_duplicate_order_variable() {
+        let r = rel(&["a"], &[&[1]]);
+        assert!(JoinPlan::new(&[&r], &attrs(&["a", "a"])).is_err());
+    }
+
+    #[test]
+    fn plan_rejects_empty_query() {
+        assert!(JoinPlan::new(&[], &attrs(&["a"])).is_err());
+    }
+
+    #[test]
+    fn from_tries_rejects_misleveled_trie() {
+        let r = rel(&["a", "b"], &[&[1, 2]]);
+        let t = Trie::build(&r, &attrs(&["b", "a"])).unwrap();
+        // Global order (a, b) conflicts with trie order (b, a).
+        assert!(JoinPlan::from_tries(vec![t], &attrs(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn empty_atom_detection() {
+        let r = rel(&["a"], &[&[1]]);
+        let empty = rel(&["a"], &[]);
+        let plan = JoinPlan::new(&[&r, &empty], &attrs(&["a"])).unwrap();
+        assert!(plan.has_empty_atom());
+        let plan2 = JoinPlan::new(&[&r], &attrs(&["a"])).unwrap();
+        assert!(!plan2.has_empty_atom());
+    }
+}

@@ -1,0 +1,247 @@
+//! Attributes (join variables) and relation schemas.
+
+use crate::error::{RelError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute name — equivalently, a join variable.
+///
+/// `Attr` is a cheap-to-clone interned-ish string (an `Arc<str>`); equality
+/// and ordering are by name. In the multi-model setting of the paper, twig
+/// query nodes and relational columns share this namespace: the twig node
+/// tagged `ISBN` and the relational column `ISBN` denote the same variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Creates an attribute with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl AsRef<str> for Attr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// An ordered list of distinct attributes: the schema of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Arc<[Attr]>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new<I, A>(attrs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        let attrs: Vec<Attr> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(RelError::DuplicateAttribute(a.name().to_owned()));
+            }
+        }
+        Ok(Schema { attrs: attrs.into() })
+    }
+
+    /// Builds a schema from attribute names, panicking on duplicates.
+    ///
+    /// Convenience for tests and examples where schemas are literals.
+    pub fn of(names: &[&str]) -> Self {
+        Self::new(names.iter().copied()).expect("duplicate attribute in literal schema")
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes (a nullary relation).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in schema order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Position of `attr` in this schema, if present.
+    pub fn position(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Whether `attr` occurs in this schema.
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.position(attr).is_some()
+    }
+
+    /// Position of `attr`, or an [`RelError::UnknownAttribute`] error.
+    pub fn require(&self, attr: &Attr) -> Result<usize> {
+        self.position(attr)
+            .ok_or_else(|| RelError::UnknownAttribute(attr.name().to_owned()))
+    }
+
+    /// Attributes shared with `other`, in `self`'s order.
+    pub fn common(&self, other: &Schema) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Attributes of `self` not present in `other`, in `self`'s order.
+    pub fn difference(&self, other: &Schema) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .filter(|a| !other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Schema of `self ⋈ other`: `self`'s attributes followed by `other`'s
+    /// attributes that are not in `self`.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut attrs: Vec<Attr> = self.attrs.to_vec();
+        attrs.extend(other.difference(self));
+        Schema { attrs: attrs.into() }
+    }
+
+    /// Restricts a global attribute order to this schema's attributes.
+    ///
+    /// Returns, for each attribute of the schema in `order`-order, its
+    /// position in the schema. Errors if some schema attribute is missing
+    /// from `order`.
+    pub fn order_projection(&self, order: &[Attr]) -> Result<Vec<usize>> {
+        let mut proj = Vec::with_capacity(self.arity());
+        for a in order {
+            if let Some(i) = self.position(a) {
+                proj.push(i);
+            }
+        }
+        if proj.len() != self.arity() {
+            let missing: Vec<&str> = self
+                .attrs
+                .iter()
+                .filter(|a| !order.contains(a))
+                .map(|a| a.name())
+                .collect();
+            return Err(RelError::InvalidOrder(format!(
+                "order does not cover attributes: {}",
+                missing.join(", ")
+            )));
+        }
+        Ok(proj)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(Schema::new(["a", "b", "a"]).is_err());
+        assert!(Schema::new(["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let s = Schema::of(&["x", "y", "z"]);
+        assert_eq!(s.position(&"y".into()), Some(1));
+        assert!(s.contains(&"z".into()));
+        assert!(!s.contains(&"w".into()));
+        assert!(s.require(&"w".into()).is_err());
+        assert_eq!(s.require(&"x".into()).unwrap(), 0);
+    }
+
+    #[test]
+    fn common_and_difference_preserve_order() {
+        let s = Schema::of(&["a", "b", "c", "d"]);
+        let t = Schema::of(&["d", "b", "e"]);
+        assert_eq!(s.common(&t), vec![Attr::new("b"), Attr::new("d")]);
+        assert_eq!(s.difference(&t), vec![Attr::new("a"), Attr::new("c")]);
+    }
+
+    #[test]
+    fn join_schema_concatenates_without_duplicates() {
+        let s = Schema::of(&["a", "b"]);
+        let t = Schema::of(&["b", "c"]);
+        let j = s.join(&t);
+        assert_eq!(j.attrs(), &[Attr::new("a"), Attr::new("b"), Attr::new("c")]);
+    }
+
+    #[test]
+    fn order_projection_restricts_global_order() {
+        let s = Schema::of(&["b", "d"]);
+        let order: Vec<Attr> = ["a", "b", "c", "d"].iter().map(|&n| Attr::new(n)).collect();
+        // In order-order the schema attrs are b (pos 0 in schema) then d (pos 1).
+        assert_eq!(s.order_projection(&order).unwrap(), vec![0, 1]);
+
+        let s2 = Schema::of(&["d", "b"]);
+        assert_eq!(s2.order_projection(&order).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn order_projection_reports_missing_attrs() {
+        let s = Schema::of(&["b", "q"]);
+        let order: Vec<Attr> = ["a", "b"].iter().map(|&n| Attr::new(n)).collect();
+        let err = s.order_projection(&order).unwrap_err();
+        assert!(err.to_string().contains('q'));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::of(&["a", "b"]);
+        assert_eq!(s.to_string(), "(a, b)");
+        assert_eq!(Attr::new("a").to_string(), "a");
+    }
+
+    #[test]
+    fn empty_schema_is_allowed() {
+        let s = Schema::new(Vec::<&str>::new()).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.arity(), 0);
+    }
+}

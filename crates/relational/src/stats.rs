@@ -1,0 +1,113 @@
+//! Join instrumentation: the intermediate-result sizes the paper plots.
+//!
+//! Figure 3 of the paper compares engines on two axes — running time and
+//! *intermediate result size*. [`JoinStats`] records, for every expansion
+//! stage of a level-wise engine (or every operator of a binary plan), how
+//! many tuples were materialised, so benchmarks can report the exact series
+//! behind the paper's bar chart.
+
+use crate::schema::Attr;
+use std::fmt;
+use std::time::Duration;
+
+/// Tuple count after one stage of a join pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Human-readable stage label (for level-wise engines, the variable that
+    /// was expanded; for binary plans, the operator description).
+    pub label: String,
+    /// Number of tuples materialised by this stage.
+    pub tuples: usize,
+}
+
+/// Instrumentation collected while running a join.
+#[derive(Debug, Clone, Default)]
+pub struct JoinStats {
+    /// Per-stage materialised tuple counts, in execution order.
+    pub stages: Vec<StageStats>,
+    /// Number of result tuples.
+    pub output_rows: usize,
+    /// Wall-clock execution time (excluding input loading, including trie or
+    /// hash-table construction when the engine builds them itself).
+    pub elapsed: Duration,
+}
+
+impl JoinStats {
+    /// Records a stage.
+    pub fn record(&mut self, label: impl Into<String>, tuples: usize) {
+        self.stages.push(StageStats { label: label.into(), tuples });
+    }
+
+    /// Records a variable-expansion stage.
+    pub fn record_var(&mut self, var: &Attr, tuples: usize) {
+        self.record(format!("expand {var}"), tuples);
+    }
+
+    /// The largest intermediate result produced at any stage — the quantity
+    /// bounded by the paper's Lemma 3.5 for XJoin.
+    pub fn max_intermediate(&self) -> usize {
+        self.stages.iter().map(|s| s.tuples).max().unwrap_or(0)
+    }
+
+    /// Total tuples materialised across all stages (a proxy for memory
+    /// traffic / work done).
+    pub fn total_intermediate(&self) -> u64 {
+        self.stages.iter().map(|s| s.tuples as u64).sum()
+    }
+}
+
+impl fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "output={} max_intermediate={} total_intermediate={} elapsed={:?}",
+            self.output_rows,
+            self.max_intermediate(),
+            self.total_intermediate(),
+            self.elapsed
+        )?;
+        for s in &self.stages {
+            writeln!(f, "  {:<24} {:>12}", s.label, s.tuples)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_total_aggregate_stages() {
+        let mut st = JoinStats::default();
+        st.record("expand a", 10);
+        st.record("expand b", 250);
+        st.record("expand c", 50);
+        assert_eq!(st.max_intermediate(), 250);
+        assert_eq!(st.total_intermediate(), 310);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = JoinStats::default();
+        assert_eq!(st.max_intermediate(), 0);
+        assert_eq!(st.total_intermediate(), 0);
+    }
+
+    #[test]
+    fn record_var_labels_with_variable() {
+        let mut st = JoinStats::default();
+        st.record_var(&Attr::new("ISBN"), 3);
+        assert!(st.stages[0].label.contains("ISBN"));
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let mut st = JoinStats::default();
+        st.record("expand a", 4);
+        st.output_rows = 4;
+        let text = st.to_string();
+        assert!(text.contains("output=4"));
+        assert!(text.contains("expand a"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Plain-text relation loading: CSV/TSV with typed columns.
+//!
+//! Keeps examples and experiments self-contained without an external CSV
+//! crate: fields are split on a configurable delimiter, quoted fields
+//! (`"…"`) may contain the delimiter, `""` escapes a quote, and unquoted
+//! fields that parse as `i64` are loaded as integers (matching the XML
+//! parser's text-to-value rule so values join across models).
+
+use crate::catalog::Database;
+use crate::error::{RelError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::{Value, ValueId};
+
+/// Splits one line into fields, honouring double quotes.
+fn split_line(line: &str, delim: char) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            quoted = true;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if quoted {
+        return Err("unterminated quoted field".to_owned());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Converts a raw field to a typed value (quoted fields come through as
+/// strings already; this applies only the unquoted-int rule).
+fn field_to_value(field: &str, was_quoted: bool) -> Value {
+    if was_quoted {
+        return Value::str(field);
+    }
+    match field.trim().parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(field.trim()),
+    }
+}
+
+/// Parses delimiter-separated text into a relation. The first line is the
+/// header (attribute names). Blank lines and `#` comments are skipped.
+pub fn parse_table(db: &mut Database, text: &str, delim: char) -> Result<(String, Relation)> {
+    let mut lines = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| RelError::InvalidOrder("empty table text".to_owned()))?;
+    // Optional "name:" prefix on the header line names the relation.
+    let (name, header) = match header.split_once(':') {
+        Some((n, rest)) if !n.contains(delim) => (n.trim().to_owned(), rest),
+        _ => ("table".to_owned(), header),
+    };
+    let cols = split_line(header, delim)
+        .map_err(RelError::InvalidOrder)?
+        .into_iter()
+        .map(|c| c.trim().to_owned())
+        .collect::<Vec<_>>();
+    let schema = Schema::new(cols.iter().map(|c| c.as_str()))?;
+    let arity = schema.arity();
+    let mut rel = Relation::new(schema);
+    let mut buf: Vec<ValueId> = Vec::with_capacity(arity);
+    for (lineno, line) in lines.enumerate() {
+        // Track quoting per field for typing: re-split and detect quotes.
+        let raw = split_line(line, delim).map_err(|e| {
+            RelError::InvalidOrder(format!("line {}: {e}", lineno + 2))
+        })?;
+        if raw.len() != arity {
+            return Err(RelError::ArityMismatch { expected: arity, got: raw.len() });
+        }
+        // Quote detection: a field was quoted iff the trimmed source field
+        // starts with '"'. Recompute from the source line.
+        let mut quoted_flags = Vec::with_capacity(arity);
+        {
+            let mut rest = line;
+            for _ in 0..arity {
+                let trimmed = rest.trim_start();
+                quoted_flags.push(trimmed.starts_with('"'));
+                match find_delim(trimmed, delim) {
+                    Some(off) => rest = &trimmed[off + delim.len_utf8()..],
+                    None => rest = "",
+                }
+            }
+        }
+        buf.clear();
+        for (field, &was_quoted) in raw.iter().zip(&quoted_flags) {
+            buf.push(db.dict_mut().intern(field_to_value(field, was_quoted)));
+        }
+        rel.push(&buf)?;
+    }
+    rel.sort_dedup();
+    Ok((name, rel))
+}
+
+/// Finds the next unquoted delimiter offset in `s`.
+fn find_delim(s: &str, delim: char) -> Option<usize> {
+    let mut quoted = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => quoted = !quoted,
+            _ if c == delim && !quoted => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+impl Database {
+    /// Loads a CSV table (`,` delimiter) into the database. The header may
+    /// carry a relation name: `orders: orderID,userID`.
+    pub fn load_csv(&mut self, text: &str) -> Result<String> {
+        let (name, rel) = parse_table(self, text, ',')?;
+        self.add_relation(name.clone(), rel);
+        Ok(name)
+    }
+
+    /// Loads a TSV table (tab delimiter) into the database.
+    pub fn load_tsv(&mut self, text: &str) -> Result<String> {
+        let (name, rel) = parse_table(self, text, '\t')?;
+        self.add_relation(name.clone(), rel);
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_csv_with_types() {
+        let mut db = Database::new();
+        let name = db
+            .load_csv("orders: orderID,userID\n10963,jack\n20134,tom\n")
+            .unwrap();
+        assert_eq!(name, "orders");
+        let rel = db.relation("orders").unwrap();
+        assert_eq!(rel.len(), 2);
+        let rows = db.decode(rel);
+        assert!(rows.contains(&vec![Value::Int(10963), Value::str("jack")]));
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_and_stay_strings() {
+        let mut db = Database::new();
+        db.load_csv("t: a,b\n\"1\",\"x, y\"\n").unwrap();
+        let rows = db.decode(db.relation("t").unwrap());
+        assert_eq!(rows[0], vec![Value::str("1"), Value::str("x, y")]);
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let mut db = Database::new();
+        db.load_csv("t: a\n\"say \"\"hi\"\"\"\n").unwrap();
+        let rows = db.decode(db.relation("t").unwrap());
+        assert_eq!(rows[0], vec![Value::str("say \"hi\"")]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let mut db = Database::new();
+        db.load_csv("# a comment\n\nt: a\n1\n\n# end\n2\n").unwrap();
+        assert_eq!(db.relation("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut db = Database::new();
+        let err = db.load_csv("t: a,b\n1\n").unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_reported() {
+        let mut db = Database::new();
+        assert!(db.load_csv("t: a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn tsv_delimiter() {
+        let mut db = Database::new();
+        db.load_tsv("t: a\tb\n1\thello world\n").unwrap();
+        let rows = db.decode(db.relation("t").unwrap());
+        assert_eq!(rows[0], vec![Value::Int(1), Value::str("hello world")]);
+    }
+
+    #[test]
+    fn unnamed_table_gets_default_name() {
+        let mut db = Database::new();
+        let name = db.load_csv("a,b\n1,2\n").unwrap();
+        assert_eq!(name, "table");
+    }
+
+    #[test]
+    fn duplicate_rows_dedup() {
+        let mut db = Database::new();
+        db.load_csv("t: a\n1\n1\n1\n").unwrap();
+        assert_eq!(db.relation("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_header_columns_rejected() {
+        let mut db = Database::new();
+        assert!(db.load_csv("t: a,a\n1,2\n").is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Flat sorted tries over relations.
+//!
+//! A [`Trie`] stores a relation's distinct tuples, sorted lexicographically
+//! under a chosen attribute order, as one flat array per level. Node `i` of
+//! level `d` owns the contiguous child range
+//! `child_start[i] .. child_start[i+1]` of level `d+1`, so every "children of
+//! a node" view is a sorted `&[ValueId]` slice — exactly what leapfrog
+//! intersection consumes.
+//!
+//! All worst-case optimal engines in this workspace (LFTJ, the level-wise
+//! generic join, and XJoin) navigate these tries. XML path relations are
+//! lowered to the same representation (see the `xmldb::transform` module), so
+//! one join kernel serves both data models.
+
+use crate::error::{RelError, Result};
+use crate::relation::Relation;
+use crate::schema::{Attr, Schema};
+use crate::value::ValueId;
+use std::ops::Range;
+
+/// One level of a [`Trie`]: the values of all nodes at this depth plus the
+/// child ranges pointing into the next level.
+#[derive(Debug, Clone)]
+struct TrieLevel {
+    /// Node values at this depth, grouped by parent and sorted within each
+    /// group.
+    vals: Vec<ValueId>,
+    /// `child_start[i]..child_start[i+1]` is node `i`'s child range in the
+    /// next level. Empty for the deepest level.
+    child_start: Vec<u32>,
+}
+
+/// A flat sorted trie over a relation under a fixed attribute order.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    attrs: Vec<Attr>,
+    levels: Vec<TrieLevel>,
+    tuples: usize,
+}
+
+impl Trie {
+    /// Builds a trie over `rel`'s distinct tuples, with levels ordered by
+    /// `order` (which must be a permutation of `rel`'s schema).
+    pub fn build(rel: &Relation, order: &[Attr]) -> Result<Trie> {
+        let arity = rel.arity();
+        if order.len() != arity {
+            return Err(RelError::InvalidOrder(format!(
+                "trie order has {} attributes, relation has arity {}",
+                order.len(),
+                arity
+            )));
+        }
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|a| rel.schema().require(a))
+            .collect::<Result<_>>()?;
+
+        if arity == 0 {
+            return Ok(Trie {
+                attrs: Vec::new(),
+                levels: Vec::new(),
+                tuples: usize::from(!rel.is_empty()),
+            });
+        }
+
+        // Sort (a permutation of) the row indices by the reordered columns
+        // and drop duplicate tuples.
+        let n = rel.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let key = |r: u32| -> Vec<ValueId> {
+            let row = rel.row(r as usize);
+            positions.iter().map(|&p| row[p]).collect()
+        };
+        perm.sort_unstable_by_key(|&r| key(r));
+        perm.dedup_by_key(|r| key(*r));
+        let rows: Vec<Vec<ValueId>> = perm.iter().map(|&r| key(r)).collect();
+
+        let mut levels: Vec<TrieLevel> = Vec::with_capacity(arity);
+        // Groups of row indices sharing the length-`d` prefix. Group `g` at
+        // depth `d` holds the children rows of node `g` of level `d - 1`.
+        #[allow(clippy::single_range_in_vec_init)]
+        let mut groups: Vec<Range<usize>> = vec![0..rows.len()];
+        for d in 0..arity {
+            let mut vals = Vec::new();
+            let mut next_groups = Vec::new();
+            // Node-index boundary in `vals` where each group's nodes begin;
+            // this is exactly the previous level's `child_start`.
+            let mut group_node_start: Vec<u32> = Vec::with_capacity(groups.len() + 1);
+            for g in &groups {
+                group_node_start.push(vals.len() as u32);
+                let mut i = g.start;
+                while i < g.end {
+                    let v = rows[i][d];
+                    let mut j = i + 1;
+                    while j < g.end && rows[j][d] == v {
+                        j += 1;
+                    }
+                    vals.push(v);
+                    next_groups.push(i..j);
+                    i = j;
+                }
+            }
+            group_node_start.push(vals.len() as u32);
+            if d > 0 {
+                levels[d - 1].child_start = group_node_start;
+            }
+            levels.push(TrieLevel { vals, child_start: Vec::new() });
+            groups = next_groups;
+        }
+
+        Ok(Trie { attrs: order.to_vec(), levels, tuples: rows.len() })
+    }
+
+    /// Builds a trie using the relation's own schema order.
+    pub fn from_relation(rel: &Relation) -> Trie {
+        Trie::build(rel, rel.schema().attrs()).expect("schema order is always valid")
+    }
+
+    /// The attribute order of the trie's levels (root level first).
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Number of levels (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of distinct tuples stored.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// Number of nodes at `level`.
+    pub fn level_len(&self, level: usize) -> usize {
+        self.levels[level].vals.len()
+    }
+
+    /// The sibling range of the root's children (all of level 0).
+    pub fn root_range(&self) -> Range<u32> {
+        if self.levels.is_empty() {
+            0..0
+        } else {
+            0..self.levels[0].vals.len() as u32
+        }
+    }
+
+    /// The child range (into `level + 1`) of node `node` at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is the deepest level.
+    pub fn children(&self, level: usize, node: u32) -> Range<u32> {
+        let l = &self.levels[level];
+        assert!(!l.child_start.is_empty(), "children() on leaf level {level}");
+        l.child_start[node as usize]..l.child_start[node as usize + 1]
+    }
+
+    /// The values of the nodes in `range` at `level`, as a sorted slice.
+    pub fn values(&self, level: usize, range: Range<u32>) -> &[ValueId] {
+        &self.levels[level].vals[range.start as usize..range.end as usize]
+    }
+
+    /// The value of a single node.
+    pub fn value(&self, level: usize, node: u32) -> ValueId {
+        self.levels[level].vals[node as usize]
+    }
+
+    /// Materialises the trie back into a relation with attributes in trie
+    /// order. Mostly used by tests to check the round-trip invariant.
+    pub fn to_relation(&self) -> Relation {
+        let schema = Schema::new(self.attrs.iter().cloned()).expect("trie attrs are distinct");
+        let mut rel = Relation::with_capacity(schema, self.tuples);
+        if self.levels.is_empty() {
+            for _ in 0..self.tuples {
+                rel.push(&[]).expect("nullary push");
+            }
+            return rel;
+        }
+        let mut prefix: Vec<ValueId> = Vec::with_capacity(self.arity());
+        self.emit(0, self.root_range(), &mut prefix, &mut rel);
+        rel
+    }
+
+    fn emit(&self, level: usize, range: Range<u32>, prefix: &mut Vec<ValueId>, out: &mut Relation) {
+        for node in range.clone() {
+            prefix.push(self.value(level, node));
+            if level + 1 == self.arity() {
+                out.push(prefix).expect("arity matches");
+            } else {
+                self.emit(level + 1, self.children(level, node), prefix, out);
+            }
+            prefix.pop();
+        }
+    }
+
+    /// Total number of trie nodes across all levels (a size metric used by
+    /// benchmarks).
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(|l| l.vals.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ValueId {
+        ValueId(i)
+    }
+
+    fn sample() -> Relation {
+        // R(a, b) = {(1,4), (1,5), (3,5), (1,4) dup}
+        Relation::from_rows(
+            Schema::of(&["a", "b"]),
+            [[v(1), v(4)], [v(1), v(5)], [v(3), v(5)], [v(1), v(4)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_groups_and_sorts() {
+        let t = Trie::from_relation(&sample());
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.num_tuples(), 3);
+        assert_eq!(t.values(0, t.root_range()), &[v(1), v(3)]);
+        let c1 = t.children(0, 0);
+        assert_eq!(t.values(1, c1), &[v(4), v(5)]);
+        let c3 = t.children(0, 1);
+        assert_eq!(t.values(1, c3), &[v(5)]);
+    }
+
+    #[test]
+    fn build_respects_custom_order() {
+        let t = Trie::build(&sample(), &["b".into(), "a".into()]).unwrap();
+        assert_eq!(t.values(0, t.root_range()), &[v(4), v(5)]);
+        let c4 = t.children(0, 0);
+        assert_eq!(t.values(1, c4), &[v(1)]);
+        let c5 = t.children(0, 1);
+        assert_eq!(t.values(1, c5), &[v(1), v(3)]);
+    }
+
+    #[test]
+    fn build_rejects_bad_orders() {
+        let r = sample();
+        assert!(Trie::build(&r, &["a".into()]).is_err());
+        assert!(Trie::build(&r, &["a".into(), "zz".into()]).is_err());
+    }
+
+    #[test]
+    fn to_relation_round_trips_sorted_distinct() {
+        let r = sample();
+        let t = Trie::from_relation(&r);
+        let back = t.to_relation();
+        let mut expect = r;
+        expect.sort_dedup();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn round_trip_under_permuted_order() {
+        let r = sample();
+        let t = Trie::build(&r, &["b".into(), "a".into()]).unwrap();
+        let back = t.to_relation();
+        let expect = r.project(&["b".into(), "a".into()]).unwrap();
+        assert!(back.set_eq(&expect));
+    }
+
+    #[test]
+    fn empty_relation_produces_empty_trie() {
+        let r = Relation::new(Schema::of(&["a", "b"]));
+        let t = Trie::from_relation(&r);
+        assert_eq!(t.num_tuples(), 0);
+        assert_eq!(t.root_range(), 0..0);
+        assert!(t.to_relation().is_empty());
+    }
+
+    #[test]
+    fn unary_trie() {
+        let r = Relation::from_rows(Schema::of(&["x"]), [[v(5)], [v(2)], [v(5)]]).unwrap();
+        let t = Trie::from_relation(&r);
+        assert_eq!(t.arity(), 1);
+        assert_eq!(t.num_tuples(), 2);
+        assert_eq!(t.values(0, t.root_range()), &[v(2), v(5)]);
+    }
+
+    #[test]
+    fn nullary_trie_tracks_presence() {
+        let mut r = Relation::new(Schema::new(Vec::<&str>::new()).unwrap());
+        let t0 = Trie::from_relation(&r);
+        assert_eq!(t0.num_tuples(), 0);
+        r.push(&[]).unwrap();
+        let t1 = Trie::from_relation(&r);
+        assert_eq!(t1.num_tuples(), 1);
+    }
+
+    #[test]
+    fn node_count_counts_all_levels() {
+        let t = Trie::from_relation(&sample());
+        // level 0: values 1,3 -> 2 nodes; level 1: 4,5 under 1 and 5 under 3 -> 3 nodes.
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn three_level_trie_structure() {
+        let r = Relation::from_rows(
+            Schema::of(&["a", "b", "c"]),
+            [
+                [v(1), v(1), v(1)],
+                [v(1), v(1), v(2)],
+                [v(1), v(2), v(1)],
+                [v(2), v(1), v(1)],
+            ],
+        )
+        .unwrap();
+        let t = Trie::from_relation(&r);
+        assert_eq!(t.values(0, t.root_range()), &[v(1), v(2)]);
+        let b_under_1 = t.children(0, 0);
+        assert_eq!(t.values(1, b_under_1.clone()), &[v(1), v(2)]);
+        let c_under_11 = t.children(1, b_under_1.start);
+        assert_eq!(t.values(2, c_under_11), &[v(1), v(2)]);
+        assert_eq!(t.num_tuples(), 4);
+    }
+}

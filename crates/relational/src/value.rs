@@ -1,0 +1,231 @@
+//! Values and the global dictionary.
+//!
+//! All join processing operates on compact [`ValueId`]s. A [`Dict`] interns
+//! user-facing [`Value`]s (integers and strings) into ids; equality of ids is
+//! equality of values, and the numeric order of ids provides the consistent
+//! total order that leapfrog intersection requires across *all* relations and
+//! XML documents sharing the dictionary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact, dictionary-encoded value identifier.
+///
+/// Ids are dense (assigned by insertion order) and totally ordered; the order
+/// is arbitrary but consistent, which is all that worst-case optimal join
+/// algorithms require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A user-facing value: either an integer or a string.
+///
+/// This is the type examples and loaders speak; engines only ever see
+/// [`ValueId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An owned string.
+    Str(String),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// An interning dictionary mapping [`Value`]s to dense [`ValueId`]s.
+///
+/// One dictionary is shared by every relation and XML document participating
+/// in a multi-model query, so that equal values — whether they came from a
+/// relational column or an XML text node — receive the same id.
+#[derive(Debug, Default, Clone)]
+pub struct Dict {
+    values: Vec<Value>,
+    ids: HashMap<Value, ValueId>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `v`, returning its id (allocating a fresh id on first sight).
+    pub fn intern(&mut self, v: Value) -> ValueId {
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = ValueId(u32::try_from(self.values.len()).expect("dictionary overflow"));
+        self.values.push(v.clone());
+        self.ids.insert(v, id);
+        id
+    }
+
+    /// Interns an integer value.
+    pub fn int(&mut self, i: i64) -> ValueId {
+        self.intern(Value::Int(i))
+    }
+
+    /// Interns a string value.
+    pub fn str(&mut self, s: impl Into<String>) -> ValueId {
+        self.intern(Value::Str(s.into()))
+    }
+
+    /// Looks up the id of `v` without interning it.
+    pub fn lookup(&self, v: &Value) -> Option<ValueId> {
+        self.ids.get(v).copied()
+    }
+
+    /// Decodes an id back into its value.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    pub fn decode(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &Value)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ValueId(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.str("isbn-1");
+        let b = d.str("isbn-1");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ints_and_strings_do_not_collide() {
+        let mut d = Dict::new();
+        let a = d.int(42);
+        let b = d.str("42");
+        assert_ne!(a, b);
+        assert_eq!(d.decode(a), &Value::Int(42));
+        assert_eq!(d.decode(b), &Value::Str("42".into()));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_insertion() {
+        let mut d = Dict::new();
+        let ids: Vec<ValueId> = (0..10).map(|i| d.int(i * 7)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = Dict::new();
+        assert_eq!(d.lookup(&Value::Int(1)), None);
+        let id = d.int(1);
+        assert_eq!(d.lookup(&Value::Int(1)), Some(id));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_id_order() {
+        let mut d = Dict::new();
+        d.str("a");
+        d.int(5);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, ValueId(0));
+        assert_eq!(pairs[1].1, &Value::Int(5));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(format!("{}", Value::Int(9)), "9");
+        assert_eq!(format!("{}", Value::str("v")), "v");
+        assert_eq!(format!("{}", ValueId(4)), "#4");
+    }
+}

@@ -1,0 +1,366 @@
+//! Extended Dewey labeling and a TJFast-style twig matcher (Lu et al.,
+//! VLDB 2005) — the "from region encoding to extended Dewey" line of work
+//! the paper cites.
+//!
+//! A plain Dewey label lists sibling ranks along the root path. *Extended*
+//! Dewey additionally encodes each step's **tag** in the component via
+//! modular arithmetic: if a parent with tag `t` can have children with `m`
+//! distinct tags `CT(t) = [t_0, …, t_{m-1}]` (collected from the document),
+//! its `j`-th child (document order) carrying tag `t_i` receives component
+//! `j·m + i`. From a node's label alone one can therefore decode the *entire
+//! tag path* from the root — which lets a twig be matched by scanning only
+//! the streams of its **leaf** tags (TJFast's key idea), skipping all
+//! internal-node streams.
+//!
+//! The matcher here follows that recipe: for each root-leaf path of the
+//! twig, scan the leaf-tag stream, decode each element's tag path, enumerate
+//! the embeddings of the query path into it (respecting `/` vs `//` axes),
+//! reconstruct the ancestor nodes at the matched depths, and finally merge
+//! the per-path solutions on their shared prefix variables exactly as
+//! TwigStack's phase 2 does.
+
+use crate::holistic::root_leaf_paths;
+use crate::model::{NodeId, TagId, XmlDocument};
+use crate::tag_index::TagIndex;
+use crate::twig::{Axis, TwigPattern};
+use relational::hashjoin::multiway_hash_join;
+use relational::{Relation, Schema, ValueId};
+
+/// Extended Dewey labels for one document.
+#[derive(Debug, Clone)]
+pub struct ExtendedDewey {
+    /// `labels[node] =` components from the root (root has an empty label).
+    labels: Vec<Vec<u64>>,
+    /// Child-tag alphabet per parent tag (sorted by tag id).
+    child_tags: Vec<Vec<TagId>>,
+    root_tag: TagId,
+}
+
+impl ExtendedDewey {
+    /// Builds labels for a document.
+    pub fn build(doc: &XmlDocument) -> ExtendedDewey {
+        let ntags = doc.tags().len();
+        // Child-tag alphabets.
+        let mut child_tags: Vec<Vec<TagId>> = vec![Vec::new(); ntags];
+        for id in doc.node_ids() {
+            let t = doc.node(id).tag;
+            for &c in &doc.node(id).children {
+                let ct = doc.node(c).tag;
+                if !child_tags[t.index()].contains(&ct) {
+                    child_tags[t.index()].push(ct);
+                }
+            }
+        }
+        for v in &mut child_tags {
+            v.sort_unstable();
+        }
+        // Labels, top-down (parents have smaller preorder ids).
+        let mut labels: Vec<Vec<u64>> = vec![Vec::new(); doc.len()];
+        for id in doc.node_ids() {
+            let node = doc.node(id);
+            if let Some(p) = node.parent {
+                let ptag = doc.node(p).tag;
+                let alphabet = &child_tags[ptag.index()];
+                let m = alphabet.len() as u64;
+                let i = alphabet
+                    .binary_search(&node.tag)
+                    .expect("child tag is in the parent's alphabet") as u64;
+                let mut label = labels[p.index()].clone();
+                label.push(node.sibling_rank as u64 * m + i);
+                labels[id.index()] = label;
+            }
+        }
+        ExtendedDewey { labels, child_tags, root_tag: doc.node(doc.root()).tag }
+    }
+
+    /// The label of a node (empty for the root).
+    pub fn label(&self, id: NodeId) -> &[u64] {
+        &self.labels[id.index()]
+    }
+
+    /// Decodes the tag path (root tag first, the node's own tag last) from a
+    /// label alone — the defining property of extended Dewey.
+    pub fn tag_path(&self, label: &[u64]) -> Vec<TagId> {
+        let mut path = Vec::with_capacity(label.len() + 1);
+        let mut cur = self.root_tag;
+        path.push(cur);
+        for &x in label {
+            let alphabet = &self.child_tags[cur.index()];
+            let m = alphabet.len() as u64;
+            debug_assert!(m > 0, "label descends through a leaf tag");
+            cur = alphabet[(x % m) as usize];
+            path.push(cur);
+        }
+        path
+    }
+}
+
+/// Enumerates embeddings of the query path (tags + axes) into a document tag
+/// path, returning for each embedding the matched *depths* (indices into the
+/// tag path), aligned with the query nodes. The last query node must match
+/// the last tag-path entry (the stream element itself); the first may match
+/// anywhere (twig roots float).
+fn embed_path(
+    doc_tags: &[TagId],
+    query_tags: &[Option<TagId>], // None = wildcard
+    axes: &[Axis],                // axes[i] connects query node i-1 -> i
+    out: &mut Vec<Vec<usize>>,
+) {
+    let k = query_tags.len();
+    let n = doc_tags.len();
+    if k > n {
+        return;
+    }
+    // Backtracking from the leaf (must sit at depth n-1) upwards.
+    fn rec(
+        doc_tags: &[TagId],
+        query_tags: &[Option<TagId>],
+        axes: &[Axis],
+        q: usize,
+        depth: usize,
+        chosen: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        match query_tags[q] {
+            Some(t) if doc_tags[depth] != t => return,
+            _ => {}
+        }
+        chosen.push(depth);
+        if q == 0 {
+            let mut sol: Vec<usize> = chosen.clone();
+            sol.reverse();
+            out.push(sol);
+        } else {
+            match axes[q - 1] {
+                Axis::Child => {
+                    if depth > 0 {
+                        rec(doc_tags, query_tags, axes, q - 1, depth - 1, chosen, out);
+                    }
+                }
+                Axis::Descendant => {
+                    for d in (0..depth).rev() {
+                        rec(doc_tags, query_tags, axes, q - 1, d, chosen, out);
+                    }
+                }
+            }
+        }
+        chosen.pop();
+    }
+    rec(doc_tags, query_tags, axes, k - 1, n - 1, &mut Vec::new(), out);
+}
+
+/// Result of a TJFast-style twig match.
+#[derive(Debug)]
+pub struct TjfastResult {
+    /// Full twig matches: schema = twig variables (twig-node order), values
+    /// = node ids encoded as [`ValueId`]s (same convention as
+    /// [`crate::holistic::HolisticResult`]).
+    pub matches: Relation,
+    /// Total per-path solutions before the merge.
+    pub path_solutions: usize,
+}
+
+/// Matches a twig by scanning only its leaf-tag streams, decoding tag paths
+/// from extended Dewey labels.
+pub fn tjfast(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> TjfastResult {
+    let dewey = ExtendedDewey::build(doc);
+    let paths = root_leaf_paths(twig);
+    let mut path_solutions = 0usize;
+    let mut path_rels: Vec<Relation> = Vec::with_capacity(paths.len());
+
+    for path in &paths {
+        let leaf_q = *path.last().expect("paths are non-empty");
+        let leaf_tag = &twig.node(leaf_q).tag;
+        let query_tags: Vec<Option<TagId>> = path
+            .iter()
+            .map(|&q| {
+                let tag = &twig.node(q).tag;
+                if tag == "*" {
+                    None
+                } else {
+                    doc.tags().lookup(tag)
+                }
+            })
+            .collect();
+        // An unknown (non-wildcard) tag can never match.
+        let impossible = path.iter().zip(&query_tags).any(|(&q, t)| {
+            twig.node(q).tag != "*" && t.is_none()
+        });
+
+        let schema = Schema::new(path.iter().map(|&q| twig.node(q).var.clone()))
+            .expect("twig vars distinct");
+        let mut rel = Relation::new(schema);
+
+        if !impossible {
+            let axes: Vec<Axis> = path[1..].iter().map(|&q| twig.node(q).axis).collect();
+            let leaf_stream: Vec<NodeId> = if leaf_tag == "*" {
+                doc.node_ids().collect()
+            } else {
+                index.nodes_named(doc, leaf_tag).to_vec()
+            };
+            let mut embeddings = Vec::new();
+            let mut buf: Vec<ValueId> = Vec::with_capacity(path.len());
+            for leaf in leaf_stream {
+                let label = dewey.label(leaf);
+                let doc_tags = dewey.tag_path(label);
+                embeddings.clear();
+                embed_path(&doc_tags, &query_tags, &axes, &mut embeddings);
+                let leaf_depth = doc_tags.len() - 1;
+                for emb in &embeddings {
+                    buf.clear();
+                    for &depth in emb {
+                        let node = doc
+                            .nth_ancestor(leaf, (leaf_depth - depth) as u32)
+                            .expect("depth within root path");
+                        buf.push(ValueId(node.0));
+                    }
+                    rel.push(&buf).expect("arity matches");
+                    path_solutions += 1;
+                }
+            }
+        }
+        rel.sort_dedup();
+        path_rels.push(rel);
+    }
+
+    let refs: Vec<&Relation> = path_rels.iter().collect();
+    let (joined, _) = multiway_hash_join(&refs).expect("consistent schemas");
+    let matches = joined.project(&twig.vars()).expect("covers all vars");
+    TjfastResult { matches, path_solutions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher;
+    use relational::Dict;
+
+    fn sample(dict: &mut Dict) -> XmlDocument {
+        // <a><b>1</b><c><b>2</b><d><b>1</b></d></c></a>
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.leaf("b", 1i64);
+        b.begin("c");
+        b.leaf("b", 2i64);
+        b.begin("d");
+        b.leaf("b", 1i64);
+        b.end();
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    #[test]
+    fn labels_decode_to_tag_paths() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let dewey = ExtendedDewey::build(&doc);
+        for id in doc.node_ids() {
+            let decoded = dewey.tag_path(dewey.label(id));
+            // Expected: actual tag path from root.
+            let mut expect = Vec::new();
+            let mut cur = Some(id);
+            while let Some(n) = cur {
+                expect.push(doc.node(n).tag);
+                cur = doc.node(n).parent;
+            }
+            expect.reverse();
+            assert_eq!(decoded, expect, "node {id}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_document_ordered() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let dewey = ExtendedDewey::build(&doc);
+        let mut labels: Vec<&[u64]> = doc.node_ids().map(|n| dewey.label(n)).collect();
+        // Document order == lexicographic label order.
+        for w in labels.windows(2) {
+            assert!(w[0] < w[1], "labels not increasing: {:?} vs {:?}", w[0], w[1]);
+        }
+        labels.dedup();
+        assert_eq!(labels.len(), doc.len());
+    }
+
+    fn assert_matches_naive(doc: &XmlDocument, idx: &TagIndex, expr: &str) {
+        let twig = TwigPattern::parse(expr).unwrap();
+        let res = tjfast(doc, idx, &twig);
+        let naive = matcher::all_matches(doc, idx, &twig);
+        let mut naive_rows: Vec<Vec<ValueId>> = naive
+            .iter()
+            .map(|m| m.iter().map(|n| ValueId(n.0)).collect())
+            .collect();
+        naive_rows.sort();
+        naive_rows.dedup();
+        let mut got: Vec<Vec<ValueId>> = res.matches.rows().map(|r| r.to_vec()).collect();
+        got.sort();
+        assert_eq!(got, naive_rows, "twig {expr}");
+    }
+
+    #[test]
+    fn paths_and_twigs_match_naive() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let idx = TagIndex::build(&doc);
+        for expr in [
+            "//a//b",
+            "//a/b",
+            "//c/d/b",
+            "//a//d//b",
+            "//c[/b]//d",
+            "//a[/b$b1][//b$b2]",
+            "//a/*$w/b",
+        ] {
+            assert_matches_naive(&doc, &idx, expr);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_yield_empty() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let idx = TagIndex::build(&doc);
+        let twig = TwigPattern::parse("//zz//b").unwrap();
+        assert!(tjfast(&doc, &idx, &twig).matches.is_empty());
+    }
+
+    #[test]
+    fn random_trees_match_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut dict = Dict::new();
+            let mut b = XmlDocument::builder();
+            let tags = ["r", "s", "t"];
+            let mut ids = vec![b.add_node(None, "r", None)];
+            for _ in 0..35 {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                ids.push(b.add_node(Some(parent), tags[rng.gen_range(0..3)], None));
+            }
+            let doc = b.build(&mut dict);
+            let idx = TagIndex::build(&doc);
+            for expr in ["//r//s", "//r/s", "//r[/s]//t", "//s$a//s$b", "//r[/s][/t]"] {
+                assert_matches_naive(&doc, &idx, expr);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_recursion_chain_counts() {
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        for _ in 0..7 {
+            b.begin("x");
+        }
+        for _ in 0..7 {
+            b.end();
+        }
+        let doc = b.build(&mut dict);
+        let idx = TagIndex::build(&doc);
+        let twig = TwigPattern::parse("//x$a//x$b").unwrap();
+        let res = tjfast(&doc, &idx, &twig);
+        assert_eq!(res.matches.len(), 21); // C(7, 2)
+    }
+}

@@ -1,0 +1,464 @@
+//! Holistic twig joins: TwigStack / PathStack (Bruno et al., SIGMOD 2002).
+//!
+//! TwigStack matches a whole twig pattern in two phases:
+//!
+//! 1. a merge pass over the per-tag streams, coordinated by `getNext`, that
+//!    pushes nodes onto per-twig-node stacks and emits **path solutions**
+//!    (one tuple per root-to-leaf twig path) — optimal for
+//!    ancestor-descendant-only twigs;
+//! 2. a merge join of the path solutions on their shared prefix nodes,
+//!    producing full twig matches.
+//!
+//! Parent-child edges are handled the standard way: the stack phase treats
+//! them as ancestor-descendant and path-solution emission filters exact
+//! parenthood (TwigStack is known not to be optimal for P-C edges — one of
+//! the observations motivating the paper's transform-based approach).
+//!
+//! Full matches are returned as a [`Relation`] whose attributes are the twig
+//! variables and whose "values" are node ids encoded as [`ValueId`]s. These
+//! node relations live in a separate id space from dictionary-encoded value
+//! relations; [`node_matches_to_values`] converts between the two.
+
+use crate::model::{NodeId, XmlDocument};
+use crate::tag_index::TagIndex;
+use crate::twig::{Axis, TwigPattern};
+use relational::hashjoin::multiway_hash_join;
+use relational::{Relation, Schema, ValueId};
+
+/// Result of a holistic twig join.
+#[derive(Debug)]
+pub struct HolisticResult {
+    /// Full twig matches: schema = twig variables (twig-node order), values =
+    /// node ids encoded as [`ValueId`]s.
+    pub matches: Relation,
+    /// Total number of path solutions emitted by the stack phase — the
+    /// algorithm's intermediate result size.
+    pub path_solutions: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    node: NodeId,
+    /// Number of entries on the parent twig node's stack at push time; the
+    /// first `parent_ptr` parent entries are exactly this node's ancestors.
+    parent_ptr: u32,
+}
+
+struct Run<'a> {
+    doc: &'a XmlDocument,
+    twig: &'a TwigPattern,
+    streams: Vec<Stream<'a>>,
+    stacks: Vec<Vec<Entry>>,
+    /// Root-to-leaf twig-node paths, and the collected solutions per path.
+    paths: Vec<Vec<usize>>,
+    solutions: Vec<Vec<Vec<NodeId>>>,
+}
+
+struct Stream<'a> {
+    nodes: &'a [NodeId],
+    pos: usize,
+}
+
+impl<'a> Stream<'a> {
+    fn head(&self) -> Option<NodeId> {
+        self.nodes.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+impl<'a> Run<'a> {
+    fn next_start(&self, q: usize) -> u32 {
+        match self.streams[q].head() {
+            Some(n) => self.doc.node(n).start,
+            None => INF,
+        }
+    }
+
+    fn next_end(&self, q: usize) -> u32 {
+        match self.streams[q].head() {
+            Some(n) => self.doc.node(n).end,
+            None => INF,
+        }
+    }
+
+    /// The `getNext` coordination function of TwigStack, extended with a
+    /// "subtree done" signal: returns `None` when no further path solution
+    /// can originate in `q`'s subtree (all its leaf streams are drained),
+    /// `Some(q')` for the next node to process (head guaranteed present).
+    ///
+    /// When *any* branch below `q` is done, `q`'s own stream is drained:
+    /// a new `q` entry could only serve path solutions through that dead
+    /// branch's leaves, which can no longer appear. Other (alive) branches
+    /// keep extending the `q` entries already on the stack, so their pending
+    /// path solutions are still emitted — this is the case a naive
+    /// "stop when getNext hits an exhausted stream" termination loses.
+    fn get_next(&mut self, q: usize) -> Option<usize> {
+        let children = self.twig.node(q).children.clone();
+        if children.is_empty() {
+            return if self.streams[q].head().is_some() { Some(q) } else { None };
+        }
+        let mut alive: Vec<usize> = Vec::with_capacity(children.len());
+        for &qi in &children {
+            match self.get_next(qi) {
+                None => {} // branch finished
+                Some(ni) if ni != qi => return Some(ni), // blocked descendant first
+                Some(_) => alive.push(qi),
+            }
+        }
+        if alive.is_empty() {
+            return None;
+        }
+        let nmax_start = if alive.len() == children.len() {
+            children
+                .iter()
+                .map(|&qi| self.next_start(qi))
+                .max()
+                .expect("non-empty children")
+        } else {
+            INF // a dead branch: new `q` entries are useless, drain the stream
+        };
+        while self.next_end(q) < nmax_start {
+            self.streams[q].advance();
+        }
+        let nmin = alive
+            .iter()
+            .copied()
+            .min_by_key(|&qi| self.next_start(qi))
+            .expect("alive is non-empty");
+        if self.next_start(q) < self.next_start(nmin) {
+            Some(q)
+        } else {
+            Some(nmin)
+        }
+    }
+
+    /// Pops entries of `q`'s stack whose region closed before `start`.
+    fn clean_stack(&mut self, q: usize, start: u32) {
+        while let Some(top) = self.stacks[q].last() {
+            if self.doc.node(top.node).end < start {
+                self.stacks[q].pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Emits all path solutions ending at the just-pushed top of leaf `q`'s
+    /// stack, filtering parent-child edges exactly.
+    fn emit_paths(&mut self, leaf: usize) {
+        let pi = self
+            .paths
+            .iter()
+            .position(|p| *p.last().expect("paths are non-empty") == leaf)
+            .expect("leaf has a path");
+        let path = self.paths[pi].clone();
+        let k = path.len() - 1;
+        let top = self.stacks[leaf].len() - 1;
+        let mut current: Vec<NodeId> = vec![NodeId(0); path.len()];
+        self.rec_emit(pi, &path, k, top, &mut current);
+    }
+
+    fn rec_emit(
+        &mut self,
+        pi: usize,
+        path: &[usize],
+        j: usize,
+        entry_idx: usize,
+        current: &mut Vec<NodeId>,
+    ) {
+        let q = path[j];
+        let entry = self.stacks[q][entry_idx];
+        current[j] = entry.node;
+        if j == 0 {
+            self.solutions[pi].push(current.clone());
+            return;
+        }
+        let pq = path[j - 1];
+        let axis = self.twig.node(q).axis;
+        for p_idx in 0..entry.parent_ptr as usize {
+            if axis == Axis::Child && !self.doc.is_parent(self.stacks[pq][p_idx].node, entry.node)
+            {
+                continue;
+            }
+            self.rec_emit(pi, path, j - 1, p_idx, current);
+        }
+    }
+}
+
+/// Computes the root-to-leaf twig-node paths of a pattern.
+pub fn root_leaf_paths(twig: &TwigPattern) -> Vec<Vec<usize>> {
+    twig.leaves()
+        .into_iter()
+        .map(|leaf| {
+            let mut path = vec![leaf];
+            let mut cur = leaf;
+            while let Some(p) = twig.node(cur).parent {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            path
+        })
+        .collect()
+}
+
+/// Runs TwigStack over the document and returns all full twig matches.
+pub fn twig_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> HolisticResult {
+    let all_nodes: Vec<NodeId> = doc.node_ids().collect();
+    let streams: Vec<Stream<'_>> = twig
+        .nodes()
+        .iter()
+        .map(|n| Stream {
+            nodes: if n.tag == "*" {
+                &all_nodes
+            } else {
+                index.nodes_named(doc, &n.tag)
+            },
+            pos: 0,
+        })
+        .collect();
+    let paths = root_leaf_paths(twig);
+    let solutions: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); paths.len()];
+    let mut run = Run {
+        doc,
+        twig,
+        streams,
+        stacks: vec![Vec::new(); twig.len()],
+        paths,
+        solutions,
+    };
+
+    while let Some(q) = run.get_next(0) {
+        let cur = run.streams[q].head().expect("get_next returns live heads");
+        let start = run.doc.node(cur).start;
+        if let Some(p) = run.twig.node(q).parent {
+            run.clean_stack(p, start);
+        }
+        run.clean_stack(q, start);
+        let pushable = match run.twig.node(q).parent {
+            None => true,
+            Some(p) => !run.stacks[p].is_empty(),
+        };
+        if pushable {
+            let pptr = match run.twig.node(q).parent {
+                None => 0,
+                Some(p) => run.stacks[p].len() as u32,
+            };
+            run.stacks[q].push(Entry { node: cur, parent_ptr: pptr });
+            if run.twig.node(q).children.is_empty() {
+                run.emit_paths(q);
+                run.stacks[q].pop();
+            }
+        }
+        run.streams[q].advance();
+    }
+
+    let path_solutions: usize = run.solutions.iter().map(|s| s.len()).sum();
+
+    // Phase 2: merge path solutions on shared prefix variables.
+    let path_rels: Vec<Relation> = run
+        .paths
+        .iter()
+        .zip(&run.solutions)
+        .map(|(path, sols)| {
+            let schema = Schema::new(path.iter().map(|&q| twig.node(q).var.clone()))
+                .expect("twig vars are distinct");
+            let mut rel = Relation::with_capacity(schema, sols.len());
+            let mut buf: Vec<ValueId> = Vec::with_capacity(path.len());
+            for sol in sols {
+                buf.clear();
+                buf.extend(sol.iter().map(|n| ValueId(n.0)));
+                rel.push(&buf).expect("arity matches");
+            }
+            rel.sort_dedup();
+            rel
+        })
+        .collect();
+
+    let refs: Vec<&Relation> = path_rels.iter().collect();
+    let (joined, _) = multiway_hash_join(&refs).expect("path schemas are consistent");
+    let vars = twig.vars();
+    let matches = joined.project(&vars).expect("join covers all twig vars");
+
+    HolisticResult { matches, path_solutions }
+}
+
+/// Converts a node-id match relation into a value relation (same schema,
+/// node ids replaced by each node's dictionary value id) — the form the
+/// paper's baseline joins against the relational side.
+pub fn node_matches_to_values(doc: &XmlDocument, matches: &Relation) -> Relation {
+    let mut out = Relation::with_capacity(matches.schema().clone(), matches.len());
+    let mut buf: Vec<ValueId> = Vec::with_capacity(matches.arity());
+    for row in matches.rows() {
+        buf.clear();
+        buf.extend(row.iter().map(|&nid| doc.node(NodeId(nid.0)).value));
+        out.push(&buf).expect("arity matches");
+    }
+    out.sort_dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher;
+    use relational::Dict;
+
+    fn assert_matches_naive(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) {
+        let holistic = twig_stack(doc, index, twig);
+        let naive = matcher::all_matches(doc, index, twig);
+        let mut naive_rows: Vec<Vec<ValueId>> = naive
+            .iter()
+            .map(|m| m.iter().map(|n| ValueId(n.0)).collect())
+            .collect();
+        naive_rows.sort();
+        naive_rows.dedup();
+        let mut holo_rows: Vec<Vec<ValueId>> =
+            holistic.matches.rows().map(|r| r.to_vec()).collect();
+        holo_rows.sort();
+        assert_eq!(holo_rows, naive_rows, "twig {twig}");
+    }
+
+    /// <a><b>1</b><c><b>2</b><d><b>1</b></d></c></a>
+    fn doc(dict: &mut Dict) -> XmlDocument {
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.leaf("b", 1i64);
+        b.begin("c");
+        b.leaf("b", 2i64);
+        b.begin("d");
+        b.leaf("b", 1i64);
+        b.end();
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    #[test]
+    fn simple_ad_path() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//a//b").unwrap());
+    }
+
+    #[test]
+    fn simple_pc_path() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//a/b").unwrap());
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//c/d/b").unwrap());
+    }
+
+    #[test]
+    fn branching_twig() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//c[/b]//d").unwrap());
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//a[//b$x]//d").unwrap());
+    }
+
+    #[test]
+    fn single_node_twig() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let res = twig_stack(&d, &idx, &TwigPattern::parse("//b").unwrap());
+        assert_eq!(res.matches.len(), 3);
+    }
+
+    #[test]
+    fn no_match_twig() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let res = twig_stack(&d, &idx, &TwigPattern::parse("//d/c").unwrap());
+        assert!(res.matches.is_empty());
+    }
+
+    #[test]
+    fn deep_recursion_chain() {
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        for _ in 0..8 {
+            b.begin("x");
+        }
+        for _ in 0..8 {
+            b.end();
+        }
+        let d = b.build(&mut dict);
+        let idx = TagIndex::build(&d);
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//x$a//x$b//x$c").unwrap());
+        assert_matches_naive(&d, &idx, &TwigPattern::parse("//x$a/x$b/x$c").unwrap());
+    }
+
+    #[test]
+    fn random_trees_agree_with_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut dict = Dict::new();
+            let mut b = XmlDocument::builder();
+            let tags = ["r", "s", "t"];
+            let mut ids = vec![b.add_node(None, "r", None)];
+            for _ in 0..40 {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                let tag = tags[rng.gen_range(0..tags.len())];
+                ids.push(b.add_node(Some(parent), tag, None));
+            }
+            let d = b.build(&mut dict);
+            let idx = TagIndex::build(&d);
+            for expr in [
+                "//r//s",
+                "//r/s",
+                "//r[/s]//t",
+                "//r[//s]//t",
+                "//s//t",
+                "//r//s$s1//s$s2",
+                "//r[/s][/t]",
+            ] {
+                assert_matches_naive(&d, &idx, &TwigPattern::parse(expr).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn path_solution_count_reflects_intermediates() {
+        // Document where the b-leaf path has many solutions but the full
+        // branching twig has none.
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        for _ in 0..10 {
+            b.leaf("b", 0i64);
+        }
+        b.end();
+        let d = b.build(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//a[/b][/c]").unwrap();
+        let res = twig_stack(&d, &idx, &twig);
+        assert!(res.matches.is_empty());
+        // TwigStack's getNext suppresses the useless b-path solutions: the c
+        // stream is empty, so nothing should be emitted.
+        assert_eq!(res.path_solutions, 0);
+    }
+
+    #[test]
+    fn node_matches_convert_to_values() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let res = twig_stack(&d, &idx, &TwigPattern::parse("//a//b").unwrap());
+        let vals = node_matches_to_values(&d, &res.matches);
+        // b values are 1, 2, 1 -> value-level dedup leaves (a="", b=1), (a="", b=2).
+        assert_eq!(vals.len(), 2);
+    }
+}

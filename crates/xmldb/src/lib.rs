@@ -1,0 +1,36 @@
+//! XML substrate for the XJoin reproduction.
+//!
+//! Built from scratch: a region-encoded document [`model`], an XML
+//! [`parser`], per-tag [`tag_index`]es, [`twig`] patterns with an XPath-like
+//! syntax, the classical twig evaluation algorithms the paper cites —
+//! binary [`structural`] joins (stack-tree) and [`holistic`] twig joins
+//! (TwigStack) — a navigational reference [`matcher`], and the paper's
+//! twig → relational-like [`transform`] (cut A-D edges → sub-twigs →
+//! root-leaf path relations) on which the multi-model worst-case optimal
+//! join is built.
+//!
+//! Values interned through the shared [`relational::Dict`] make XML text
+//! joinable with relational columns.
+
+#![warn(missing_docs)]
+
+pub mod dewey;
+pub mod generator;
+pub mod holistic;
+pub mod matcher;
+pub mod model;
+pub mod parser;
+pub mod pathstack;
+pub mod structural;
+pub mod tag_index;
+pub mod transform;
+pub mod twig;
+
+pub use model::{NodeId, TagId, TagSet, XmlDocument};
+pub use parser::{parse_xml, XmlError};
+pub use tag_index::TagIndex;
+pub use transform::{decompose, transform_to_relations, Decomposition, PathSpec, SubTwig};
+pub use twig::{Axis, TwigError, TwigPattern};
+pub use dewey::{tjfast, ExtendedDewey, TjfastResult};
+pub use holistic::{twig_stack, HolisticResult};
+pub use pathstack::path_stack;

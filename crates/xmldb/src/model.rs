@@ -1,0 +1,533 @@
+//! The XML document model: an arena tree with region-encoded nodes.
+//!
+//! Every node carries a tag (interned in a per-document [`TagSet`]), an
+//! optional text value (interned in the *shared* relational
+//! [`relational::Dict`], so XML values join with relational columns), and a
+//! region label `(start, end, level)` assigned in one document-order pass:
+//!
+//! * `a` is an **ancestor** of `d`  ⇔  `a.start < d.start && d.end < a.end`;
+//! * `a` is the **parent** of `d`   ⇔  ancestor and `d.level == a.level + 1`.
+//!
+//! This is the classic region/interval encoding used by structural join
+//! algorithms (Al-Khalifa et al. 2002), which the paper builds on.
+
+use relational::{Dict, Value, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned tag (element name) within one document's [`TagSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The tag id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interning table for tag names.
+#[derive(Debug, Default, Clone)]
+pub struct TagSet {
+    names: Vec<String>,
+    ids: HashMap<String, TagId>,
+}
+
+impl TagSet {
+    /// Creates an empty tag set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a tag name.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = TagId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a tag by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of a tag id.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tag has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Index of a node within its document's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One element node.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// The element's tag.
+    pub tag: TagId,
+    /// The element's direct text value (the empty string when it has none),
+    /// interned in the shared dictionary.
+    pub value: ValueId,
+    /// The parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Region label: preorder entry time.
+    pub start: u32,
+    /// Region label: exit time (`start < d.start && d.end < end` ⇔ ancestor).
+    pub end: u32,
+    /// Depth (root has level 0).
+    pub level: u32,
+    /// Rank among siblings (root has rank 0) — the last component of the
+    /// node's Dewey label.
+    pub sibling_rank: u32,
+}
+
+/// A finalized XML document: arena tree + labels.
+#[derive(Debug, Clone)]
+pub struct XmlDocument {
+    tags: TagSet,
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl XmlDocument {
+    /// Starts building a document.
+    pub fn builder() -> DocBuilder {
+        DocBuilder::new()
+    }
+
+    /// The document's tag set.
+    pub fn tags(&self) -> &TagSet {
+        &self.tags
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has no nodes (never true for built documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node's data.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all node ids in document (preorder) order.
+    ///
+    /// Node ids are assigned in preorder by the builder, so this is just an
+    /// index scan.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Whether `a` is a (strict) ancestor of `d`.
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        let an = self.node(a);
+        let dn = self.node(d);
+        an.start < dn.start && dn.end < an.end
+    }
+
+    /// Whether `a` is the parent of `d`.
+    #[inline]
+    pub fn is_parent(&self, a: NodeId, d: NodeId) -> bool {
+        self.node(d).parent == Some(a)
+    }
+
+    /// The contiguous id range of `id`'s descendants.
+    ///
+    /// Node ids are assigned in preorder and every node consumes exactly two
+    /// time ticks (entry + exit), so a subtree's `(start, end)` interval
+    /// determines its size: `#descendants = (end - start - 1) / 2`, and the
+    /// descendants are exactly the next that many ids.
+    pub fn descendant_range(&self, id: NodeId) -> std::ops::Range<u32> {
+        let n = self.node(id);
+        let count = (n.end - n.start - 1) / 2;
+        id.0 + 1..id.0 + 1 + count
+    }
+
+    /// The Dewey label of a node (component per level, root = `[0]`).
+    pub fn dewey(&self, id: NodeId) -> Vec<u32> {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            path.push(self.node(n).sibling_rank);
+            cur = self.node(n).parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The tag name of a node.
+    pub fn tag_name(&self, id: NodeId) -> &str {
+        self.tags.name(self.node(id).tag)
+    }
+
+    /// Walks up `steps` parents (`steps = 1` is the direct parent).
+    pub fn nth_ancestor(&self, id: NodeId, steps: u32) -> Option<NodeId> {
+        let mut cur = id;
+        for _ in 0..steps {
+            cur = self.node(cur).parent?;
+        }
+        Some(cur)
+    }
+
+    /// Decodes a node's value through the dictionary.
+    pub fn value_of<'d>(&self, dict: &'d Dict, id: NodeId) -> &'d Value {
+        dict.decode(self.node(id).value)
+    }
+}
+
+/// Staged node used during building.
+struct BuildNode {
+    tag: String,
+    value: Option<Value>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// Incremental builder for [`XmlDocument`].
+///
+/// Supports both a direct arena API ([`DocBuilder::add_node`]) and a fluent
+/// nesting API ([`DocBuilder::begin`] / [`DocBuilder::end`]); the XML parser
+/// and the synthetic generators both drive it.
+pub struct DocBuilder {
+    nodes: Vec<BuildNode>,
+    stack: Vec<usize>,
+}
+
+impl Default for DocBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DocBuilder { nodes: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Adds a node under `parent` (`None` ⇒ the root; only one root is
+    /// allowed). Returns the new node's index.
+    pub fn add_node(&mut self, parent: Option<usize>, tag: &str, value: Option<Value>) -> usize {
+        let idx = self.nodes.len();
+        if parent.is_none() {
+            assert!(
+                self.nodes.is_empty(),
+                "document already has a root; XML documents are single-rooted"
+            );
+        }
+        self.nodes.push(BuildNode {
+            tag: tag.to_owned(),
+            value,
+            parent,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(idx);
+        }
+        idx
+    }
+
+    /// Opens a nested element (fluent API). The first `begin` creates the
+    /// root.
+    pub fn begin(&mut self, tag: &str) -> &mut Self {
+        let parent = self.stack.last().copied();
+        let idx = self.add_node(parent, tag, None);
+        self.stack.push(idx);
+        self
+    }
+
+    /// Sets the text value of the innermost open element.
+    pub fn value(&mut self, v: impl Into<Value>) -> &mut Self {
+        let &idx = self.stack.last().expect("value() outside of begin()");
+        self.nodes[idx].value = Some(v.into());
+        self
+    }
+
+    /// Sets (or replaces) the staged value of an arbitrary node by index
+    /// (used by the parser, which learns an element's text only at its
+    /// closing tag).
+    pub fn set_value(&mut self, idx: usize, v: impl Into<Value>) -> &mut Self {
+        self.nodes[idx].value = Some(v.into());
+        self
+    }
+
+    /// Closes the innermost open element.
+    pub fn end(&mut self) -> &mut Self {
+        self.stack.pop().expect("end() without matching begin()");
+        self
+    }
+
+    /// Adds a leaf element with a value under the innermost open element.
+    pub fn leaf(&mut self, tag: &str, v: impl Into<Value>) -> &mut Self {
+        let parent = self.stack.last().copied();
+        assert!(parent.is_some(), "leaf() requires an open element");
+        self.add_node(parent, tag, Some(v.into()));
+        self
+    }
+
+    /// Number of staged nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the document: interns tags and values, renumbers nodes into
+    /// preorder (so that node-id order *is* document order — an invariant the
+    /// tag index and descendant-range lookups rely on), and assigns region
+    /// labels in one pass.
+    ///
+    /// # Panics
+    /// Panics if no root was added or if `begin`/`end` calls are unbalanced.
+    pub fn build(self, dict: &mut Dict) -> XmlDocument {
+        assert!(!self.nodes.is_empty(), "cannot build an empty document");
+        assert!(self.stack.is_empty(), "unbalanced begin()/end() calls");
+
+        // Preorder pass over build indices: compute the final (preorder)
+        // id of every staged node plus its labels.
+        let n = self.nodes.len();
+        let mut new_id = vec![u32::MAX; n]; // build index -> preorder id
+        let mut order: Vec<usize> = Vec::with_capacity(n); // preorder id -> build index
+        let mut start = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut level = vec![0u32; n];
+        let mut rank = vec![0u32; n];
+
+        let mut time = 0u32;
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (build idx, child cursor)
+        new_id[0] = 0;
+        order.push(0);
+        start[0] = time;
+        time += 1;
+        stack.push((0, 0));
+        while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+            if *cursor < self.nodes[b].children.len() {
+                let c = self.nodes[b].children[*cursor];
+                let r = *cursor as u32;
+                *cursor += 1;
+                new_id[c] = order.len() as u32;
+                order.push(c);
+                start[c] = time;
+                time += 1;
+                level[c] = level[b] + 1;
+                rank[c] = r;
+                stack.push((c, 0));
+            } else {
+                end[b] = time;
+                time += 1;
+                stack.pop();
+            }
+        }
+        assert_eq!(order.len(), n, "unreachable nodes staged in builder");
+
+        let mut tags = TagSet::new();
+        let empty = dict.str("");
+        let out: Vec<NodeData> = order
+            .iter()
+            .map(|&b| {
+                let node = &self.nodes[b];
+                NodeData {
+                    tag: tags.intern(&node.tag),
+                    value: match &node.value {
+                        Some(v) => dict.intern(v.clone()),
+                        None => empty,
+                    },
+                    parent: node.parent.map(|p| NodeId(new_id[p])),
+                    children: node.children.iter().map(|&c| NodeId(new_id[c])).collect(),
+                    start: start[b],
+                    end: end[b],
+                    level: level[b],
+                    sibling_rank: rank[b],
+                }
+            })
+            .collect();
+
+        XmlDocument { tags, nodes: out, root: NodeId(0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(dict: &mut Dict) -> XmlDocument {
+        // <a><b>1</b><c><d>2</d></c></a>
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.leaf("b", 1i64);
+        b.begin("c");
+        b.leaf("d", 2i64);
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    #[test]
+    fn builder_creates_preorder_arena() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.tag_name(NodeId(0)), "a");
+        assert_eq!(doc.tag_name(NodeId(1)), "b");
+        assert_eq!(doc.tag_name(NodeId(2)), "c");
+        assert_eq!(doc.tag_name(NodeId(3)), "d");
+        assert_eq!(doc.root(), NodeId(0));
+    }
+
+    #[test]
+    fn region_labels_encode_ancestry() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        assert!(doc.is_ancestor(a, b));
+        assert!(doc.is_ancestor(a, c));
+        assert!(doc.is_ancestor(a, d));
+        assert!(doc.is_ancestor(c, d));
+        assert!(!doc.is_ancestor(b, d));
+        assert!(!doc.is_ancestor(d, c));
+        assert!(!doc.is_ancestor(a, a));
+    }
+
+    #[test]
+    fn parent_checks() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        assert!(doc.is_parent(a, b));
+        assert!(doc.is_parent(a, c));
+        assert!(doc.is_parent(c, d));
+        assert!(!doc.is_parent(a, d));
+        assert!(!doc.is_parent(b, a));
+    }
+
+    #[test]
+    fn levels_and_dewey() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        assert_eq!(doc.node(NodeId(0)).level, 0);
+        assert_eq!(doc.node(NodeId(1)).level, 1);
+        assert_eq!(doc.node(NodeId(3)).level, 2);
+        assert_eq!(doc.dewey(NodeId(0)), vec![0]);
+        assert_eq!(doc.dewey(NodeId(1)), vec![0, 0]);
+        assert_eq!(doc.dewey(NodeId(2)), vec![0, 1]);
+        assert_eq!(doc.dewey(NodeId(3)), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn values_intern_into_shared_dict() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        assert_eq!(doc.value_of(&dict, NodeId(1)), &Value::Int(1));
+        assert_eq!(doc.value_of(&dict, NodeId(3)), &Value::Int(2));
+        // Inner nodes get the empty-string value.
+        assert_eq!(doc.value_of(&dict, NodeId(0)), &Value::str(""));
+    }
+
+    #[test]
+    fn nth_ancestor_walks_up() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        assert_eq!(doc.nth_ancestor(NodeId(3), 1), Some(NodeId(2)));
+        assert_eq!(doc.nth_ancestor(NodeId(3), 2), Some(NodeId(0)));
+        assert_eq!(doc.nth_ancestor(NodeId(3), 3), None);
+        assert_eq!(doc.nth_ancestor(NodeId(3), 0), Some(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-rooted")]
+    fn second_root_is_rejected() {
+        let mut b = XmlDocument::builder();
+        b.add_node(None, "a", None);
+        b.add_node(None, "b", None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_begin_panics_on_build() {
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.build(&mut dict);
+    }
+
+    #[test]
+    fn tagset_interning() {
+        let mut t = TagSet::new();
+        let a = t.intern("x");
+        let b = t.intern("x");
+        let c = t.intern("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.name(c), "y");
+        assert_eq!(t.lookup("x"), Some(a));
+        assert_eq!(t.lookup("zz"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn regions_are_properly_nested() {
+        let mut dict = Dict::new();
+        let doc = sample(&mut dict);
+        for x in doc.node_ids() {
+            let nx = doc.node(x);
+            assert!(nx.start < nx.end);
+            for y in doc.node_ids() {
+                if x == y {
+                    continue;
+                }
+                let ny = doc.node(y);
+                let disjoint = nx.end < ny.start || ny.end < nx.start;
+                let x_in_y = ny.start < nx.start && nx.end < ny.end;
+                let y_in_x = nx.start < ny.start && ny.end < nx.end;
+                assert!(disjoint || x_in_y || y_in_x);
+            }
+        }
+    }
+}

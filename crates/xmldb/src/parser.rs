@@ -1,0 +1,591 @@
+//! A from-scratch XML parser and serializer.
+//!
+//! Supports the subset of XML the paper's workloads need: elements,
+//! attributes (lowered to `@name` child nodes so twig patterns can bind
+//! them), text content, entity references, CDATA sections, comments, a
+//! prolog, and DOCTYPE declarations (skipped). Namespaces and DTD content
+//! models are out of scope.
+//!
+//! Text is stored as each element's *direct* value: chunks are concatenated
+//! and trimmed; purely numeric text is interned as an integer so that XML
+//! values join with integer relational columns (Figure 1 of the paper joins
+//! `price` across models).
+
+use crate::model::{DocBuilder, XmlDocument};
+use relational::{Dict, Value};
+use std::fmt;
+
+/// Errors raised while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A syntax violation, with byte offset and message.
+    Malformed {
+        /// Byte offset of the offending construct.
+        pos: usize,
+        /// Explanation of the violation.
+        msg: String,
+    },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// The open element's name.
+        expected: String,
+        /// The closing tag found.
+        found: String,
+        /// Byte offset of the closing tag.
+        pos: usize,
+    },
+    /// More than one root element.
+    MultipleRoots {
+        /// Byte offset of the second root.
+        pos: usize,
+    },
+    /// No root element at all.
+    NoRoot,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::Malformed { pos, msg } => write!(f, "malformed XML at byte {pos}: {msg}"),
+            XmlError::MismatchedTag { expected, found, pos } => write!(
+                f,
+                "mismatched closing tag at byte {pos}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::MultipleRoots { pos } => {
+                write!(f, "second root element at byte {pos}")
+            }
+            XmlError::NoRoot => write!(f, "document has no root element"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses an XML string into a document, interning values into `dict`.
+pub fn parse_xml(input: &str, dict: &mut Dict) -> Result<XmlDocument, XmlError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut builder = XmlDocument::builder();
+    // Stack of (builder index, tag name, accumulated text).
+    let mut stack: Vec<(usize, String, String)> = Vec::new();
+    let mut root_seen = false;
+
+    loop {
+        p.skip_ws_outside(&mut stack);
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some(b'<') {
+            match p.peek_at(1) {
+                Some(b'?') => p.skip_pi()?,
+                Some(b'!') => {
+                    if p.starts_with(b"<!--") {
+                        p.skip_comment()?;
+                    } else if p.starts_with(b"<![CDATA[") {
+                        let text = p.read_cdata()?;
+                        match stack.last_mut() {
+                            Some((_, _, acc)) => acc.push_str(&text),
+                            None => {
+                                return Err(p.malformed("CDATA outside of root element"));
+                            }
+                        }
+                    } else {
+                        p.skip_doctype()?;
+                    }
+                }
+                Some(b'/') => {
+                    let pos = p.pos;
+                    let name = p.read_close_tag()?;
+                    let (idx, open_name, text) = stack
+                        .pop()
+                        .ok_or_else(|| p.malformed("closing tag without open element"))?;
+                    if name != open_name {
+                        return Err(XmlError::MismatchedTag {
+                            expected: open_name,
+                            found: name,
+                            pos,
+                        });
+                    }
+                    finish_element(&mut builder, idx, &text);
+                }
+                Some(_) => {
+                    let pos = p.pos;
+                    let (name, attrs, self_closing) = p.read_open_tag()?;
+                    let parent = stack.last().map(|(i, _, _)| *i);
+                    if parent.is_none() {
+                        if root_seen {
+                            return Err(XmlError::MultipleRoots { pos });
+                        }
+                        root_seen = true;
+                    }
+                    let idx = builder.add_node(parent, &name, None);
+                    for (aname, avalue) in attrs {
+                        let tag = format!("@{aname}");
+                        builder.add_node(Some(idx), &tag, Some(text_to_value(&avalue)));
+                    }
+                    if !self_closing {
+                        stack.push((idx, name, String::new()));
+                    }
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        } else {
+            let text = p.read_text()?;
+            match stack.last_mut() {
+                Some((_, _, acc)) => acc.push_str(&text),
+                None => {
+                    if !text.trim().is_empty() {
+                        return Err(p.malformed("text outside of root element"));
+                    }
+                }
+            }
+        }
+    }
+
+    if !stack.is_empty() {
+        return Err(XmlError::UnexpectedEof);
+    }
+    if !root_seen {
+        return Err(XmlError::NoRoot);
+    }
+    Ok(builder_build(builder, dict))
+}
+
+fn builder_build(builder: DocBuilder, dict: &mut Dict) -> XmlDocument {
+    builder.build(dict)
+}
+
+/// Applies accumulated text to a finished element by rebuilding its value.
+fn finish_element(builder: &mut DocBuilder, idx: usize, text: &str) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        builder.set_value(idx, text_to_value(trimmed));
+    }
+}
+
+/// Converts element text to a typed value: integers parse to [`Value::Int`],
+/// everything else stays a string.
+pub fn text_to_value(text: &str) -> Value {
+    let t = text.trim();
+    match t.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(t.to_owned()),
+    }
+}
+
+/// A parsed opening tag: name, attributes, and whether it self-closes.
+type OpenTag = (String, Vec<(String, String)>, bool);
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn starts_with(&self, pat: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(pat)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn malformed(&self, msg: &str) -> XmlError {
+        XmlError::Malformed { pos: self.pos, msg: msg.to_owned() }
+    }
+
+    /// Skips whitespace only when we are between top-level constructs (not
+    /// inside an element, where whitespace belongs to text).
+    fn skip_ws_outside(&mut self, stack: &mut [(usize, String, String)]) {
+        if stack.is_empty() {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            Some(_) => {
+                self.pos -= 1;
+                Err(self.malformed(&format!("expected `{}`", b as char)))
+            }
+            None => Err(XmlError::UnexpectedEof),
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), XmlError> {
+        // At "<?": skip to "?>".
+        self.pos += 2;
+        while !self.at_end() {
+            if self.starts_with(b"?>") {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof)
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        // At "<!--": skip to "-->".
+        self.pos += 4;
+        while !self.at_end() {
+            if self.starts_with(b"-->") {
+                self.pos += 3;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof)
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // At "<!": skip to matching '>' (handles nested '[' ... ']').
+        self.pos += 2;
+        let mut depth = 0i32;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(XmlError::UnexpectedEof)
+    }
+
+    fn read_cdata(&mut self) -> Result<String, XmlError> {
+        // At "<![CDATA[": read raw text until "]]>".
+        self.pos += 9;
+        let start = self.pos;
+        while !self.at_end() {
+            if self.starts_with(b"]]>") {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.malformed("invalid UTF-8 in CDATA"))?
+                    .to_owned();
+                self.pos += 3;
+                return Ok(text);
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof)
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.malformed("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.malformed("invalid UTF-8 in name"))?
+            .to_owned())
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_open_tag(&mut self) -> Result<OpenTag, XmlError> {
+        self.expect(b'<')?;
+        let name = self.read_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((name, attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok((name, attrs, true));
+                }
+                Some(_) => {
+                    let aname = self.read_name()?;
+                    self.skip_spaces();
+                    self.expect(b'=')?;
+                    self.skip_spaces();
+                    let quote = self
+                        .bump()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.malformed("expected quoted attribute value"))?;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.at_end() {
+                        return Err(XmlError::UnexpectedEof);
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.malformed("invalid UTF-8 in attribute"))?;
+                    let value = decode_entities(raw).map_err(|msg| XmlError::Malformed {
+                        pos: start,
+                        msg,
+                    })?;
+                    self.pos += 1; // closing quote
+                    attrs.push((aname, value));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn read_close_tag(&mut self) -> Result<String, XmlError> {
+        // At "</".
+        self.pos += 2;
+        let name = self.read_name()?;
+        self.skip_spaces();
+        self.expect(b'>')?;
+        Ok(name)
+    }
+
+    fn read_text(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.malformed("invalid UTF-8 in text"))?;
+        decode_entities(raw).map_err(|msg| XmlError::Malformed { pos: start, msg })
+    }
+}
+
+/// Decodes the five predefined entities plus numeric character references.
+pub fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_owned())?;
+        let entity = &after[..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let cp = if let Some(hex) = entity.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).map_err(|_| format!("bad entity `&{entity};`"))?
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse::<u32>().map_err(|_| format!("bad entity `&{entity};`"))?
+                } else {
+                    return Err(format!("unknown entity `&{entity};`"));
+                };
+                out.push(char::from_u32(cp).ok_or_else(|| format!("bad code point {cp}"))?);
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escapes text for inclusion in XML content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a document back to XML text (attributes re-emerge as `@name`
+/// elements — the lowering is not reversed). Iterative, so arbitrarily deep
+/// documents cannot overflow the stack.
+pub fn to_xml_string(doc: &XmlDocument, dict: &Dict) -> String {
+    let mut out = String::new();
+    // (node, next-child cursor); opening tag is written when pushed.
+    let mut stack: Vec<(crate::model::NodeId, usize)> = Vec::new();
+    let open = |out: &mut String, id: crate::model::NodeId| {
+        let node = doc.node(id);
+        out.push('<');
+        out.push_str(doc.tag_name(id));
+        out.push('>');
+        let val = dict.decode(node.value);
+        match val {
+            Value::Str(s) if s.is_empty() => {}
+            v => out.push_str(&escape_text(&v.to_string())),
+        }
+    };
+    open(&mut out, doc.root());
+    stack.push((doc.root(), 0));
+    while let Some(&mut (id, ref mut cursor)) = stack.last_mut() {
+        let children = &doc.node(id).children;
+        if *cursor < children.len() {
+            let c = children[*cursor];
+            *cursor += 1;
+            open(&mut out, c);
+            stack.push((c, 0));
+        } else {
+            out.push_str("</");
+            out.push_str(doc.tag_name(id));
+            out.push('>');
+            stack.pop();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeId;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let mut dict = Dict::new();
+        let doc = parse_xml("<a><b>1</b><c><d>hello</d></c></a>", &mut dict).unwrap();
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.tag_name(NodeId(0)), "a");
+        assert_eq!(doc.value_of(&dict, NodeId(1)), &Value::Int(1));
+        assert_eq!(doc.value_of(&dict, NodeId(3)), &Value::str("hello"));
+    }
+
+    #[test]
+    fn attributes_become_child_nodes() {
+        let mut dict = Dict::new();
+        let doc = parse_xml(r#"<order id="10963" state='open'/>"#, &mut dict).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.tag_name(NodeId(1)), "@id");
+        assert_eq!(doc.value_of(&dict, NodeId(1)), &Value::Int(10963));
+        assert_eq!(doc.tag_name(NodeId(2)), "@state");
+        assert_eq!(doc.value_of(&dict, NodeId(2)), &Value::str("open"));
+    }
+
+    #[test]
+    fn prolog_comments_and_doctype_are_skipped() {
+        let mut dict = Dict::new();
+        let xml = "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><!-- in --><b>2</b></a>";
+        let doc = parse_xml(xml, &mut dict).unwrap();
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc.value_of(&dict, NodeId(1)), &Value::Int(2));
+    }
+
+    #[test]
+    fn cdata_is_raw_text() {
+        let mut dict = Dict::new();
+        let doc = parse_xml("<a><![CDATA[<not-a-tag> & raw]]></a>", &mut dict).unwrap();
+        assert_eq!(doc.value_of(&dict, NodeId(0)), &Value::str("<not-a-tag> & raw"));
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        let mut dict = Dict::new();
+        let doc = parse_xml("<a>&lt;x&gt; &amp; &#65;&#x42;</a>", &mut dict).unwrap();
+        assert_eq!(doc.value_of(&dict, NodeId(0)), &Value::str("<x> & AB"));
+    }
+
+    #[test]
+    fn numeric_text_becomes_int() {
+        assert_eq!(text_to_value(" 42 "), Value::Int(42));
+        assert_eq!(text_to_value("-7"), Value::Int(-7));
+        assert_eq!(text_to_value("3.14"), Value::str("3.14"));
+        assert_eq!(text_to_value("978-3-16-1"), Value::str("978-3-16-1"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut dict = Dict::new();
+        let err = parse_xml("<a><b></a></b>", &mut dict).unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let mut dict = Dict::new();
+        let err = parse_xml("<a/><b/>", &mut dict).unwrap_err();
+        assert!(matches!(err, XmlError::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut dict = Dict::new();
+        assert!(parse_xml("<a><b>", &mut dict).is_err());
+        assert!(parse_xml("<a", &mut dict).is_err());
+        assert!(parse_xml("", &mut dict).is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_is_ignored() {
+        let mut dict = Dict::new();
+        let doc = parse_xml("<a>\n  <b>1</b>\n</a>", &mut dict).unwrap();
+        assert_eq!(doc.value_of(&dict, NodeId(0)), &Value::str(""));
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let mut dict = Dict::new();
+        let xml = "<a><b>1</b><c><d>x &amp; y</d></c></a>";
+        let doc = parse_xml(xml, &mut dict).unwrap();
+        let text = to_xml_string(&doc, &dict);
+        let doc2 = parse_xml(&text, &mut dict).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        for (a, b) in doc.node_ids().zip(doc2.node_ids()) {
+            assert_eq!(doc.tag_name(a), doc2.tag_name(b));
+            assert_eq!(doc.node(a).value, doc2.node(b).value);
+        }
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let mut dict = Dict::new();
+        let doc = parse_xml("<a><b/><c/></a>", &mut dict).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.node(NodeId(0)).children.len(), 2);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "<tag> & \"quotes\" 'apos'";
+        let escaped = escape_text(original);
+        assert_eq!(decode_entities(&escaped).unwrap(), original);
+    }
+}

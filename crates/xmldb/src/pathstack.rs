@@ -1,0 +1,235 @@
+//! PathStack (Bruno et al., SIGMOD 2002): holistic matching of *path*
+//! queries (linear twigs) with chained stacks.
+//!
+//! PathStack merges the per-tag streams in global document order, pushing
+//! each element onto its query node's stack with a pointer to the current
+//! top of the parent stack; whenever a leaf element is pushed, all solutions
+//! ending at it are compactly encoded by the stack chain. It is optimal for
+//! ancestor-descendant path queries; parent-child edges are filtered during
+//! emission (same convention as [`crate::holistic`]).
+
+use crate::model::{NodeId, XmlDocument};
+use crate::tag_index::TagIndex;
+use crate::twig::{Axis, TwigPattern};
+
+/// A matched root-to-leaf node chain, aligned with the path query's nodes.
+pub type PathSolution = Vec<NodeId>;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    node: NodeId,
+    parent_ptr: u32,
+}
+
+/// Runs PathStack over a *path-shaped* twig (every node has at most one
+/// child), returning all solutions.
+///
+/// # Panics
+/// Panics if the twig branches.
+pub fn path_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Vec<PathSolution> {
+    let k = twig.len();
+    for (i, n) in twig.nodes().iter().enumerate() {
+        assert!(
+            n.children.len() <= 1,
+            "path_stack requires a path query; node {i} branches"
+        );
+    }
+
+    let all_nodes: Vec<NodeId>;
+    let mut streams: Vec<&[NodeId]> = Vec::with_capacity(k);
+    {
+        let mut needs_all = false;
+        for n in twig.nodes() {
+            if n.tag == "*" {
+                needs_all = true;
+            }
+        }
+        all_nodes = if needs_all { doc.node_ids().collect() } else { Vec::new() };
+        for n in twig.nodes() {
+            streams.push(if n.tag == "*" {
+                &all_nodes
+            } else {
+                index.nodes_named(doc, &n.tag)
+            });
+        }
+    }
+    let mut pos = vec![0usize; k];
+    let mut stacks: Vec<Vec<Entry>> = vec![Vec::new(); k];
+    let mut out = Vec::new();
+
+    loop {
+        // If the leaf stream is done, no further solution can appear.
+        if pos[k - 1] >= streams[k - 1].len() {
+            break;
+        }
+        // Pick the stream with the minimal next start.
+        let mut qmin = None;
+        let mut best = u32::MAX;
+        for q in 0..k {
+            if let Some(&n) = streams[q].get(pos[q]) {
+                let s = doc.node(n).start;
+                if s < best {
+                    best = s;
+                    qmin = Some(q);
+                }
+            }
+        }
+        let Some(q) = qmin else { break };
+        let cur = streams[q][pos[q]];
+        let start = doc.node(cur).start;
+        // Clean every stack: pop entries whose region closed before `cur`.
+        for stack in &mut stacks {
+            while let Some(top) = stack.last() {
+                if doc.node(top.node).end < start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        let pushable = q == 0 || !stacks[q - 1].is_empty();
+        if pushable {
+            let pptr = if q == 0 { 0 } else { stacks[q - 1].len() as u32 };
+            stacks[q].push(Entry { node: cur, parent_ptr: pptr });
+            if q == k - 1 {
+                emit(doc, twig, &stacks, k - 1, stacks[k - 1].len() - 1, &mut Vec::new(), &mut out);
+                stacks[q].pop();
+            }
+        }
+        pos[q] += 1;
+    }
+    out
+}
+
+fn emit(
+    doc: &XmlDocument,
+    twig: &TwigPattern,
+    stacks: &[Vec<Entry>],
+    j: usize,
+    entry_idx: usize,
+    partial: &mut Vec<NodeId>,
+    out: &mut Vec<PathSolution>,
+) {
+    let entry = stacks[j][entry_idx];
+    partial.push(entry.node);
+    if j == 0 {
+        let mut sol: Vec<NodeId> = partial.clone();
+        sol.reverse();
+        out.push(sol);
+    } else {
+        let axis = twig.node(j).axis;
+        for p_idx in 0..entry.parent_ptr as usize {
+            let above = stacks[j - 1][p_idx].node;
+            // Strict structural check: with recursive tags the same element
+            // can sit on consecutive stacks (its region "contains" itself),
+            // so containment via the stack pointer alone is not enough.
+            let ok = match axis {
+                Axis::Child => doc.is_parent(above, entry.node),
+                Axis::Descendant => doc.is_ancestor(above, entry.node),
+            };
+            if ok {
+                emit(doc, twig, stacks, j - 1, p_idx, partial, out);
+            }
+        }
+    }
+    partial.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher;
+    use relational::Dict;
+
+    fn assert_matches_naive(doc: &XmlDocument, index: &TagIndex, expr: &str) {
+        let twig = TwigPattern::parse(expr).unwrap();
+        let mut got = path_stack(doc, index, &twig);
+        let mut expect = matcher::all_matches(doc, index, &twig);
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect, "path {expr}");
+    }
+
+    /// <a><b>1</b><c><b>2</b><d><b>1</b></d></c></a>
+    fn doc(dict: &mut Dict) -> XmlDocument {
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.leaf("b", 1i64);
+        b.begin("c");
+        b.leaf("b", 2i64);
+        b.begin("d");
+        b.leaf("b", 1i64);
+        b.end();
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    #[test]
+    fn simple_paths_match_naive() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        for expr in ["//a//b", "//a/b", "//c//b", "//c/d/b", "//a//d//b", "//a/c/d"] {
+            assert_matches_naive(&d, &idx, expr);
+        }
+    }
+
+    #[test]
+    fn no_match_path() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//d/c").unwrap();
+        assert!(path_stack(&d, &idx, &twig).is_empty());
+    }
+
+    #[test]
+    fn recursive_tags_enumerate_all_chains() {
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        for _ in 0..6 {
+            b.begin("x");
+        }
+        for _ in 0..6 {
+            b.end();
+        }
+        let d = b.build(&mut dict);
+        let idx = TagIndex::build(&d);
+        assert_matches_naive(&d, &idx, "//x$a//x$b");
+        assert_matches_naive(&d, &idx, "//x$a/x$b/x$c");
+        assert_matches_naive(&d, &idx, "//x$a//x$b//x$c");
+    }
+
+    #[test]
+    #[should_panic(expected = "path query")]
+    fn branching_twig_is_rejected() {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        let twig = TwigPattern::parse("//a[/b]//c").unwrap();
+        path_stack(&d, &idx, &twig);
+    }
+
+    #[test]
+    fn random_trees_match_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut dict = Dict::new();
+            let mut b = XmlDocument::builder();
+            let tags = ["p", "q", "s"];
+            let mut ids = vec![b.add_node(None, "p", None)];
+            for _ in 0..35 {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                ids.push(b.add_node(Some(parent), tags[rng.gen_range(0..3)], None));
+            }
+            let d = b.build(&mut dict);
+            let idx = TagIndex::build(&d);
+            for expr in ["//p//q", "//p/q", "//p//q//s", "//p/q/s", "//q//s", "//s$s1//s$s2"] {
+                assert_matches_naive(&d, &idx, expr);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Stack-tree structural joins (Al-Khalifa et al., ICDE 2002).
+//!
+//! The primitive the paper cites as the classical optimal solution for
+//! *binary* structural relationships: given the ancestor-candidate and
+//! descendant-candidate streams in document order, `stack_tree_join` emits
+//! every (ancestor, descendant) pair in one merge pass, holding the current
+//! ancestor chain on a stack. Both axes are supported; parent-child pairs
+//! are the level-adjacent subset of ancestor-descendant pairs.
+
+use crate::model::{NodeId, XmlDocument};
+use crate::twig::Axis;
+
+/// Joins two node streams (each sorted by region start) on a structural
+/// axis, returning `(ancestor, descendant)` pairs sorted by descendant.
+pub fn stack_tree_join(
+    doc: &XmlDocument,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    axis: Axis,
+) -> Vec<(NodeId, NodeId)> {
+    debug_assert!(is_doc_order(doc, ancestors));
+    debug_assert!(is_doc_order(doc, descendants));
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut ai = 0usize;
+
+    for &d in descendants {
+        let dstart = doc.node(d).start;
+        // Push every ancestor candidate that starts before `d`.
+        while ai < ancestors.len() && doc.node(ancestors[ai]).start < dstart {
+            let a = ancestors[ai];
+            // Pop closed regions first: anything ending before `a` starts.
+            while let Some(&top) = stack.last() {
+                if doc.node(top).end < doc.node(a).start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+            ai += 1;
+        }
+        // Pop regions that closed before `d`.
+        while let Some(&top) = stack.last() {
+            if doc.node(top).end < dstart {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // Every remaining stack entry contains `d`.
+        match axis {
+            Axis::Descendant => {
+                for &a in stack.iter() {
+                    debug_assert!(doc.is_ancestor(a, d) || a == d);
+                    if a != d {
+                        out.push((a, d));
+                    }
+                }
+            }
+            Axis::Child => {
+                // The parent, if among the candidates, is the deepest stack
+                // entry exactly one level up.
+                let dlevel = doc.node(d).level;
+                for &a in stack.iter().rev() {
+                    if a == d {
+                        continue;
+                    }
+                    let alevel = doc.node(a).level;
+                    if alevel + 1 == dlevel && doc.is_parent(a, d) {
+                        out.push((a, d));
+                        break;
+                    }
+                    if alevel + 1 < dlevel {
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_doc_order(doc: &XmlDocument, nodes: &[NodeId]) -> bool {
+    nodes
+        .windows(2)
+        .all(|w| doc.node(w[0]).start < doc.node(w[1]).start)
+}
+
+/// Naive quadratic structural join — the correctness reference.
+pub fn naive_structural_join(
+    doc: &XmlDocument,
+    ancestors: &[NodeId],
+    descendants: &[NodeId],
+    axis: Axis,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for &d in descendants {
+        for &a in ancestors {
+            let ok = match axis {
+                Axis::Descendant => doc.is_ancestor(a, d),
+                Axis::Child => doc.is_parent(a, d),
+            };
+            if ok {
+                out.push((a, d));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::XmlDocument;
+    use crate::tag_index::TagIndex;
+    use relational::Dict;
+
+    /// <a><b><a><b/></a></b><b/></a>  (nested a/b alternation)
+    fn doc(dict: &mut Dict) -> XmlDocument {
+        let mut b = XmlDocument::builder();
+        b.begin("a");
+        b.begin("b");
+        b.begin("a");
+        b.begin("b");
+        b.end();
+        b.end();
+        b.end();
+        b.begin("b");
+        b.end();
+        b.end();
+        b.build(dict)
+    }
+
+    fn setup() -> (XmlDocument, TagIndex) {
+        let mut dict = Dict::new();
+        let d = doc(&mut dict);
+        let idx = TagIndex::build(&d);
+        (d, idx)
+    }
+
+    #[test]
+    fn ad_join_matches_naive() {
+        let (d, idx) = setup();
+        let asx = idx.nodes_named(&d, "a").to_vec();
+        let bsx = idx.nodes_named(&d, "b").to_vec();
+        let fast = stack_tree_join(&d, &asx, &bsx, Axis::Descendant);
+        let mut naive = naive_structural_join(&d, &asx, &bsx, Axis::Descendant);
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort();
+        naive.sort();
+        assert_eq!(fast_sorted, naive);
+        // a0 contains b1, b3, b5; a2 contains b3 -> 4 pairs.
+        assert_eq!(fast.len(), 4);
+    }
+
+    #[test]
+    fn pc_join_matches_naive() {
+        let (d, idx) = setup();
+        let asx = idx.nodes_named(&d, "a").to_vec();
+        let bsx = idx.nodes_named(&d, "b").to_vec();
+        let fast = stack_tree_join(&d, &asx, &bsx, Axis::Child);
+        let mut naive = naive_structural_join(&d, &asx, &bsx, Axis::Child);
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort();
+        naive.sort();
+        assert_eq!(fast_sorted, naive);
+        assert_eq!(fast.len(), 3);
+    }
+
+    #[test]
+    fn self_join_excludes_reflexive_pairs() {
+        let (d, idx) = setup();
+        let asx = idx.nodes_named(&d, "a").to_vec();
+        let fast = stack_tree_join(&d, &asx, &asx, Axis::Descendant);
+        assert_eq!(fast.len(), 1); // a0 ancestor-of a2 only
+        assert_ne!(fast[0].0, fast[0].1);
+    }
+
+    #[test]
+    fn empty_streams_yield_nothing() {
+        let (d, idx) = setup();
+        let asx = idx.nodes_named(&d, "a").to_vec();
+        assert!(stack_tree_join(&d, &asx, &[], Axis::Descendant).is_empty());
+        assert!(stack_tree_join(&d, &[], &asx, Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn random_tree_agrees_with_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        // Random 60-node tree over tags {p, q}.
+        let mut ids = vec![b.add_node(None, "p", None)];
+        for _ in 0..59 {
+            let parent = ids[rng.gen_range(0..ids.len())];
+            let tag = if rng.gen_bool(0.5) { "p" } else { "q" };
+            ids.push(b.add_node(Some(parent), tag, None));
+        }
+        let d = b.build(&mut dict);
+        let idx = TagIndex::build(&d);
+        let ps = idx.nodes_named(&d, "p").to_vec();
+        let qs = idx.nodes_named(&d, "q").to_vec();
+        for axis in [Axis::Descendant, Axis::Child] {
+            let mut fast = stack_tree_join(&d, &ps, &qs, axis);
+            let mut naive = naive_structural_join(&d, &ps, &qs, axis);
+            fast.sort();
+            naive.sort();
+            assert_eq!(fast, naive, "axis {axis:?}");
+        }
+    }
+}

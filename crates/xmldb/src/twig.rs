@@ -1,0 +1,463 @@
+//! Twig patterns: tree-shaped XML queries with P-C and A-D edges.
+//!
+//! A twig is the XML analogue of a conjunctive query: nodes are constraints
+//! "an element with this tag" (each carrying a join *variable*, defaulting to
+//! the tag name), edges are parent-child (`/`) or ancestor-descendant (`//`)
+//! structural predicates. The paper's multi-model queries combine twigs with
+//! relational atoms over shared variables.
+//!
+//! Patterns can be built programmatically or parsed from an XPath-like
+//! syntax:
+//!
+//! ```text
+//! //A[/B][/D]//C[/E[//F[/H]][//G]]
+//! ```
+//!
+//! `tag$var` renames a node's variable (needed when the same tag occurs
+//! twice).
+
+use relational::Attr;
+use std::fmt;
+
+/// Structural edge type between a twig node and its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Parent-child: the matched elements must be directly connected.
+    Child,
+    /// Ancestor-descendant: any number (≥ 1) of levels apart.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// One node of a twig pattern.
+#[derive(Debug, Clone)]
+pub struct TwigNode {
+    /// The join variable this node binds (unique within the twig).
+    pub var: Attr,
+    /// The element tag to match; `"*"` matches any tag.
+    pub tag: String,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Edge type to the parent (ignored for the root).
+    pub axis: Axis,
+    /// Child node indices in insertion order.
+    pub children: Vec<usize>,
+}
+
+/// Errors from twig construction or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwigError {
+    /// Two twig nodes bind the same variable.
+    DuplicateVar(String),
+    /// Syntax error in the twig expression.
+    Parse {
+        /// Byte position of the error.
+        pos: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwigError::DuplicateVar(v) => write!(
+                f,
+                "duplicate twig variable `{v}` (rename one occurrence with `tag${v}2`)"
+            ),
+            TwigError::Parse { pos, msg } => write!(f, "twig syntax error at {pos}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TwigError {}
+
+/// A validated twig pattern. Node 0 is always the root.
+#[derive(Debug, Clone)]
+pub struct TwigPattern {
+    nodes: Vec<TwigNode>,
+}
+
+impl TwigPattern {
+    /// Creates a twig with only a root node (variable = tag).
+    pub fn root(tag: &str) -> Self {
+        Self::root_var(tag, tag)
+    }
+
+    /// Creates a twig with only a root node and an explicit variable.
+    pub fn root_var(tag: &str, var: &str) -> Self {
+        TwigPattern {
+            nodes: vec![TwigNode {
+                var: Attr::new(var),
+                tag: tag.to_owned(),
+                parent: None,
+                axis: Axis::Child,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Adds a child node (variable = tag) and returns its index.
+    pub fn add(&mut self, parent: usize, axis: Axis, tag: &str) -> usize {
+        self.add_var(parent, axis, tag, tag)
+    }
+
+    /// Adds a child node with an explicit variable and returns its index.
+    pub fn add_var(&mut self, parent: usize, axis: Axis, tag: &str, var: &str) -> usize {
+        assert!(parent < self.nodes.len(), "parent index out of range");
+        let idx = self.nodes.len();
+        self.nodes.push(TwigNode {
+            var: Attr::new(var),
+            tag: tag.to_owned(),
+            parent: Some(parent),
+            axis,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Checks that all variables are distinct.
+    pub fn validate(&self) -> Result<(), TwigError> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.nodes[..i].iter().any(|m| m.var == n.var) {
+                return Err(TwigError::DuplicateVar(n.var.name().to_owned()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of twig nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the twig is empty (never true: there is always a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node's index (always 0).
+    pub fn root_idx(&self) -> usize {
+        0
+    }
+
+    /// Access a node.
+    pub fn node(&self, idx: usize) -> &TwigNode {
+        &self.nodes[idx]
+    }
+
+    /// All nodes, root first.
+    pub fn nodes(&self) -> &[TwigNode] {
+        &self.nodes
+    }
+
+    /// The twig's variables in node order.
+    pub fn vars(&self) -> Vec<Attr> {
+        self.nodes.iter().map(|n| n.var.clone()).collect()
+    }
+
+    /// Index of the node binding `var`.
+    pub fn var_index(&self, var: &Attr) -> Option<usize> {
+        self.nodes.iter().position(|n| &n.var == var)
+    }
+
+    /// Leaf node indices in node order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// All edges as `(parent_idx, child_idx, axis)`.
+    pub fn edges(&self) -> Vec<(usize, usize, Axis)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.parent.map(|p| (p, i, n.axis)))
+            .collect()
+    }
+
+    /// Parses an XPath-like twig expression. See the module docs for the
+    /// grammar.
+    pub fn parse(input: &str) -> Result<TwigPattern, TwigError> {
+        let mut p = TwigParser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_spaces();
+        let axis = p.parse_axis().unwrap_or(Axis::Descendant);
+        let _ = axis; // the root's own axis is irrelevant: a twig root matches anywhere
+        let mut twig = None;
+        p.parse_step(&mut twig, None)?;
+        p.skip_spaces();
+        if !p.at_end() {
+            return Err(TwigError::Parse {
+                pos: p.pos,
+                msg: "trailing input after twig expression".into(),
+            });
+        }
+        let twig = twig.expect("parse_step built the root");
+        twig.validate()?;
+        Ok(twig)
+    }
+}
+
+impl fmt::Display for TwigPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_node(
+            twig: &TwigPattern,
+            idx: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let n = twig.node(idx);
+            write!(f, "{}", n.tag)?;
+            if n.var.name() != n.tag {
+                write!(f, "${}", n.var)?;
+            }
+            for &c in &n.children {
+                write!(f, "[{}", twig.node(c).axis)?;
+                write_node(twig, c, f)?;
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+        write!(f, "//")?;
+        write_node(self, 0, f)
+    }
+}
+
+struct TwigParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TwigParser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_axis(&mut self) -> Option<Axis> {
+        if self.bytes[self.pos..].starts_with(b"//") {
+            self.pos += 2;
+            Some(Axis::Descendant)
+        } else if self.peek() == Some(b'/') {
+            self.pos += 1;
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, TwigError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'@' | b'*' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(TwigError::Parse { pos: self.pos, msg: "expected a tag name".into() });
+        }
+        Ok(String::from_utf8(self.bytes[start..self.pos].to_vec()).expect("ascii names"))
+    }
+
+    /// Parses `name alias? pred* (axis step)?`, attaching under `parent`.
+    fn parse_step(
+        &mut self,
+        twig: &mut Option<TwigPattern>,
+        parent: Option<(usize, Axis)>,
+    ) -> Result<(), TwigError> {
+        self.skip_spaces();
+        let tag = self.parse_name()?;
+        let var = if self.peek() == Some(b'$') {
+            self.pos += 1;
+            self.parse_name()?
+        } else {
+            tag.clone()
+        };
+        let idx = match (twig.as_mut(), parent) {
+            (None, _) => {
+                *twig = Some(TwigPattern::root_var(&tag, &var));
+                0
+            }
+            (Some(t), Some((p, axis))) => t.add_var(p, axis, &tag, &var),
+            (Some(_), None) => unreachable!("non-root step always has a parent"),
+        };
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                Some(b'[') => {
+                    self.pos += 1;
+                    self.skip_spaces();
+                    let axis = self.parse_axis().ok_or(TwigError::Parse {
+                        pos: self.pos,
+                        msg: "predicate must start with `/` or `//`".into(),
+                    })?;
+                    self.parse_step(twig, Some((idx, axis)))?;
+                    self.skip_spaces();
+                    if self.peek() != Some(b']') {
+                        return Err(TwigError::Parse {
+                            pos: self.pos,
+                            msg: "expected `]`".into(),
+                        });
+                    }
+                    self.pos += 1;
+                }
+                Some(b'/') => {
+                    let axis = self.parse_axis().expect("peeked a slash");
+                    return self.parse_step(twig, Some((idx, axis)));
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_construction() {
+        let mut t = TwigPattern::root("A");
+        let b = t.add(0, Axis::Child, "B");
+        let c = t.add(0, Axis::Descendant, "C");
+        let e = t.add(c, Axis::Child, "E");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.node(b).parent, Some(0));
+        assert_eq!(t.node(c).axis, Axis::Descendant);
+        assert_eq!(t.node(e).parent, Some(c));
+        assert_eq!(t.leaves(), vec![b, e]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_simple_path() {
+        let t = TwigPattern::parse("//a/b//c").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.node(0).tag, "a");
+        assert_eq!(t.node(1).tag, "b");
+        assert_eq!(t.node(1).axis, Axis::Child);
+        assert_eq!(t.node(2).tag, "c");
+        assert_eq!(t.node(2).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parse_predicates_and_spine() {
+        // The Figure 3 twig of the paper.
+        let t = TwigPattern::parse("//A[/B][/D]//C[/E[//F[/H]][//G]]").unwrap();
+        assert_eq!(t.len(), 8);
+        let a = 0;
+        assert_eq!(t.node(a).tag, "A");
+        let b = 1;
+        assert_eq!((t.node(b).tag.as_str(), t.node(b).axis), ("B", Axis::Child));
+        let d = 2;
+        assert_eq!((t.node(d).tag.as_str(), t.node(d).axis), ("D", Axis::Child));
+        let c = 3;
+        assert_eq!((t.node(c).tag.as_str(), t.node(c).axis), ("C", Axis::Descendant));
+        assert_eq!(t.node(c).parent, Some(a));
+        let e = 4;
+        assert_eq!(t.node(e).parent, Some(c));
+        assert_eq!(t.node(e).axis, Axis::Child);
+        let f = 5;
+        assert_eq!(t.node(f).parent, Some(e));
+        assert_eq!(t.node(f).axis, Axis::Descendant);
+        let h = 6;
+        assert_eq!(t.node(h).parent, Some(f));
+        assert_eq!(t.node(h).axis, Axis::Child);
+        let g = 7;
+        assert_eq!(t.node(g).parent, Some(e));
+        assert_eq!(t.node(g).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parse_aliases_for_duplicate_tags() {
+        let t = TwigPattern::parse("//person[/name]//person$boss[/name$bossname]");
+        // "person" and "name" appear twice: without aliases this would be a
+        // duplicate-variable error, with aliases it parses.
+        let t = t.unwrap();
+        assert_eq!(t.node(2).var, Attr::new("boss"));
+        assert_eq!(t.node(3).var, Attr::new("bossname"));
+    }
+
+    #[test]
+    fn duplicate_variables_are_rejected() {
+        let err = TwigPattern::parse("//a/b/a").unwrap_err();
+        assert!(matches!(err, TwigError::DuplicateVar(_)));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        assert!(matches!(
+            TwigPattern::parse("//a[b]"),
+            Err(TwigError::Parse { .. })
+        ));
+        assert!(matches!(
+            TwigPattern::parse("//a[/b"),
+            Err(TwigError::Parse { .. })
+        ));
+        assert!(matches!(TwigPattern::parse("//"), Err(TwigError::Parse { .. })));
+        assert!(matches!(
+            TwigPattern::parse("//a]extra"),
+            Err(TwigError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let t = TwigPattern::parse("//A[/B][/D]//C[/E[//F[/H]][//G]]").unwrap();
+        let s = t.to_string();
+        let t2 = TwigPattern::parse(&s).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.nodes().iter().zip(t2.nodes()) {
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.parent, b.parent);
+            if a.parent.is_some() {
+                assert_eq!(a.axis, b.axis);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_lists_all_non_root_nodes() {
+        let t = TwigPattern::parse("//a[/b]//c").unwrap();
+        let edges = t.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(0, 1, Axis::Child)));
+        assert!(edges.contains(&(0, 2, Axis::Descendant)));
+    }
+
+    #[test]
+    fn attribute_steps_parse() {
+        let t = TwigPattern::parse("//order[/@id]").unwrap();
+        assert_eq!(t.node(1).tag, "@id");
+        assert_eq!(t.node(1).var, Attr::new("@id"));
+    }
+
+    #[test]
+    fn var_index_finds_variables() {
+        let t = TwigPattern::parse("//a/b$x").unwrap();
+        assert_eq!(t.var_index(&Attr::new("a")), Some(0));
+        assert_eq!(t.var_index(&Attr::new("x")), Some(1));
+        assert_eq!(t.var_index(&Attr::new("b")), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! MMQL: the datalog-style surface syntax plus EXPLAIN.
+//!
+//! ```sh
+//! cargo run --example query_language
+//! ```
+
+use relational::{Database, Schema, Value};
+use xjoin_core::{explain, parse_query, xjoin, DataContext, OrderStrategy, XJoinConfig};
+use xmldb::{parse_xml, TagIndex};
+
+fn main() {
+    // A small product graph: suppliers ship parts; the XML catalog restricts
+    // which parts are currently listed with a price.
+    let mut db = Database::new();
+    db.load(
+        "supplies",
+        Schema::of(&["supplier", "part"]),
+        vec![
+            vec![Value::str("acme"), Value::Int(1)],
+            vec![Value::str("acme"), Value::Int(2)],
+            vec![Value::str("globex"), Value::Int(2)],
+            vec![Value::str("globex"), Value::Int(3)],
+        ],
+    )
+    .expect("supplies load");
+    db.load(
+        "prefers",
+        Schema::of(&["customer", "supplier"]),
+        vec![
+            vec![Value::str("carol"), Value::str("acme")],
+            vec![Value::str("dave"), Value::str("globex")],
+        ],
+    )
+    .expect("prefers load");
+
+    let mut dict = db.dict().clone();
+    let doc = parse_xml(
+        "<catalog>\
+           <item><part>2</part><price>95</price></item>\
+           <item><part>3</part><price>40</price></item>\
+         </catalog>",
+        &mut dict,
+    )
+    .expect("catalog parses");
+    *db.dict_mut() = dict;
+    let index = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &index);
+
+    // One query spanning two tables and the XML catalog. The relational
+    // atoms rebind columns positionally; `part` is shared with the twig.
+    let text = "Q(customer, part, price) :- \
+                prefers(customer, supplier), supplies(supplier, part), \
+                //item[/part][/price]";
+    println!("query: {text}\n");
+    let query = parse_query(text).expect("query parses");
+
+    let plan = explain(&ctx, &query, &OrderStrategy::Appearance).expect("explains");
+    println!("EXPLAIN:\n{}", plan.render());
+
+    let out = xjoin(&ctx, &query, &XJoinConfig::default()).expect("xjoin runs");
+    println!("result:");
+    print!("{}", db.render_table(&out.results));
+    println!("\nstats:\n{}", out.stats);
+}

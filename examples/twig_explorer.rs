@@ -1,0 +1,69 @@
+//! Tour of the XML substrate: parse a document, explore region labels,
+//! evaluate twig patterns with three different algorithms, and inspect the
+//! paper's twig → path-relation decomposition.
+//!
+//! ```sh
+//! cargo run --example twig_explorer
+//! ```
+
+use relational::Dict;
+use xmldb::{
+    decompose, holistic, matcher, parse_xml, transform, TagIndex, TwigPattern,
+};
+
+const CATALOG: &str = "<catalog>\
+    <book><title>DB Systems</title><author>Ada</author>\
+      <chapter><title>Joins</title><section><title>WCOJ</title></section></chapter>\
+    </book>\
+    <book><title>XML in Depth</title><author>Bo</author>\
+      <chapter><title>Twigs</title></chapter>\
+    </book>\
+    </catalog>";
+
+fn main() {
+    let mut dict = Dict::new();
+    let doc = parse_xml(CATALOG, &mut dict).expect("catalog parses");
+    let index = TagIndex::build(&doc);
+
+    println!("document: {} nodes, {} distinct tags", doc.len(), doc.tags().len());
+    for id in doc.node_ids().take(6) {
+        let n = doc.node(id);
+        println!(
+            "  {:>3}  {:<8}  region=({:>2},{:>2})  level={}  dewey={:?}",
+            id.0,
+            doc.tag_name(id),
+            n.start,
+            n.end,
+            n.level,
+            doc.dewey(id)
+        );
+    }
+
+    for expr in [
+        "//book/title",
+        "//book//title",
+        "//book[/author]//title$t",
+        "//chapter[/title]//section",
+    ] {
+        let twig = TwigPattern::parse(expr).expect("twig parses");
+        let nav = matcher::count_matches(&doc, &index, &twig);
+        let holo = holistic::twig_stack(&doc, &index, &twig);
+        println!(
+            "\ntwig {expr}\n  navigational matches: {nav}\n  TwigStack matches:    {} ({} path solutions)",
+            holo.matches.len(),
+            holo.path_solutions
+        );
+        let dec = decompose(&twig);
+        println!(
+            "  decomposition: {} sub-twigs / {} paths / {} A-D edges cut",
+            dec.sub_twigs.len(),
+            dec.paths.len(),
+            dec.ad_edges.len()
+        );
+        for p in &dec.paths {
+            let rel = transform::path_relation(&doc, &index, &twig, p);
+            let vars: Vec<&str> = p.nodes.iter().map(|&q| twig.node(q).var.name()).collect();
+            println!("    path({}) -> {} value tuples", vars.join(","), rel.len());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # xjoin-repro — Worst-Case Optimal Joins on Relational and XML Data
+//!
+//! A from-scratch reproduction of Yuxing Chen's SIGMOD 2018 paper: a
+//! multi-model join engine (**XJoin**) that evaluates queries spanning
+//! relational tables and XML twig patterns with worst-case optimal
+//! intermediate results, together with every substrate it needs:
+//!
+//! * [`relational`] — dictionary-encoded relations, sorted tries, leapfrog
+//!   intersection, LFTJ, a level-wise generic worst-case optimal join, and a
+//!   classical hash-join engine;
+//! * [`xmldb`] — an XML document model with region encoding, a parser, twig
+//!   patterns, structural joins (stack-tree), holistic twig joins
+//!   (TwigStack), and the paper's twig → path-relation transformation;
+//! * [`agm`] — a simplex LP solver with fractional edge cover / vertex
+//!   packing, computing the paper's size bounds;
+//! * [`xjoin_core`] — the paper's contribution: the XJoin engine, the
+//!   per-model baseline it is compared against, and Lemma 3.1/3.5 bound
+//!   checks.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour, and the `bench`
+//! crate's `experiments` binary for the paper's tables and figures.
+
+pub use agm;
+pub use relational;
+pub use xjoin_core;
+pub use xmldb;

@@ -1,0 +1,97 @@
+//! E6 — the paper's Figure 1, end to end through the public API.
+
+use relational::{Database, Schema, Value};
+use xjoin_core::{
+    baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig,
+};
+use xmldb::{parse_xml, TagIndex};
+
+const INVOICES: &str = "<invoices>\
+    <orderLine><orderID>10963</orderID><ISBN>978-3-16-1</ISBN>\
+    <price>30</price><discount>0.1</discount></orderLine>\
+    <orderLine><orderID>20134</orderID><ISBN>634-3-12-2</ISBN>\
+    <price>20</price><discount>0.3</discount></orderLine>\
+    </invoices>";
+
+fn setup() -> (Database, xmldb::XmlDocument) {
+    let mut db = Database::new();
+    db.load(
+        "R",
+        Schema::of(&["orderID", "userID"]),
+        vec![
+            vec![Value::Int(10963), Value::str("jack")],
+            vec![Value::Int(20134), Value::str("tom")],
+            vec![Value::Int(35768), Value::str("bob")],
+        ],
+    )
+    .unwrap();
+    let mut dict = db.dict().clone();
+    let doc = parse_xml(INVOICES, &mut dict).unwrap();
+    *db.dict_mut() = dict;
+    (db, doc)
+}
+
+#[test]
+fn figure_1_result_table() {
+    let (db, doc) = setup();
+    let index = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &index);
+    let query = MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+        .unwrap()
+        .with_output(&["userID", "ISBN", "price"]);
+    let out = xjoin(&ctx, &query, &XJoinConfig::default()).unwrap();
+    let rows = db.decode(&out.results);
+    assert_eq!(rows.len(), 2);
+    assert!(rows.contains(&vec![
+        Value::str("jack"),
+        Value::str("978-3-16-1"),
+        Value::Int(30)
+    ]));
+    assert!(rows.contains(&vec![
+        Value::str("tom"),
+        Value::str("634-3-12-2"),
+        Value::Int(20)
+    ]));
+    // bob has no invoice: must not appear.
+    assert!(!rows.iter().any(|r| r[0] == Value::str("bob")));
+}
+
+#[test]
+fn figure_1_baseline_agrees() {
+    let (db, doc) = setup();
+    let index = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &index);
+    let query = MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+        .unwrap()
+        .with_output(&["userID", "ISBN", "price"]);
+    let x = xjoin(&ctx, &query, &XJoinConfig::default()).unwrap();
+    let b = baseline(&ctx, &query, &BaselineConfig::default()).unwrap();
+    assert!(x.results.set_eq(&b.results));
+}
+
+#[test]
+fn figure_1_discount_attribute_is_queryable_too() {
+    let (db, doc) = setup();
+    let index = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &index);
+    let query = MultiModelQuery::new(&["R"], &["//orderLine[/orderID][/discount]"])
+        .unwrap()
+        .with_output(&["userID", "discount"]);
+    let out = xjoin(&ctx, &query, &XJoinConfig::default()).unwrap();
+    let rows = db.decode(&out.results);
+    assert!(rows.contains(&vec![Value::str("jack"), Value::str("0.1")]));
+    assert!(rows.contains(&vec![Value::str("tom"), Value::str("0.3")]));
+}
+
+#[test]
+fn unmatched_relational_rows_are_filtered_not_erred() {
+    let (db, doc) = setup();
+    let index = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &index);
+    // Twig over a tag that exists but with one joinable value.
+    let query = MultiModelQuery::new(&["R"], &["//orderLine/orderID"])
+        .unwrap()
+        .with_output(&["userID"]);
+    let out = xjoin(&ctx, &query, &XJoinConfig::default()).unwrap();
+    assert_eq!(out.results.len(), 2);
+}

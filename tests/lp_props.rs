@@ -1,0 +1,151 @@
+//! Property-based tests of the LP solver and the AGM bound machinery:
+//! primal feasibility, strong duality on random hypergraphs, and bound
+//! sanity against enumerated joins.
+
+use proptest::prelude::*;
+use agm::{
+    agm_bound, agm_exponent, fractional_edge_cover, solve, vertex_packing, Cmp, Hypergraph,
+    LinearProgram, LpOutcome,
+};
+
+/// Strategy: a random hypergraph over up to 6 vertices with 1..6 edges, each
+/// edge a non-empty vertex subset; every vertex is covered by construction
+/// (uncovered vertices never enter).
+fn hypergraph_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0usize..6, 1..4),
+        1..6,
+    )
+    .prop_map(|edges| edges.into_iter().map(|e| e.into_iter().collect()).collect())
+}
+
+fn build(edges: &[Vec<usize>]) -> Hypergraph {
+    let names = ["a", "b", "c", "d", "e", "f"];
+    let mut h = Hypergraph::new();
+    for (i, e) in edges.iter().enumerate() {
+        let attrs: Vec<&str> = e.iter().map(|&v| names[v]).collect();
+        h.edge(&format!("E{i}"), &attrs);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn strong_duality_on_random_hypergraphs(edges in hypergraph_strategy()) {
+        let h = build(&edges);
+        let primal = fractional_edge_cover(&h).unwrap();
+        let dual = vertex_packing(&h).unwrap();
+        prop_assert!((primal.value - dual.value).abs() < 1e-6,
+            "primal {} != dual {}", primal.value, dual.value);
+    }
+
+    #[test]
+    fn cover_is_feasible_and_within_trivial_bounds(edges in hypergraph_strategy()) {
+        let h = build(&edges);
+        let s = fractional_edge_cover(&h).unwrap();
+        // Feasibility: every vertex covered by >= 1.
+        for v in 0..h.num_vertices() {
+            let coverage: f64 = h.edges().iter().enumerate()
+                .filter(|(_, e)| e.vertices.contains(&v))
+                .map(|(i, _)| s.weights[i])
+                .sum();
+            prop_assert!(coverage >= 1.0 - 1e-6);
+        }
+        // Non-negativity and trivial bounds: 0 <= rho* <= #edges.
+        prop_assert!(s.weights.iter().all(|&x| x >= -1e-9));
+        let lower = if h.num_vertices() > 0 { 1.0 - 1e-6 } else { 0.0 };
+        prop_assert!(s.value >= lower);
+        prop_assert!(s.value <= h.num_edges() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn packing_is_feasible(edges in hypergraph_strategy()) {
+        let h = build(&edges);
+        let s = vertex_packing(&h).unwrap();
+        for e in h.edges() {
+            let load: f64 = e.vertices.iter().map(|&v| s.weights[v]).sum();
+            prop_assert!(load <= 1.0 + 1e-6);
+        }
+        prop_assert!(s.weights.iter().all(|&y| y >= -1e-9));
+    }
+
+    #[test]
+    fn bound_is_monotone_in_sizes(edges in hypergraph_strategy(), scale in 2usize..5) {
+        let h = build(&edges);
+        let small = vec![4usize; h.num_edges()];
+        let large = vec![4 * scale; h.num_edges()];
+        let b_small = agm_bound(&h, &small).unwrap();
+        let b_large = agm_bound(&h, &large).unwrap();
+        prop_assert!(b_large >= b_small - 1e-6);
+    }
+
+    #[test]
+    fn uniform_bound_matches_exponent(edges in hypergraph_strategy(), n in 2usize..20) {
+        let h = build(&edges);
+        let rho = agm_exponent(&h).unwrap();
+        let bound = agm_bound(&h, &vec![n; h.num_edges()]).unwrap();
+        let expect = (n as f64).powf(rho);
+        prop_assert!((bound - expect).abs() < 1e-6 * expect.max(1.0),
+            "bound {bound} != n^rho {expect}");
+    }
+
+    #[test]
+    fn lp_optimum_is_feasible(
+        c0 in -5.0f64..5.0, c1 in -5.0f64..5.0,
+        b0 in 0.0f64..10.0, b1 in 0.0f64..10.0,
+    ) {
+        // min c·x st x0 + x1 >= b0, x0 <= b1 — always feasible; bounded iff
+        // objective can't be pushed to -inf along the recession cone.
+        let mut lp = LinearProgram::minimize(vec![c0, c1]);
+        lp.constraint(vec![1.0, 1.0], Cmp::Ge, b0);
+        lp.constraint(vec![1.0, 0.0], Cmp::Le, b1);
+        match solve(&lp) {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(s.x[0] + s.x[1] >= b0 - 1e-6);
+                prop_assert!(s.x[0] <= b1 + 1e-6);
+                prop_assert!(s.x.iter().all(|&x| x >= -1e-9));
+            }
+            LpOutcome::Unbounded => {
+                // x1 free upward: unbounded iff c1 < 0 (or x0 direction with
+                // c0 < 0 is blocked by b1, so only c1 matters).
+                prop_assert!(c1 < 1e-9);
+            }
+            LpOutcome::Infeasible => prop_assert!(false, "feasible by construction"),
+        }
+    }
+}
+
+#[test]
+fn agm_bound_is_an_upper_bound_on_actual_joins() {
+    // Enumerate small random joins and compare to the bound.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use relational::generic::generic_join;
+    use relational::{Attr, Dict, Schema};
+    use relational::generator::random_relation;
+
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dict = Dict::new();
+        let rows = rng.gen_range(1..30);
+        let domain = rng.gen_range(2..8);
+        let r = random_relation(&mut dict, Schema::of(&["a", "b"]), rows, domain, seed);
+        let s = random_relation(&mut dict, Schema::of(&["b", "c"]), rows, domain, seed + 1);
+        let t = random_relation(&mut dict, Schema::of(&["a", "c"]), rows, domain, seed + 2);
+        let order: Vec<Attr> = vec!["a".into(), "b".into(), "c".into()];
+        let (out, _) = generic_join(&[&r, &s, &t], &order).unwrap();
+
+        let mut h = Hypergraph::new();
+        h.edge("R", &["a", "b"]);
+        h.edge("S", &["b", "c"]);
+        h.edge("T", &["a", "c"]);
+        let bound = agm_bound(&h, &[r.len(), s.len(), t.len()]).unwrap();
+        assert!(
+            out.len() as f64 <= bound + 1e-6,
+            "seed {seed}: |Q| = {} > bound {bound}",
+            out.len()
+        );
+    }
+}

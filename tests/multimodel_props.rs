@@ -1,0 +1,108 @@
+//! Property-based differential testing of the full multi-model stack:
+//! XJoin (all option combinations) vs the per-model baseline (all engine
+//! combinations) on proptest-generated databases, documents, and queries.
+
+use proptest::prelude::*;
+use relational::{Database, Schema, Value};
+use xjoin_core::{
+    baseline, parse_query, xjoin, BaselineConfig, DataContext, RelAlg, XJoinConfig, XmlAlg,
+};
+use xmldb::{TagIndex, XmlDocument};
+
+#[derive(Debug, Clone)]
+struct InstanceSpec {
+    rows: Vec<(i64, i64)>,
+    tree: Vec<(usize, usize, i64)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = InstanceSpec> {
+    (
+        prop::collection::vec((0i64..5, 0i64..5), 0..12),
+        prop::collection::vec((0usize..usize::MAX, 0usize..3, 0i64..5), 0..25),
+    )
+        .prop_map(|(rows, tree)| InstanceSpec { rows, tree })
+}
+
+fn build(spec: &InstanceSpec) -> (Database, XmlDocument) {
+    let mut db = Database::new();
+    db.load(
+        "S",
+        Schema::of(&["x", "y"]),
+        spec.rows
+            .iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+    )
+    .unwrap();
+    let tags = ["r", "x", "y"];
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    let mut ids = vec![b.add_node(None, "r", Some(Value::Int(0)))];
+    for &(praw, tag, value) in &spec.tree {
+        let parent = ids[praw % ids.len()];
+        ids.push(b.add_node(Some(parent), tags[tag % 3], Some(Value::Int(value))));
+    }
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    (db, doc)
+}
+
+const QUERIES: &[&str] = &[
+    "S(x, y), //r//x",
+    "S(x, y), //r/x",
+    "S(x, y), //r[/x]//y",
+    "Q(x) :- S(x, y), //y$yy/x",
+    "S(x, y), //x, //y$y2",
+    "Q(x, y) :- S(x, y), S(y, z), //r//x",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_arbitrary_instances(
+        spec in instance_strategy(),
+        query_idx in 0usize..QUERIES.len(),
+    ) {
+        let (db, doc) = build(&spec);
+        let index = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &index);
+        let query = parse_query(QUERIES[query_idx]).unwrap();
+
+        let reference = baseline(&ctx, &query, &BaselineConfig::default()).unwrap();
+
+        for ad_filter in [false, true] {
+            for partial_validation in [false, true] {
+                let cfg = XJoinConfig { ad_filter, partial_validation, ..Default::default() };
+                let out = xjoin(&ctx, &query, &cfg).unwrap();
+                let aligned = reference.results.project(out.results.schema().attrs()).unwrap();
+                prop_assert!(
+                    out.results.set_eq(&aligned),
+                    "query `{}` cfg ad={ad_filter} pv={partial_validation}: {} vs {}",
+                    QUERIES[query_idx], out.results.len(), aligned.len()
+                );
+            }
+        }
+        for xml_alg in [XmlAlg::Navigational, XmlAlg::Tjfast] {
+            let cfg = BaselineConfig { rel_alg: RelAlg::Lftj, xml_alg };
+            let out = baseline(&ctx, &query, &cfg).unwrap();
+            let aligned = reference.results.project(out.results.schema().attrs()).unwrap();
+            prop_assert!(
+                out.results.set_eq(&aligned),
+                "query `{}` baseline {xml_alg:?}", QUERIES[query_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn output_projection_is_consistent(spec in instance_strategy()) {
+        let (db, doc) = build(&spec);
+        let index = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &index);
+        let full = parse_query("S(x, y), //r//x").unwrap();
+        let projected = parse_query("Q(y) :- S(x, y), //r//x").unwrap();
+        let out_full = xjoin(&ctx, &full, &XJoinConfig::default()).unwrap();
+        let out_proj = xjoin(&ctx, &projected, &XJoinConfig::default()).unwrap();
+        let expect = out_full.results.project(&["y".into()]).unwrap();
+        prop_assert!(out_proj.results.set_eq(&expect));
+    }
+}

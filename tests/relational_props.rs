@@ -1,0 +1,155 @@
+//! Property-based tests of the relational substrate: tries, leapfrog, and
+//! the equivalence of all three relational join engines against a naive
+//! reference.
+
+use proptest::prelude::*;
+use relational::generic::{generic_join, naive_join};
+use relational::hashjoin::multiway_hash_join;
+use relational::leapfrog::intersect;
+use relational::lftj::lftj_join;
+use relational::{Attr, Relation, Schema, Trie, ValueId};
+use std::collections::BTreeSet;
+
+fn rel_from(rows: &[(u32, u32)], a: &str, b: &str) -> Relation {
+    let mut r = Relation::new(Schema::of(&[a, b]));
+    for &(x, y) in rows {
+        r.push(&[ValueId(x), ValueId(y)]).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_round_trips_any_relation(
+        rows in prop::collection::vec((0u32..12, 0u32..12), 0..60)
+    ) {
+        let rel = rel_from(&rows, "a", "b");
+        let trie = Trie::from_relation(&rel);
+        let mut expect = rel.clone();
+        expect.sort_dedup();
+        prop_assert_eq!(trie.to_relation(), expect);
+    }
+
+    #[test]
+    fn trie_respects_any_column_order(
+        rows in prop::collection::vec((0u32..12, 0u32..12), 0..60),
+        flip in any::<bool>()
+    ) {
+        let rel = rel_from(&rows, "a", "b");
+        let order: Vec<Attr> = if flip {
+            vec!["b".into(), "a".into()]
+        } else {
+            vec!["a".into(), "b".into()]
+        };
+        let trie = Trie::build(&rel, &order).unwrap();
+        let expect = rel.project(&order).unwrap();
+        prop_assert!(trie.to_relation().set_eq(&expect));
+        prop_assert_eq!(trie.num_tuples(), expect.len());
+    }
+
+    #[test]
+    fn leapfrog_equals_set_intersection(
+        a in prop::collection::btree_set(0u32..200, 0..80),
+        b in prop::collection::btree_set(0u32..200, 0..80),
+        c in prop::collection::btree_set(0u32..200, 0..80),
+    ) {
+        let to_ids = |s: &BTreeSet<u32>| s.iter().map(|&x| ValueId(x)).collect::<Vec<_>>();
+        let (av, bv, cv) = (to_ids(&a), to_ids(&b), to_ids(&c));
+        let got = intersect(&[&av, &bv, &cv]);
+        let expect: Vec<ValueId> = a
+            .intersection(&b)
+            .copied()
+            .collect::<BTreeSet<u32>>()
+            .intersection(&c)
+            .map(|&x| ValueId(x))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn all_engines_agree_on_triangle_queries(
+        r_rows in prop::collection::vec((0u32..6, 0u32..6), 0..25),
+        s_rows in prop::collection::vec((0u32..6, 0u32..6), 0..25),
+        t_rows in prop::collection::vec((0u32..6, 0u32..6), 0..25),
+    ) {
+        let r = rel_from(&r_rows, "a", "b");
+        let s = rel_from(&s_rows, "b", "c");
+        let t = rel_from(&t_rows, "a", "c");
+        let order: Vec<Attr> = vec!["a".into(), "b".into(), "c".into()];
+        let naive = naive_join(&[&r, &s, &t], &order).unwrap();
+        let (generic, _) = generic_join(&[&r, &s, &t], &order).unwrap();
+        prop_assert!(generic.set_eq(&naive), "generic != naive");
+        let lftj = lftj_join(&[&r, &s, &t], &order).unwrap();
+        prop_assert!(lftj.set_eq(&naive), "lftj != naive");
+        if !r.is_empty() || !s.is_empty() || !t.is_empty() {
+            let mut rd = r.clone(); rd.sort_dedup();
+            let mut sd = s.clone(); sd.sort_dedup();
+            let mut td = t.clone(); td.sort_dedup();
+            let (hash, _) = multiway_hash_join(&[&rd, &sd, &td]).unwrap();
+            let hash = hash.project(&order).unwrap();
+            prop_assert!(hash.set_eq(&naive), "hash != naive");
+        }
+    }
+
+    #[test]
+    fn generic_join_agrees_for_any_variable_order(
+        r_rows in prop::collection::vec((0u32..5, 0u32..5), 0..20),
+        s_rows in prop::collection::vec((0u32..5, 0u32..5), 0..20),
+        perm in 0usize..6,
+    ) {
+        let r = rel_from(&r_rows, "a", "b");
+        let s = rel_from(&s_rows, "b", "c");
+        let orders: [[&str; 3]; 6] = [
+            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
+            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+        ];
+        let base: Vec<Attr> = orders[0].iter().map(|&n| Attr::new(n)).collect();
+        let chosen: Vec<Attr> = orders[perm].iter().map(|&n| Attr::new(n)).collect();
+        let (out_base, _) = generic_join(&[&r, &s], &base).unwrap();
+        let (out_perm, _) = generic_join(&[&r, &s], &chosen).unwrap();
+        prop_assert!(out_perm.project(&base).unwrap().set_eq(&out_base));
+    }
+
+    #[test]
+    fn projection_is_idempotent(
+        rows in prop::collection::vec((0u32..8, 0u32..8), 0..40)
+    ) {
+        let rel = rel_from(&rows, "a", "b");
+        let p1 = rel.project(&["a".into()]).unwrap();
+        let p2 = p1.project(&["a".into()]).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn sort_dedup_is_canonical(
+        rows in prop::collection::vec((0u32..8, 0u32..8), 0..40)
+    ) {
+        let mut r1 = rel_from(&rows, "a", "b");
+        let mut rev: Vec<(u32, u32)> = rows.clone();
+        rev.reverse();
+        let mut r2 = rel_from(&rev, "a", "b");
+        r1.sort_dedup();
+        r2.sort_dedup();
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+#[test]
+fn lftj_streams_in_sorted_order_on_random_data() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let rows: Vec<(u32, u32)> = (0..200).map(|_| (rng.gen_range(0..20), rng.gen_range(0..20))).collect();
+    let r = rel_from(&rows, "a", "b");
+    let order: Vec<Attr> = vec!["a".into(), "b".into()];
+    let plan = relational::JoinPlan::new(&[&r], &order).unwrap();
+    let mut prev: Option<Vec<ValueId>> = None;
+    relational::lftj::lftj_foreach(&plan, |t| {
+        if let Some(p) = &prev {
+            assert!(p.as_slice() < t, "not sorted: {p:?} !< {t:?}");
+        }
+        prev = Some(t.to_vec());
+    });
+}

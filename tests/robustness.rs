@@ -1,0 +1,147 @@
+//! Robustness tests: degenerate and adversarial shapes that stress recursion
+//! depth, dictionary growth, and empty/singleton corner cases across the
+//! whole stack.
+
+use relational::{Database, Dict, Schema, Value};
+use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig};
+use xmldb::parser::{parse_xml, to_xml_string};
+use xmldb::{TagIndex, TwigPattern, XmlDocument};
+
+/// A pure chain document a/a/a/… of the given depth.
+fn chain_doc(dict: &mut Dict, depth: usize, tag: &str) -> XmlDocument {
+    let mut b = XmlDocument::builder();
+    let mut parent = None;
+    for i in 0..depth {
+        let id = b.add_node(parent, tag, Some(Value::Int(i as i64)));
+        parent = Some(id);
+    }
+    b.build(dict)
+}
+
+#[test]
+fn very_deep_documents_build_and_serialize() {
+    // The builder labels iteratively and the serializer walks iteratively,
+    // so depth is bounded by memory, not the call stack.
+    let mut dict = Dict::new();
+    let depth = 60_000;
+    let doc = chain_doc(&mut dict, depth, "x");
+    assert_eq!(doc.len(), depth);
+    assert_eq!(doc.node(xmldb::NodeId((depth - 1) as u32)).level, (depth - 1) as u32);
+    let xml = to_xml_string(&doc, &dict);
+    assert!(xml.starts_with("<x>0<x>1"));
+    assert!(xml.ends_with("</x></x>"));
+}
+
+#[test]
+fn deep_parse_is_iterative_too() {
+    let depth = 20_000;
+    let mut xml = String::new();
+    for _ in 0..depth {
+        xml.push_str("<d>");
+    }
+    for _ in 0..depth {
+        xml.push_str("</d>");
+    }
+    let mut dict = Dict::new();
+    let doc = parse_xml(&xml, &mut dict).unwrap();
+    assert_eq!(doc.len(), depth);
+}
+
+#[test]
+fn wide_documents_and_fat_streams() {
+    // One parent with 50k children: tag index and structural machinery must
+    // stay linear.
+    let mut dict = Dict::new();
+    let mut b = XmlDocument::builder();
+    b.begin("root");
+    for i in 0..50_000i64 {
+        b.leaf("c", i % 100);
+    }
+    b.end();
+    let doc = b.build(&mut dict);
+    let idx = TagIndex::build(&doc);
+    assert_eq!(idx.nodes_named(&doc, "c").len(), 50_000);
+    let twig = TwigPattern::parse("//root/c").unwrap();
+    let res = xmldb::twig_stack(&doc, &idx, &twig);
+    assert_eq!(res.matches.len(), 50_000);
+}
+
+#[test]
+fn single_node_document_and_single_row_table() {
+    let mut db = Database::new();
+    db.load("R", Schema::of(&["v"]), vec![vec![Value::Int(0)]]).unwrap();
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("v");
+    b.value(0i64);
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    let idx = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &idx);
+    let q = MultiModelQuery::new(&["R"], &["//v"]).unwrap();
+    let x = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+    let bl = baseline(&ctx, &q, &BaselineConfig::default()).unwrap();
+    assert_eq!(x.results.len(), 1);
+    assert_eq!(bl.results.len(), 1);
+}
+
+#[test]
+fn all_equal_values_worst_case_skew() {
+    // Every node and every tuple carries the same value: maximal skew.
+    let mut db = Database::new();
+    let n = 40;
+    db.load(
+        "R",
+        Schema::of(&["a", "b"]),
+        (0..n).map(|_| vec![Value::Int(0), Value::Int(0)]),
+    )
+    .unwrap();
+    // load dedups; re-add with distinct second column to keep n rows.
+    db.load(
+        "S",
+        Schema::of(&["a", "c"]),
+        (0..n).map(|i| vec![Value::Int(0), Value::Int(i as i64)]),
+    )
+    .unwrap();
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("r");
+    for _ in 0..n {
+        b.leaf("a", 0i64);
+    }
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    let idx = TagIndex::build(&doc);
+    let ctx = DataContext::new(&db, &doc, &idx);
+    let q = MultiModelQuery::new(&["R", "S"], &["//r/a"]).unwrap();
+    let x = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
+    let bl = baseline(&ctx, &q, &BaselineConfig::default()).unwrap();
+    let aligned = bl.results.project(x.results.schema().attrs()).unwrap();
+    assert!(x.results.set_eq(&aligned));
+    // R dedups to one row; S keeps n; result = n combinations over value 0.
+    assert_eq!(x.results.len(), n);
+}
+
+#[test]
+fn twig_deeper_than_document_is_empty() {
+    let mut dict = Dict::new();
+    let doc = chain_doc(&mut dict, 3, "x");
+    let idx = TagIndex::build(&doc);
+    let twig = TwigPattern::parse("//x$a/x$b/x$c/x$d/x$e").unwrap();
+    assert_eq!(xmldb::matcher::count_matches(&doc, &idx, &twig), 0);
+    assert!(xmldb::twig_stack(&doc, &idx, &twig).matches.is_empty());
+    assert!(xmldb::tjfast(&doc, &idx, &twig).matches.is_empty());
+}
+
+#[test]
+fn huge_dictionary_ids_stay_consistent() {
+    let mut dict = Dict::new();
+    for i in 0..100_000i64 {
+        dict.int(i);
+    }
+    let id = dict.int(54_321);
+    assert_eq!(dict.decode(id), &Value::Int(54_321));
+    assert_eq!(dict.len(), 100_000);
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the XML substrate: TwigStack vs the navigational
+//! matcher, structural joins vs naive pairing, and the paper's transform —
+//! all on arbitrary random trees.
+
+use proptest::prelude::*;
+use relational::{Dict, ValueId};
+use xmldb::structural::{naive_structural_join, stack_tree_join};
+use xmldb::{holistic, matcher, transform, Axis, TagIndex, TwigPattern, XmlDocument};
+
+/// Strategy: a random tree described as (parent-pick, tag-pick, value) per
+/// node; parents are chosen among already-created nodes.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    prop::collection::vec((0usize..usize::MAX, 0usize..4, 0i64..6), 1..max_nodes)
+}
+
+fn build_tree(spec: &[(usize, usize, i64)], dict: &mut Dict) -> XmlDocument {
+    let tags = ["r", "s", "t", "u"];
+    let mut b = XmlDocument::builder();
+    let mut ids = Vec::with_capacity(spec.len() + 1);
+    ids.push(b.add_node(None, "r", Some(0i64.into())));
+    for &(praw, tag, value) in spec {
+        let parent = ids[praw % ids.len()];
+        ids.push(b.add_node(Some(parent), tags[tag % tags.len()], Some(value.into())));
+    }
+    b.build(dict)
+}
+
+const TWIG_EXPRS: &[&str] = &[
+    "//r//s",
+    "//r/s",
+    "//s//t",
+    "//s/t",
+    "//r[/s]//t",
+    "//r[//s]/t",
+    "//s$s1//s$s2",
+    "//r[/s][/t]//u",
+    "//s[/t$t1][//t$t2]",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn twigstack_equals_navigational(spec in tree_strategy(40), twig_idx in 0usize..TWIG_EXPRS.len()) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        let index = TagIndex::build(&doc);
+        let twig = TwigPattern::parse(TWIG_EXPRS[twig_idx]).unwrap();
+        let holistic = holistic::twig_stack(&doc, &index, &twig);
+        let naive = matcher::all_matches(&doc, &index, &twig);
+        let mut naive_rows: Vec<Vec<ValueId>> = naive
+            .iter()
+            .map(|m| m.iter().map(|n| ValueId(n.0)).collect())
+            .collect();
+        naive_rows.sort();
+        naive_rows.dedup();
+        let mut holo_rows: Vec<Vec<ValueId>> = holistic.matches.rows().map(|r| r.to_vec()).collect();
+        holo_rows.sort();
+        prop_assert_eq!(holo_rows, naive_rows, "twig {}", TWIG_EXPRS[twig_idx]);
+    }
+
+    #[test]
+    fn stack_tree_equals_naive_join(spec in tree_strategy(40), axis_pick in any::<bool>()) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        let index = TagIndex::build(&doc);
+        let axis = if axis_pick { Axis::Descendant } else { Axis::Child };
+        let ss = index.nodes_named(&doc, "s").to_vec();
+        let ts = index.nodes_named(&doc, "t").to_vec();
+        let mut fast = stack_tree_join(&doc, &ss, &ts, axis);
+        let mut naive = naive_structural_join(&doc, &ss, &ts, axis);
+        fast.sort();
+        naive.sort();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn path_relations_contain_exactly_matching_chains(spec in tree_strategy(40)) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        let index = TagIndex::build(&doc);
+        // Pure P-C twig: one path relation, equal to the value tuples of the
+        // navigational matches.
+        let twig = TwigPattern::parse("//s/t").unwrap();
+        let dec = transform::decompose(&twig);
+        prop_assert_eq!(dec.paths.len(), 1);
+        let rel = transform::path_relation(&doc, &index, &twig, &dec.paths[0]);
+        let mut expect: Vec<Vec<ValueId>> = matcher::all_matches(&doc, &index, &twig)
+            .iter()
+            .map(|m| m.iter().map(|&n| doc.node(n).value).collect())
+            .collect();
+        expect.sort();
+        expect.dedup();
+        let mut got: Vec<Vec<ValueId>> = rel.rows().map(|r| r.to_vec()).collect();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn decomposition_covers_each_var_at_least_once(twig_idx in 0usize..TWIG_EXPRS.len()) {
+        let twig = TwigPattern::parse(TWIG_EXPRS[twig_idx]).unwrap();
+        let dec = transform::decompose(&twig);
+        let mut covered: Vec<usize> = dec.paths.iter().flat_map(|p| p.nodes.clone()).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(covered, (0..twig.len()).collect::<Vec<_>>());
+        // Sub-twigs partition the nodes.
+        let mut in_subtwigs: Vec<usize> =
+            dec.sub_twigs.iter().flat_map(|s| s.nodes.clone()).collect();
+        in_subtwigs.sort_unstable();
+        prop_assert_eq!(in_subtwigs, (0..twig.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn region_labels_agree_with_parent_pointers(spec in tree_strategy(50)) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        for id in doc.node_ids() {
+            if let Some(p) = doc.node(id).parent {
+                prop_assert!(doc.is_parent(p, id));
+                prop_assert!(doc.is_ancestor(p, id));
+            }
+            for &c in &doc.node(id).children {
+                prop_assert_eq!(doc.node(c).parent, Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_labels_order_like_regions(spec in tree_strategy(40)) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        // Dewey lexicographic order == document (start) order.
+        let mut ids: Vec<_> = doc.node_ids().collect();
+        ids.sort_by_key(|&n| doc.dewey(n));
+        for w in ids.windows(2) {
+            prop_assert!(doc.node(w[0]).start < doc.node(w[1]).start);
+        }
+    }
+}
+
+#[test]
+fn twigstack_path_solution_counts_never_below_matches_per_path() {
+    // Path solutions are per root-leaf path; a full match contributes one
+    // solution to each path, so solutions >= matches for single-path twigs.
+    let mut dict = Dict::new();
+    let spec: Vec<(usize, usize, i64)> =
+        (0..30).map(|i| (i * 7 + 3, i * 5 + 1, (i % 4) as i64)).collect();
+    let doc = build_tree(&spec, &mut dict);
+    let index = TagIndex::build(&doc);
+    let twig = TwigPattern::parse("//r//s/t").unwrap();
+    let res = holistic::twig_stack(&doc, &index, &twig);
+    assert!(res.path_solutions >= res.matches.len());
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the XML parser: build → serialize → parse is an
+//! isomorphism on documents, and entity escaping round-trips arbitrary text.
+
+use proptest::prelude::*;
+use relational::{Dict, Value};
+use xmldb::parser::{decode_entities, escape_text, parse_xml, to_xml_string};
+use xmldb::XmlDocument;
+
+fn tree_strategy() -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    prop::collection::vec((0usize..usize::MAX, 0usize..3, -50i64..50), 0..30)
+}
+
+fn build_tree(spec: &[(usize, usize, i64)], dict: &mut Dict) -> XmlDocument {
+    let tags = ["alpha", "beta", "gamma"];
+    let mut b = XmlDocument::builder();
+    let mut ids = vec![b.add_node(None, "root", None)];
+    for &(praw, tag, value) in spec {
+        let parent = ids[praw % ids.len()];
+        ids.push(b.add_node(Some(parent), tags[tag % tags.len()], Some(value.into())));
+    }
+    b.build(dict)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serialize_parse_round_trip(spec in tree_strategy()) {
+        let mut dict = Dict::new();
+        let doc = build_tree(&spec, &mut dict);
+        let xml = to_xml_string(&doc, &dict);
+        let doc2 = parse_xml(&xml, &mut dict).unwrap();
+        prop_assert_eq!(doc.len(), doc2.len());
+        for (a, b) in doc.node_ids().zip(doc2.node_ids()) {
+            prop_assert_eq!(doc.tag_name(a), doc2.tag_name(b));
+            prop_assert_eq!(doc.node(a).value, doc2.node(b).value);
+            prop_assert_eq!(doc.node(a).parent, doc2.node(b).parent);
+            prop_assert_eq!(doc.node(a).level, doc2.node(b).level);
+        }
+    }
+
+    #[test]
+    fn escape_decode_round_trip(text in "[ -~]{0,64}") {
+        // Arbitrary printable-ASCII text survives escape + decode.
+        let escaped = escape_text(&text);
+        prop_assert_eq!(decode_entities(&escaped).unwrap(), text);
+    }
+
+    #[test]
+    fn string_values_round_trip_through_xml(text in "[a-zA-Z<>&'\" ]{1,40}") {
+        // A value containing XML-special characters survives a full
+        // serialize/parse cycle (modulo trimming, which the parser applies).
+        let mut dict = Dict::new();
+        let mut b = XmlDocument::builder();
+        b.begin("e");
+        b.value(Value::str(text.trim()));
+        b.end();
+        let doc = b.build(&mut dict);
+        let xml = to_xml_string(&doc, &dict);
+        let doc2 = parse_xml(&xml, &mut dict).unwrap();
+        let v1 = dict.decode(doc.node(xmldb::NodeId(0)).value).clone();
+        let v2 = dict.decode(doc2.node(xmldb::NodeId(0)).value).clone();
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,80}") {
+        let mut dict = Dict::new();
+        let _ = parse_xml(&input, &mut dict); // may Err, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        tags in prop::collection::vec("[a-c]{1,3}", 0..12),
+        closers in prop::collection::vec(any::<bool>(), 0..12),
+    ) {
+        let mut soup = String::new();
+        for (i, t) in tags.iter().enumerate() {
+            if *closers.get(i).unwrap_or(&false) {
+                soup.push_str(&format!("</{t}>"));
+            } else {
+                soup.push_str(&format!("<{t}>"));
+            }
+        }
+        let mut dict = Dict::new();
+        let _ = parse_xml(&soup, &mut dict);
+    }
+}
+
+#[test]
+fn empty_value_nodes_round_trip() {
+    let mut dict = Dict::new();
+    let mut b = XmlDocument::builder();
+    b.begin("a");
+    b.begin("b");
+    b.end();
+    b.end();
+    let doc = b.build(&mut dict);
+    let xml = to_xml_string(&doc, &dict);
+    assert_eq!(xml, "<a><b></b></a>");
+    let doc2 = parse_xml(&xml, &mut dict).unwrap();
+    assert_eq!(doc2.len(), 2);
+}
