@@ -64,7 +64,10 @@ pub fn weighted_edge_cover(h: &Hypergraph, weights: &[f64]) -> Result<CoverSolut
         lp.constraint(row, Cmp::Ge, 1.0);
     }
     match solve(&lp) {
-        LpOutcome::Optimal(s) => Ok(CoverSolution { weights: s.x, value: s.value }),
+        LpOutcome::Optimal(s) => Ok(CoverSolution {
+            weights: s.x,
+            value: s.value,
+        }),
         // A covered hypergraph always has the all-ones feasible cover, and
         // non-negative weights can make the objective at worst 0-bounded;
         // negative weights (sizes < 1) could in principle drive portions
@@ -90,7 +93,10 @@ pub fn vertex_packing(h: &Hypergraph) -> Result<PackingSolution, AgmError> {
         lp.constraint(row, Cmp::Le, 1.0);
     }
     match solve(&lp) {
-        LpOutcome::Optimal(s) => Ok(PackingSolution { weights: s.x, value: s.value }),
+        LpOutcome::Optimal(s) => Ok(PackingSolution {
+            weights: s.x,
+            value: s.value,
+        }),
         LpOutcome::Infeasible => unreachable!("y = 0 is always feasible"),
         LpOutcome::Unbounded => Err(AgmError::Empty),
     }

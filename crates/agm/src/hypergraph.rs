@@ -23,7 +23,10 @@ impl fmt::Display for AgmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AgmError::UncoveredVertex(v) => {
-                write!(f, "attribute `{v}` occurs in no relation: cover is infeasible")
+                write!(
+                    f,
+                    "attribute `{v}` occurs in no relation: cover is infeasible"
+                )
             }
             AgmError::UnknownVertex(v) => write!(f, "unknown attribute `{v}`"),
             AgmError::Empty => write!(f, "hypergraph has no edges"),
@@ -72,7 +75,10 @@ impl Hypergraph {
         let mut vertices: Vec<usize> = attrs.iter().map(|a| self.vertex(a)).collect();
         vertices.sort_unstable();
         vertices.dedup();
-        self.edges.push(Edge { name: name.to_owned(), vertices });
+        self.edges.push(Edge {
+            name: name.to_owned(),
+            vertices,
+        });
         self.edges.len() - 1
     }
 

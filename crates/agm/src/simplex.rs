@@ -31,17 +31,29 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// Creates a minimization program with no constraints yet.
     pub fn minimize(objective: Vec<f64>) -> Self {
-        LinearProgram { objective, constraints: Vec::new(), maximize: false }
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+            maximize: false,
+        }
     }
 
     /// Creates a maximization program with no constraints yet.
     pub fn maximize(objective: Vec<f64>) -> Self {
-        LinearProgram { objective, constraints: Vec::new(), maximize: true }
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+            maximize: true,
+        }
     }
 
     /// Adds a constraint.
     pub fn constraint(&mut self, coeffs: Vec<f64>, cmp: Cmp, rhs: f64) -> &mut Self {
-        assert_eq!(coeffs.len(), self.objective.len(), "coefficient arity mismatch");
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "coefficient arity mismatch"
+        );
         self.constraints.push((coeffs, cmp, rhs));
         self
     }
@@ -120,8 +132,7 @@ impl Tableau {
     fn run(&mut self, allowed: &dyn Fn(usize) -> bool) -> bool {
         loop {
             // Bland's rule: smallest-index column with negative reduced cost.
-            let entering = (0..self.cols)
-                .find(|&j| allowed(j) && self.obj[j] < -EPS);
+            let entering = (0..self.cols).find(|&j| allowed(j) && self.obj[j] < -EPS);
             let Some(j) = entering else { return true };
             // Ratio test (Bland tie-break on basis variable index).
             let mut leave: Option<(usize, f64)> = None;
@@ -208,7 +219,12 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         }
     }
 
-    let mut t = Tableau { a, obj: vec![0.0; cols + 1], basis, cols };
+    let mut t = Tableau {
+        a,
+        obj: vec![0.0; cols + 1],
+        basis,
+        cols,
+    };
 
     // ---- Phase 1: minimise the sum of artificials.
     if n_art > 0 {

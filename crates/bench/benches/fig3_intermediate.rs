@@ -19,12 +19,16 @@ fn bench_fig3_intermediate(c: &mut Criterion) {
         let idx = inst.index();
         let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
         let q = fig3_query();
-        group.bench_with_input(BenchmarkId::new("xjoin_total_intermediate", n), &n, |b, _| {
-            b.iter(|| {
-                let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
-                black_box(out.stats.total_intermediate())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("xjoin_total_intermediate", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
+                    black_box(out.stats.total_intermediate())
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("baseline_total_intermediate", n),
             &n,

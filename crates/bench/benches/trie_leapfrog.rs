@@ -63,12 +63,16 @@ fn bench_triangle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lftj_materialise", rows), &rows, |b, _| {
             b.iter(|| black_box(lftj_join(&[&r, &s, &t], &order).expect("join runs").len()))
         });
-        group.bench_with_input(BenchmarkId::new("generic_levelwise", rows), &rows, |b, _| {
-            b.iter(|| {
-                let (out, _) = generic_join(&[&r, &s, &t], &order).expect("join runs");
-                black_box(out.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generic_levelwise", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let (out, _) = generic_join(&[&r, &s, &t], &order).expect("join runs");
+                    black_box(out.len())
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("hash_binary", rows), &rows, |b, _| {
             b.iter(|| {
                 let (out, _) = multiway_hash_join(&[&r, &s, &t]).expect("join runs");
@@ -79,5 +83,10 @@ fn bench_triangle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trie_build, bench_leapfrog_intersect, bench_triangle);
+criterion_group!(
+    benches,
+    bench_trie_build,
+    bench_leapfrog_intersect,
+    bench_triangle
+);
 criterion_main!(benches);

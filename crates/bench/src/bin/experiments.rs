@@ -59,7 +59,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: experiments [bounds|fig3|lemma35|bookstore|ablation|all] [--max-n N]");
+            eprintln!(
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|all] [--max-n N]"
+            );
             std::process::exit(2);
         }
     }
@@ -130,7 +132,12 @@ fn exp_bounds() {
     q1.edge("R1", &["A", "B", "C", "D"]);
     q1.edge("R2", &["E", "F", "G", "H"]);
     println!("{:<28} {:>10} {:>10}", "query", "LP rho*", "paper");
-    println!("{:<28} {:>10.3} {:>10}", "Q (mixed)", agm_exponent(&q34).unwrap(), "2");
+    println!(
+        "{:<28} {:>10.3} {:>10}",
+        "Q (mixed)",
+        agm_exponent(&q34).unwrap(),
+        "2"
+    );
     println!(
         "{:<28} {:>10.3} {:>10}",
         "Q1 (relational only)",
@@ -183,8 +190,16 @@ fn exp_fig3(max_n: usize) {
     header("E1/E2: Figure 3 — Baseline vs XJoin (AGM-tight instances)");
     println!(
         "{:>4} {:>10} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10}",
-        "n", "|Q|", "xjoin ms", "base ms", "t-ratio", "xjoin maxI", "base maxI", "I-ratio",
-        "bound n^2", "n^5"
+        "n",
+        "|Q|",
+        "xjoin ms",
+        "base ms",
+        "t-ratio",
+        "xjoin maxI",
+        "base maxI",
+        "I-ratio",
+        "bound n^2",
+        "n^5"
     );
     let mut ns = vec![2usize, 4, 6, 8];
     ns.retain(|&n| n <= max_n);
@@ -208,7 +223,10 @@ fn exp_fig3(max_n: usize) {
             row.bound,
             n.pow(5),
         );
-        assert!(row.xjoin_max_int as f64 <= row.bound + 1e-6, "Lemma 3.5 violated");
+        assert!(
+            row.xjoin_max_int as f64 <= row.bound + 1e-6,
+            "Lemma 3.5 violated"
+        );
     }
 
     header("E1/E2: Figure 3 — Baseline vs XJoin (random instances, domain = n)");
@@ -303,18 +321,34 @@ fn exp_ablation() {
     );
     let configs: Vec<(&str, XJoinConfig)> = vec![
         ("default (Algorithm 1)", XJoinConfig::default()),
-        ("+ A-D filter", XJoinConfig { ad_filter: true, ..Default::default() }),
+        (
+            "+ A-D filter",
+            XJoinConfig {
+                ad_filter: true,
+                ..Default::default()
+            },
+        ),
         (
             "+ partial validation",
-            XJoinConfig { partial_validation: true, ..Default::default() },
+            XJoinConfig {
+                partial_validation: true,
+                ..Default::default()
+            },
         ),
         (
             "+ both (paper's future work)",
-            XJoinConfig { ad_filter: true, partial_validation: true, ..Default::default() },
+            XJoinConfig {
+                ad_filter: true,
+                partial_validation: true,
+                ..Default::default()
+            },
         ),
         (
             "cardinality order",
-            XJoinConfig { order: OrderStrategy::Cardinality, ..Default::default() },
+            XJoinConfig {
+                order: OrderStrategy::Cardinality,
+                ..Default::default()
+            },
         ),
     ];
     for (name, cfg) in configs {
@@ -335,15 +369,33 @@ fn exp_ablation() {
         "configuration", "result", "max interm.", "time ms"
     );
     for (name, cfg) in [
-        ("hash + TwigStack", BaselineConfig { rel_alg: RelAlg::Hash, xml_alg: XmlAlg::TwigStack }),
-        ("LFTJ + TwigStack", BaselineConfig { rel_alg: RelAlg::Lftj, xml_alg: XmlAlg::TwigStack }),
+        (
+            "hash + TwigStack",
+            BaselineConfig {
+                rel_alg: RelAlg::Hash,
+                xml_alg: XmlAlg::TwigStack,
+            },
+        ),
+        (
+            "LFTJ + TwigStack",
+            BaselineConfig {
+                rel_alg: RelAlg::Lftj,
+                xml_alg: XmlAlg::TwigStack,
+            },
+        ),
         (
             "hash + navigational",
-            BaselineConfig { rel_alg: RelAlg::Hash, xml_alg: XmlAlg::Navigational },
+            BaselineConfig {
+                rel_alg: RelAlg::Hash,
+                xml_alg: XmlAlg::Navigational,
+            },
         ),
         (
             "hash + TJFast (ext. Dewey)",
-            BaselineConfig { rel_alg: RelAlg::Hash, xml_alg: XmlAlg::Tjfast },
+            BaselineConfig {
+                rel_alg: RelAlg::Hash,
+                xml_alg: XmlAlg::Tjfast,
+            },
         ),
     ] {
         let t0 = Instant::now();

@@ -76,7 +76,8 @@ pub fn fig3_tight(n: usize) -> Instance {
             ]
         })
         .collect();
-    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1).expect("load R1");
+    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1)
+        .expect("load R1");
     let r2: Vec<Vec<Value>> = (0..n as i64)
         .map(|j| {
             vec![
@@ -87,7 +88,8 @@ pub fn fig3_tight(n: usize) -> Instance {
             ]
         })
         .collect();
-    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2).expect("load R2");
+    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2)
+        .expect("load R2");
 
     let mut dict = db.dict().clone();
     let mut b = XmlDocument::builder();
@@ -141,7 +143,8 @@ pub fn fig3_random(n: usize, domain: i64, seed: u64) -> Instance {
             ]
         })
         .collect();
-    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1).expect("load R1");
+    db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1)
+        .expect("load R1");
     let r2: Vec<Vec<Value>> = (0..n)
         .map(|_| {
             vec![
@@ -152,7 +155,8 @@ pub fn fig3_random(n: usize, domain: i64, seed: u64) -> Instance {
             ]
         })
         .collect();
-    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2).expect("load R2");
+    db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2)
+        .expect("load R2");
 
     let mut dict = db.dict().clone();
     let mut b = XmlDocument::builder();
@@ -205,7 +209,8 @@ pub fn fig2_instance(n: usize) -> Instance {
     let r2: Vec<Vec<Value>> = (0..n as i64)
         .map(|j| vec![Value::Int(F_VAL), Value::Int(G0 + j), Value::Int(H0 + j)])
         .collect();
-    db.load("R2", Schema::of(&["F", "G", "H"]), r2).expect("load R2");
+    db.load("R2", Schema::of(&["F", "G", "H"]), r2)
+        .expect("load R2");
     Instance { db, doc: base.doc }
 }
 

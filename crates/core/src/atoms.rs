@@ -64,10 +64,7 @@ impl<'a> Atoms<'a> {
 
 /// Lowers the query: relational atoms followed by every twig's path
 /// relations.
-pub fn collect_atoms<'a>(
-    ctx: &DataContext<'a>,
-    query: &MultiModelQuery,
-) -> Result<Atoms<'a>> {
+pub fn collect_atoms<'a>(ctx: &DataContext<'a>, query: &MultiModelQuery) -> Result<Atoms<'a>> {
     let mut names = Vec::new();
     let mut rels: Vec<AtomRel<'a>> = Vec::new();
     for (atom, resolved) in query.relations.iter().zip(ctx.resolve_atoms(query)?) {
@@ -93,7 +90,12 @@ pub fn collect_atoms<'a>(
         }
         decompositions.push(dec);
     }
-    Ok(Atoms { names, rels, first_path_atom, decompositions })
+    Ok(Atoms {
+        names,
+        rels,
+        first_path_atom,
+        decompositions,
+    })
 }
 
 #[cfg(test)]
@@ -105,8 +107,12 @@ mod tests {
 
     fn setup() -> (Database, XmlDocument) {
         let mut db = Database::new();
-        db.load("R", Schema::of(&["B", "D"]), vec![vec![Value::Int(1), Value::Int(2)]])
-            .unwrap();
+        db.load(
+            "R",
+            Schema::of(&["B", "D"]),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
         let mut dict = db.dict().clone();
         let mut b = XmlDocument::builder();
         b.begin("A");

@@ -168,7 +168,10 @@ pub fn baseline(
     }
     stats.output_rows = result.len();
     stats.elapsed = start.elapsed();
-    Ok(BaselineOutput { results: result, stats })
+    Ok(BaselineOutput {
+        results: result,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +272,8 @@ mod tests {
         // A twig whose match count exceeds the final result: baseline
         // materialises it, and the stats show it.
         let mut db = Database::new();
-        db.load("S", Schema::of(&["b"]), vec![vec![Value::Int(0)]]).unwrap();
+        db.load("S", Schema::of(&["b"]), vec![vec![Value::Int(0)]])
+            .unwrap();
         let mut dict = db.dict().clone();
         let mut bld = XmlDocument::builder();
         bld.begin("a");

@@ -105,11 +105,16 @@ pub fn xjoin(
             for &edge in &dec.ad_edges {
                 let va = &twig.node(edge.0).var;
                 let vd = &twig.node(edge.1).var;
-                let pa = order.iter().position(|o| o == va).expect("order covers vars");
-                let pd = order.iter().position(|o| o == vd).expect("order covers vars");
+                let pa = order
+                    .iter()
+                    .position(|o| o == va)
+                    .expect("order covers vars");
+                let pd = order
+                    .iter()
+                    .position(|o| o == vd)
+                    .expect("order covers vars");
                 let rel = ad_edge_relation(ctx.doc, ctx.index, twig, edge);
-                let set: HashSet<(ValueId, ValueId)> =
-                    rel.rows().map(|r| (r[0], r[1])).collect();
+                let set: HashSet<(ValueId, ValueId)> = rel.rows().map(|r| (r[0], r[1])).collect();
                 ad_checks[pa.max(pd)].push((pa, pd, set));
             }
         }
@@ -218,7 +223,12 @@ pub fn xjoin(
     }
     stats.output_rows = result.len();
     stats.elapsed = start.elapsed();
-    Ok(XJoinOutput { results: result, stats, order, atom_sizes: atoms.sizes() })
+    Ok(XJoinOutput {
+        results: result,
+        stats,
+        order,
+        atom_sizes: atoms.sizes(),
+    })
 }
 
 /// Re-exported helper: lowers a query to its atom set without running the
@@ -272,12 +282,9 @@ mod tests {
         let (db, doc) = bookstore();
         let idx = TagIndex::build(&doc);
         let ctx = DataContext::new(&db, &doc, &idx);
-        let q = MultiModelQuery::new(
-            &["R"],
-            &["//invoices/orderLine[/orderID][/ISBN][/price]"],
-        )
-        .unwrap()
-        .with_output(&["userID", "ISBN", "price"]);
+        let q = MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+            .unwrap()
+            .with_output(&["userID", "ISBN", "price"]);
         let out = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
         assert_eq!(out.results.len(), 2);
         let decoded = db.decode(&out.results);
@@ -360,13 +367,14 @@ mod tests {
         let (db, doc) = bookstore();
         let idx = TagIndex::build(&doc);
         let ctx = DataContext::new(&db, &doc, &idx);
-        let q = MultiModelQuery::new(
-            &["R"],
-            &["//invoices/orderLine[/orderID][/ISBN][/price]"],
-        )
-        .unwrap();
+        let q = MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+            .unwrap();
         let base = xjoin(&ctx, &q, &XJoinConfig::default()).unwrap();
-        let cfg = XJoinConfig { partial_validation: true, ad_filter: true, ..Default::default() };
+        let cfg = XJoinConfig {
+            partial_validation: true,
+            ad_filter: true,
+            ..Default::default()
+        };
         let opt = xjoin(&ctx, &q, &cfg).unwrap();
         assert!(base.results.set_eq(&opt.results));
         // Filtering can only shrink intermediates.
@@ -379,10 +387,11 @@ mod tests {
         // orderLines which are under invoices -> both match; but a price
         // outside invoices must not.
         let mut db = Database::new();
-        db.load("Dummy", Schema::of(&["price"]), vec![
-            vec![Value::Int(30)],
-            vec![Value::Int(99)],
-        ])
+        db.load(
+            "Dummy",
+            Schema::of(&["price"]),
+            vec![vec![Value::Int(30)], vec![Value::Int(99)]],
+        )
         .unwrap();
         let mut dict = db.dict().clone();
         let mut b = XmlDocument::builder();
@@ -403,8 +412,14 @@ mod tests {
             .with_output(&["price"]);
         for cfg in [
             XJoinConfig::default(),
-            XJoinConfig { ad_filter: true, ..Default::default() },
-            XJoinConfig { partial_validation: true, ..Default::default() },
+            XJoinConfig {
+                ad_filter: true,
+                ..Default::default()
+            },
+            XJoinConfig {
+                partial_validation: true,
+                ..Default::default()
+            },
         ] {
             let out = xjoin(&ctx, &q, &cfg).unwrap();
             assert_eq!(out.results.len(), 1, "cfg {cfg:?}");

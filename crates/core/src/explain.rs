@@ -73,9 +73,17 @@ impl Explanation {
                 .iter()
                 .map(|(a, d)| format!("{a}//{d}"))
                 .collect();
-            let _ = writeln!(out, "cut A-D edges (validated post-join): {}", rendered.join(", "));
+            let _ = writeln!(
+                out,
+                "cut A-D edges (validated post-join): {}",
+                rendered.join(", ")
+            );
         }
-        let _ = writeln!(out, "worst-case result bound (Lemma 3.1): {:.1}", self.bound);
+        let _ = writeln!(
+            out,
+            "worst-case result bound (Lemma 3.1): {:.1}",
+            self.bound
+        );
         let _ = writeln!(out, "per-stage intermediate bounds (Lemma 3.5):");
         for (var, b) in self.order.iter().zip(&self.prefix_bounds) {
             let _ = writeln!(out, "  after {var:<12} <= {b:.1}");

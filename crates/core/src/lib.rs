@@ -51,12 +51,12 @@
 #![warn(missing_docs)]
 
 pub mod atoms;
-pub mod mmql;
 pub mod baseline;
 pub mod bounds;
 pub mod engine;
 pub mod error;
 pub mod explain;
+pub mod mmql;
 pub mod order;
 pub mod query;
 pub mod stream;
@@ -68,8 +68,8 @@ pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent};
 pub use engine::{lower, xjoin, XJoinConfig, XJoinOutput};
 pub use error::{CoreError, Result};
 pub use explain::{explain, Explanation};
-pub use order::{compute_order, OrderStrategy};
-pub use stream::{xjoin_collect, xjoin_count, xjoin_stream};
 pub use mmql::parse_query;
+pub use order::{compute_order, OrderStrategy};
 pub use query::{all_variables, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term};
+pub use stream::{xjoin_collect, xjoin_count, xjoin_stream};
 pub use validate::TwigValidator;

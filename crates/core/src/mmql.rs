@@ -42,9 +42,9 @@ pub fn parse_query(input: &str) -> Result<MultiModelQuery> {
                 .into_iter()
                 .map(|t| match t {
                     Term::Var(v) => Ok(v),
-                    Term::Const(c) => Err(CoreError::BadOrder(format!(
-                        "constant `{c}` in query head"
-                    ))),
+                    Term::Const(c) => {
+                        Err(CoreError::BadOrder(format!("constant `{c}` in query head")))
+                    }
                 })
                 .collect::<Result<_>>()?;
             Some(vars)
@@ -68,7 +68,11 @@ pub fn parse_query(input: &str) -> Result<MultiModelQuery> {
     if relations.is_empty() && twigs.is_empty() {
         return Err(CoreError::EmptyQuery);
     }
-    Ok(MultiModelQuery { relations, twigs, output })
+    Ok(MultiModelQuery {
+        relations,
+        twigs,
+        output,
+    })
 }
 
 /// Splits the body on commas at bracket depth 0 (`[` / `]` and `(` / `)`),
@@ -150,7 +154,10 @@ fn parse_term(t: &str) -> Result<Term> {
             .ok_or_else(|| CoreError::BadOrder(format!("unterminated string `{t}`")))?;
         return Ok(Term::Const(Value::str(inner)));
     }
-    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if t.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         let i: i64 = t
             .parse()
             .map_err(|_| CoreError::BadOrder(format!("bad numeric constant `{t}`")))?;

@@ -102,8 +102,12 @@ mod tests {
             ],
         )
         .unwrap();
-        db.load("S", Schema::of(&["y", "z"]), vec![vec![Value::Int(2), Value::Int(5)]])
-            .unwrap();
+        db.load(
+            "S",
+            Schema::of(&["y", "z"]),
+            vec![vec![Value::Int(2), Value::Int(5)]],
+        )
+        .unwrap();
         let mut dict = db.dict().clone();
         let mut b = XmlDocument::builder();
         b.begin("T");

@@ -28,7 +28,10 @@ pub struct RelAtom {
 impl RelAtom {
     /// An atom using the relation's stored schema.
     pub fn plain(name: impl Into<String>) -> Self {
-        RelAtom { name: name.into(), terms: None }
+        RelAtom {
+            name: name.into(),
+            terms: None,
+        }
     }
 
     /// An atom with positional variable rebinding.
@@ -41,7 +44,10 @@ impl RelAtom {
 
     /// An atom with arbitrary positional terms.
     pub fn with_terms(name: impl Into<String>, terms: Vec<Term>) -> Self {
-        RelAtom { name: name.into(), terms: Some(terms) }
+        RelAtom {
+            name: name.into(),
+            terms: Some(terms),
+        }
     }
 }
 
@@ -66,7 +72,10 @@ impl MultiModelQuery {
             .map(|e| TwigPattern::parse(e.as_ref()))
             .collect::<std::result::Result<_, _>>()?;
         Ok(MultiModelQuery {
-            relations: relations.iter().map(|s| RelAtom::plain(s.as_ref())).collect(),
+            relations: relations
+                .iter()
+                .map(|s| RelAtom::plain(s.as_ref()))
+                .collect(),
             twigs,
             output: None,
         })
@@ -164,11 +173,7 @@ impl<'a> DataContext<'a> {
 /// Applies an atom's positional terms to a stored relation: constants become
 /// selections, repeated variables become equality filters, and the result's
 /// schema lists each distinct variable once (first-occurrence order).
-fn apply_terms(
-    db: &Database,
-    rel: &Relation,
-    terms: &[Term],
-) -> Result<Relation> {
+fn apply_terms(db: &Database, rel: &Relation, terms: &[Term]) -> Result<Relation> {
     // Output columns: first occurrence of each variable.
     let mut out_attrs: Vec<Attr> = Vec::new();
     let mut out_positions: Vec<usize> = Vec::new();
@@ -197,8 +202,8 @@ fn apply_terms(
             rel.schema()
         )));
     }
-    let schema = relational::Schema::new(out_attrs.iter().cloned())
-        .map_err(CoreError::Relational)?;
+    let schema =
+        relational::Schema::new(out_attrs.iter().cloned()).map_err(CoreError::Relational)?;
     let mut out = Relation::new(schema);
     // Any unknown constant ⇒ no tuple can match.
     if consts.iter().any(|(_, id)| id.is_none()) {

@@ -144,7 +144,8 @@ mod tests {
         // validation must reject fabricated combinations exactly like the
         // level-wise engine.
         let mut db = Database::new();
-        db.load("D", RSchema::of(&["price"]), vec![vec![Value::Int(7)]]).unwrap();
+        db.load("D", RSchema::of(&["price"]), vec![vec![Value::Int(7)]])
+            .unwrap();
         let mut dict = db.dict().clone();
         let mut b = XmlDocument::builder();
         b.begin("lines");

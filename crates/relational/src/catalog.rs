@@ -80,10 +80,7 @@ impl Database {
     /// experiments harness).
     pub fn render_table(&self, rel: &Relation) -> String {
         let attrs = rel.schema().attrs();
-        let mut cols: Vec<Vec<String>> = attrs
-            .iter()
-            .map(|a| vec![a.name().to_owned()])
-            .collect();
+        let mut cols: Vec<Vec<String>> = attrs.iter().map(|a| vec![a.name().to_owned()]).collect();
         for row in rel.rows() {
             for (c, &id) in row.iter().enumerate() {
                 cols[c].push(self.dict.decode(id).to_string());
@@ -142,7 +139,8 @@ mod tests {
     #[test]
     fn decode_round_trips() {
         let mut db = Database::new();
-        db.load("R", Schema::of(&["x"]), vec![vec![Value::Int(42)]]).unwrap();
+        db.load("R", Schema::of(&["x"]), vec![vec![Value::Int(42)]])
+            .unwrap();
         let rel = db.relation("R").unwrap().clone();
         let rows = db.decode(&rel);
         assert_eq!(rows, vec![vec![Value::Int(42)]]);

@@ -29,7 +29,10 @@ impl fmt::Display for RelError {
         match self {
             RelError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} attributes, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} attributes, tuple has {got}"
+                )
             }
             RelError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}` in schema"),
             RelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
@@ -52,7 +55,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = RelError::UnknownAttribute("x".into());
         assert!(e.to_string().contains('x'));
-        let e = RelError::ArityMismatch { expected: 3, got: 2 };
+        let e = RelError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         let e = RelError::DuplicateAttribute("a".into());
         assert!(e.to_string().contains('a'));

@@ -288,7 +288,13 @@ mod tests {
         // Path query: R(a,b) ⋈ R'(b,c) using renamed copies of one relation.
         let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 4]]);
         let r2 = r
-            .rename(|a| if a.name() == "a" { "b".into() } else { "c".into() })
+            .rename(|a| {
+                if a.name() == "a" {
+                    "b".into()
+                } else {
+                    "c".into()
+                }
+            })
             .unwrap();
         let (out, _) = generic_join(&[&r, &r2], &attrs(&["a", "b", "c"])).unwrap();
         assert_eq!(out.len(), 2);

@@ -209,7 +209,7 @@ mod tests {
         let (out, stats) = multiway_hash_join(&[&t, &r, &s]).unwrap();
         assert!(out.is_empty());
         assert_eq!(stats.max_intermediate(), 0); // t first: everything empty
-        // Without the empty atom first, the blow-up appears:
+                                                 // Without the empty atom first, the blow-up appears:
         let (out2, stats2) = multiway_hash_join(&[&r, &s]).unwrap();
         assert_eq!(out2.len(), (n * n) as usize);
         assert_eq!(stats2.max_intermediate(), (n * n) as usize);

@@ -93,7 +93,10 @@ impl<'a> SliceCursor<'a> {
 ///
 /// An empty `cursors` list yields nothing (the neutral intersection is
 /// handled by callers, who know the variable's domain).
-pub fn leapfrog_foreach(cursors: &mut [SliceCursor<'_>], mut f: impl FnMut(ValueId, &[SliceCursor<'_>])) {
+pub fn leapfrog_foreach(
+    cursors: &mut [SliceCursor<'_>],
+    mut f: impl FnMut(ValueId, &[SliceCursor<'_>]),
+) {
     let k = cursors.len();
     if k == 0 || cursors.iter().any(|c| c.at_end()) {
         return;
@@ -169,7 +172,10 @@ mod tests {
     fn gallop_on_long_runs() {
         let s: Vec<ValueId> = (0..1000).map(|i| ValueId(2 * i)).collect();
         for probe in [0u32, 1, 2, 999, 1000, 1998, 1999, 2000, 5000] {
-            let want = s.iter().position(|&v| v >= ValueId(probe)).unwrap_or(s.len());
+            let want = s
+                .iter()
+                .position(|&v| v >= ValueId(probe))
+                .unwrap_or(s.len());
             assert_eq!(gallop(&s, 0, ValueId(probe)), want, "probe {probe}");
         }
     }

@@ -23,7 +23,14 @@ pub fn lftj_foreach(plan: &JoinPlan, mut cb: impl FnMut(&[ValueId])) {
     }
     let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); plan.tries().len()];
     let mut prefix: Vec<ValueId> = Vec::with_capacity(plan.order().len());
-    rec(plan.tries(), plan.var_plans(), 0, &mut stacks, &mut prefix, &mut cb);
+    rec(
+        plan.tries(),
+        plan.var_plans(),
+        0,
+        &mut stacks,
+        &mut prefix,
+        &mut cb,
+    );
 }
 
 fn rec(
@@ -161,20 +168,31 @@ mod tests {
     fn four_clique_query() {
         // K4 edges as a symmetric relation; count 4-cliques via 6 atoms.
         let edges: Vec<[u32; 2]> = vec![
-            [1, 2], [1, 3], [1, 4], [2, 3], [2, 4], [3, 4],
-            [2, 1], [3, 1], [4, 1], [3, 2], [4, 2], [4, 3],
+            [1, 2],
+            [1, 3],
+            [1, 4],
+            [2, 3],
+            [2, 4],
+            [3, 4],
+            [2, 1],
+            [3, 1],
+            [4, 1],
+            [3, 2],
+            [4, 2],
+            [4, 3],
         ];
-        let rows: Vec<Vec<ValueId>> =
-            edges.iter().map(|e| vec![v(e[0]), v(e[1])]).collect();
+        let rows: Vec<Vec<ValueId>> = edges.iter().map(|e| vec![v(e[0]), v(e[1])]).collect();
         let pairs = [
-            ("a", "b"), ("a", "c"), ("a", "d"),
-            ("b", "c"), ("b", "d"), ("c", "d"),
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "c"),
+            ("b", "d"),
+            ("c", "d"),
         ];
         let rels: Vec<Relation> = pairs
             .iter()
-            .map(|(x, y)| {
-                Relation::from_rows(Schema::of(&[x, y]), rows.clone()).unwrap()
-            })
+            .map(|(x, y)| Relation::from_rows(Schema::of(&[x, y]), rows.clone()).unwrap())
             .collect();
         let refs: Vec<&Relation> = rels.iter().collect();
         let out = lftj_join(&refs, &attrs(&["a", "b", "c", "d"])).unwrap();

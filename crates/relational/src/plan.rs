@@ -101,9 +101,16 @@ impl JoinPlan {
                     "variable `{var}` occurs in no atom"
                 )));
             }
-            var_plans.push(VarPlan { var: var.clone(), participants });
+            var_plans.push(VarPlan {
+                var: var.clone(),
+                participants,
+            });
         }
-        Ok(JoinPlan { order: order.to_vec(), tries, var_plans })
+        Ok(JoinPlan {
+            order: order.to_vec(),
+            tries,
+            var_plans,
+        })
     }
 
     /// The global variable order.
@@ -163,7 +170,10 @@ mod tests {
         assert_eq!(vp.participants.len(), 2);
         assert!(vp.participants.iter().all(|p| p.level == 0));
         // "b" only in atom 0 at level 1.
-        assert_eq!(plan.var_plans()[1].participants, vec![Participant { atom: 0, level: 1 }]);
+        assert_eq!(
+            plan.var_plans()[1].participants,
+            vec![Participant { atom: 0, level: 1 }]
+        );
     }
 
     #[test]

@@ -21,13 +21,19 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, data: Vec::new() }
+        Relation {
+            schema,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty relation, pre-allocating space for `rows` tuples.
     pub fn with_capacity(schema: Schema, rows: usize) -> Self {
         let arity = schema.arity();
-        Relation { schema, data: Vec::with_capacity(rows * arity) }
+        Relation {
+            schema,
+            data: Vec::with_capacity(rows * arity),
+        }
     }
 
     /// Builds a relation from an iterator of rows, validating arity.
@@ -102,7 +108,12 @@ impl Relation {
     /// Iterates over tuples as slices. Nullary relations yield empty slices.
     pub fn rows(&self) -> impl Iterator<Item = &[ValueId]> + '_ {
         let a = self.schema.arity();
-        RowIter { data: &self.data, arity: a, pos: 0, remaining: self.len() }
+        RowIter {
+            data: &self.data,
+            arity: a,
+            pos: 0,
+            remaining: self.len(),
+        }
     }
 
     /// Sorts tuples lexicographically (in schema attribute order) and removes
@@ -166,7 +177,10 @@ impl Relation {
     /// Returns a copy with attributes renamed via `f` (schema order kept).
     pub fn rename(&self, f: impl Fn(&Attr) -> Attr) -> Result<Relation> {
         let schema = Schema::new(self.schema.attrs().iter().map(&f))?;
-        Ok(Relation { schema, data: self.data.clone() })
+        Ok(Relation {
+            schema,
+            data: self.data.clone(),
+        })
     }
 
     /// Collects the tuples into a hash set of boxed rows (for membership
@@ -343,8 +357,7 @@ mod tests {
 
     #[test]
     fn from_rows_builder() {
-        let r = Relation::from_rows(Schema::of(&["a", "b"]), [[v(1), v(2)], [v(3), v(4)]])
-            .unwrap();
+        let r = Relation::from_rows(Schema::of(&["a", "b"]), [[v(1), v(2)], [v(3), v(4)]]).unwrap();
         assert_eq!(r.len(), 2);
         assert!(Relation::from_rows(Schema::of(&["a"]), [[v(1), v(2)]]).is_err());
     }

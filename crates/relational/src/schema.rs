@@ -68,7 +68,9 @@ impl Schema {
                 return Err(RelError::DuplicateAttribute(a.name().to_owned()));
             }
         }
-        Ok(Schema { attrs: attrs.into() })
+        Ok(Schema {
+            attrs: attrs.into(),
+        })
     }
 
     /// Builds a schema from attribute names, panicking on duplicates.
@@ -132,7 +134,9 @@ impl Schema {
     pub fn join(&self, other: &Schema) -> Schema {
         let mut attrs: Vec<Attr> = self.attrs.to_vec();
         attrs.extend(other.difference(self));
-        Schema { attrs: attrs.into() }
+        Schema {
+            attrs: attrs.into(),
+        }
     }
 
     /// Restricts a global attribute order to this schema's attributes.

@@ -35,7 +35,10 @@ pub struct JoinStats {
 impl JoinStats {
     /// Records a stage.
     pub fn record(&mut self, label: impl Into<String>, tuples: usize) {
-        self.stages.push(StageStats { label: label.into(), tuples });
+        self.stages.push(StageStats {
+            label: label.into(),
+            tuples,
+        });
     }
 
     /// Records a variable-expansion stage.

@@ -83,11 +83,13 @@ pub fn parse_table(db: &mut Database, text: &str, delim: char) -> Result<(String
     let mut buf: Vec<ValueId> = Vec::with_capacity(arity);
     for (lineno, line) in lines.enumerate() {
         // Track quoting per field for typing: re-split and detect quotes.
-        let raw = split_line(line, delim).map_err(|e| {
-            RelError::InvalidOrder(format!("line {}: {e}", lineno + 2))
-        })?;
+        let raw = split_line(line, delim)
+            .map_err(|e| RelError::InvalidOrder(format!("line {}: {e}", lineno + 2)))?;
         if raw.len() != arity {
-            return Err(RelError::ArityMismatch { expected: arity, got: raw.len() });
+            return Err(RelError::ArityMismatch {
+                expected: arity,
+                got: raw.len(),
+            });
         }
         // Quote detection: a field was quoted iff the trimmed source field
         // starts with '"'. Recompute from the source line.
@@ -187,7 +189,13 @@ mod tests {
     fn arity_mismatch_is_reported() {
         let mut db = Database::new();
         let err = db.load_csv("t: a,b\n1\n").unwrap_err();
-        assert!(matches!(err, RelError::ArityMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            RelError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

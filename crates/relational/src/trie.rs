@@ -104,11 +104,18 @@ impl Trie {
             if d > 0 {
                 levels[d - 1].child_start = group_node_start;
             }
-            levels.push(TrieLevel { vals, child_start: Vec::new() });
+            levels.push(TrieLevel {
+                vals,
+                child_start: Vec::new(),
+            });
             groups = next_groups;
         }
 
-        Ok(Trie { attrs: order.to_vec(), levels, tuples: rows.len() })
+        Ok(Trie {
+            attrs: order.to_vec(),
+            levels,
+            tuples: rows.len(),
+        })
     }
 
     /// Builds a trie using the relation's own schema order.
@@ -151,7 +158,10 @@ impl Trie {
     /// Panics if `level` is the deepest level.
     pub fn children(&self, level: usize, node: u32) -> Range<u32> {
         let l = &self.levels[level];
-        assert!(!l.child_start.is_empty(), "children() on leaf level {level}");
+        assert!(
+            !l.child_start.is_empty(),
+            "children() on leaf level {level}"
+        );
         l.child_start[node as usize]..l.child_start[node as usize + 1]
     }
 

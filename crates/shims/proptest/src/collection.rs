@@ -1,0 +1,102 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = sample_size(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `BTreeSet` whose size is drawn from `size` (best-effort when the element
+/// domain is smaller than the target) and whose elements come from `element`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = sample_size(&self.size, rng);
+        let mut out = BTreeSet::new();
+        // Duplicates don't grow the set; cap the attempts so a small element
+        // domain terminates with a smaller-than-target set, as real proptest
+        // does.
+        let mut attempts = 20 * target + 20;
+        while out.len() < target && attempts > 0 {
+            out.insert(self.element.generate(rng));
+            attempts -= 1;
+        }
+        out
+    }
+}
+
+fn sample_size(size: &Range<usize>, rng: &mut StdRng) -> usize {
+    if size.start >= size.end {
+        size.start
+    } else {
+        rng.gen_range(size.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = vec((0u32..12, 0u32..12), 0..60);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 60);
+            assert!(v.iter().all(|&(a, b)| a < 12 && b < 12));
+        }
+    }
+
+    #[test]
+    fn btree_set_meets_min_size_when_domain_allows() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = btree_set(0usize..6, 1..4);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 4, "size {}", s.len());
+            assert!(s.iter().all(|&x| x < 6));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of proptest the workspace's property suites use: the [`Strategy`]
+//! trait with [`Strategy::prop_map`], range / tuple / string-regex
+//! strategies, [`collection::vec`] and [`collection::btree_set`],
+//! [`any`], [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim
+//!   (they are `Debug`-printed before the test body runs) instead of a
+//!   minimised counterexample.
+//! * **Deterministic.** Case `i` of every test derives its RNG from `i`, so
+//!   failures reproduce exactly across runs and machines.
+//! * String strategies support the character-class subset of regex syntax
+//!   (`[a-z<>& ]{m,n}`) that the suites use, not full regex.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod collection;
+pub mod string;
+
+/// Re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values — the shim's (shrink-free) take on
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::generate_from_pattern(self, rng)
+    }
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for [`bool`]: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Test-runner entry point used by the [`proptest!`] macro expansion.
+///
+/// Runs `cfg.cases` cases; each case gets a deterministic RNG derived from
+/// its index. The closure writes a `Debug` rendering of its generated inputs
+/// into the provided buffer before running the body, so a panicking case can
+/// be reported with the exact inputs that triggered it.
+pub fn run_cases(cfg: &ProptestConfig, f: impl Fn(&mut StdRng, &mut String)) {
+    for case in 0..cfg.cases {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000_0000_0000 | case as u64);
+        let mut desc = String::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng, &mut desc)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: case {case} of {} failed; inputs: {}",
+                cfg.cases,
+                if desc.is_empty() {
+                    "<none recorded>"
+                } else {
+                    &desc
+                }
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the forms the workspace uses: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&__cfg, |__rng, __desc| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    {
+                        use ::std::fmt::Write as _;
+                        $(let _ = ::core::write!(__desc, "{} = {:?}; ", stringify!($arg), &$arg);)+
+                    }
+                    $body
+                });
+            }
+        )+
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+/// Assert a condition inside a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        ::std::assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        ::std::assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        ::std::assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        ::std::assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        ::std::assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Discard a case when an assumption fails, mirroring `proptest::prop_assume!`.
+///
+/// The shim simply returns from the case closure (the case counts as run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}

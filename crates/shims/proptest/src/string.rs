@@ -1,0 +1,182 @@
+//! String generation from the character-class subset of regex syntax.
+//!
+//! Supports what the workspace's suites use: a sequence of atoms, where an
+//! atom is a character class `[...]` (literals and `a-z` ranges) or a literal
+//! character, optionally followed by a `{m}` or `{m,n}` repetition. Escapes
+//! (`\\x`) are honoured both inside and outside classes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters; one is drawn uniformly per repetition.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported subset — a shim-authoring error,
+/// not a data-dependent one.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.gen_range(atom.min..atom.max + 1)
+        };
+        for _ in 0..n {
+            let idx: usize = rng.gen_range(0..atom.chars.len());
+            out.push(atom.chars[idx]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![*chars
+                    .get(i - 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))]
+            }
+            c => {
+                assert!(
+                    !"(){}*+?|^$.".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        atoms.push(Atom {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Parse a class body starting just after `[`; returns the candidate set and
+/// the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes are unsupported in pattern {pattern:?}"
+    );
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(lo);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parse an optional `{m}` / `{m,n}` at `*i`, advancing past it.
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+        + *i;
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let parse_num = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((m, n)) => (parse_num(m), parse_num(n)),
+        None => {
+            let m = parse_num(&body);
+            (m, m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_in_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let allowed = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ<>&'\" ";
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z<>&'\" ]{1,40}", &mut rng);
+            assert!((1..=40).contains(&s.len()));
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negated classes are unsupported")]
+    fn negated_class_is_rejected_loudly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = generate_from_pattern("[^<]{1,10}", &mut rng);
+    }
+    #[test]
+    fn literal_sequence() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+}

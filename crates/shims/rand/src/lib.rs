@@ -1,0 +1,216 @@
+//! Offline shim for the `rand` crate.
+//!
+//! This build environment has no registry access, so the workspace vendors a
+//! minimal, dependency-free implementation of exactly the API surface the
+//! reproduction uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer and float ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed and statistically solid for test-data generation. It is
+//! **not** the same stream as the real `rand 0.8` `StdRng` (ChaCha12), and it
+//! is not cryptographically secure. Code in this workspace only relies on
+//! per-seed determinism, never on a specific stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (shim of `rand::rngs`).
+pub mod rngs {
+    /// A seedable pseudo-random generator (xoshiro256++ under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding support (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as the real rand does for small seeds.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly (shim of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Draw one value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut StdRng) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "cannot sample empty range"
+                );
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                // Interpolate in f64, then clamp: casting to a narrower float
+                // can round up to `hi`, which an exclusive range must not
+                // return.
+                let v = (lo as f64 + (hi as f64 - lo as f64) * unit) as $t;
+                if !inclusive && v >= hi {
+                    hi.next_down()
+                } else {
+                    v.min(hi)
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// A range that [`Rng::gen_range`] can sample from (shim of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// Implemented as blanket impls over [`SampleUniform`] — exactly like the
+/// real crate — so integer-literal ranges take their type from the call
+/// site's use of the sampled value (e.g. `tags[rng.gen_range(0..3)]` infers
+/// `usize`).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// User-facing generator methods (shim of `rand::Rng`).
+pub trait Rng {
+    /// Sample a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0, 1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(0..12);
+            assert!(v < 12);
+            let w: i64 = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&w));
+            let f: f64 = rng.gen_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&f));
+            let u: usize = rng.gen_range(0..usize::MAX);
+            assert!(u < usize::MAX);
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_exclusive_bound_after_narrowing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            // A unit draw close to 1.0 rounds to 1.0f32 when narrowed; the
+            // exclusive bound must still hold.
+            let v: f32 = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&v), "v = {v}");
+        }
+        // Degenerate inclusive ranges are valid and return the endpoint.
+        let x: f64 = rng.gen_range(1.0f64..=1.0);
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -70,7 +70,11 @@ impl ExtendedDewey {
                 labels[id.index()] = label;
             }
         }
-        ExtendedDewey { labels, child_tags, root_tag: doc.node(doc.root()).tag }
+        ExtendedDewey {
+            labels,
+            child_tags,
+            root_tag: doc.node(doc.root()).tag,
+        }
     }
 
     /// The label of a node (empty for the root).
@@ -146,7 +150,15 @@ fn embed_path(
         }
         chosen.pop();
     }
-    rec(doc_tags, query_tags, axes, k - 1, n - 1, &mut Vec::new(), out);
+    rec(
+        doc_tags,
+        query_tags,
+        axes,
+        k - 1,
+        n - 1,
+        &mut Vec::new(),
+        out,
+    );
 }
 
 /// Result of a TJFast-style twig match.
@@ -183,9 +195,10 @@ pub fn tjfast(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Tjfast
             })
             .collect();
         // An unknown (non-wildcard) tag can never match.
-        let impossible = path.iter().zip(&query_tags).any(|(&q, t)| {
-            twig.node(q).tag != "*" && t.is_none()
-        });
+        let impossible = path
+            .iter()
+            .zip(&query_tags)
+            .any(|(&q, t)| twig.node(q).tag != "*" && t.is_none());
 
         let schema = Schema::new(path.iter().map(|&q| twig.node(q).var.clone()))
             .expect("twig vars distinct");
@@ -226,7 +239,10 @@ pub fn tjfast(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Tjfast
     let refs: Vec<&Relation> = path_rels.iter().collect();
     let (joined, _) = multiway_hash_join(&refs).expect("consistent schemas");
     let matches = joined.project(&twig.vars()).expect("covers all vars");
-    TjfastResult { matches, path_solutions }
+    TjfastResult {
+        matches,
+        path_solutions,
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +293,12 @@ mod tests {
         let mut labels: Vec<&[u64]> = doc.node_ids().map(|n| dewey.label(n)).collect();
         // Document order == lexicographic label order.
         for w in labels.windows(2) {
-            assert!(w[0] < w[1], "labels not increasing: {:?} vs {:?}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "labels not increasing: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
         }
         labels.dedup();
         assert_eq!(labels.len(), doc.len());

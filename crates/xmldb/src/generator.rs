@@ -39,7 +39,11 @@ pub fn random_document(dict: &mut Dict, cfg: &RandomTreeConfig) -> XmlDocument {
     assert!(!cfg.tags.is_empty(), "need at least one tag");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = XmlDocument::builder();
-    let root = b.add_node(None, &cfg.tags[0].clone(), Some((rng.gen_range(0..cfg.value_domain) as i64).into()));
+    let root = b.add_node(
+        None,
+        &cfg.tags[0].clone(),
+        Some((rng.gen_range(0..cfg.value_domain) as i64).into()),
+    );
     let mut frontier = vec![(root, 0usize)];
     while let Some((parent, depth)) = frontier.pop() {
         if depth >= cfg.max_depth {
@@ -97,7 +101,12 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> Self {
-        AuctionConfig { people: 20, items: 30, auctions: 25, seed: 0 }
+        AuctionConfig {
+            people: 20,
+            items: 30,
+            auctions: 25,
+            seed: 0,
+        }
     }
 }
 
@@ -173,7 +182,12 @@ mod tests {
     #[test]
     fn auction_document_has_expected_populations() {
         let mut dict = Dict::new();
-        let cfg = AuctionConfig { people: 7, items: 11, auctions: 13, seed: 3 };
+        let cfg = AuctionConfig {
+            people: 7,
+            items: 11,
+            auctions: 13,
+            seed: 3,
+        };
         let doc = auction_document(&mut dict, &cfg);
         let idx = TagIndex::build(&doc);
         assert_eq!(idx.nodes_named(&doc, "person").len(), 7);
@@ -201,7 +215,10 @@ mod tests {
     #[test]
     fn random_document_respects_depth() {
         let mut dict = Dict::new();
-        let cfg = RandomTreeConfig { max_depth: 3, ..Default::default() };
+        let cfg = RandomTreeConfig {
+            max_depth: 3,
+            ..Default::default()
+        };
         let doc = random_document(&mut dict, &cfg);
         for id in doc.node_ids() {
             assert!(doc.node(id).level <= 3);
@@ -226,8 +243,14 @@ mod tests {
     fn different_seeds_differ() {
         let mut d1 = Dict::new();
         let mut d2 = Dict::new();
-        let c1 = RandomTreeConfig { seed: 1, ..Default::default() };
-        let c2 = RandomTreeConfig { seed: 2, ..Default::default() };
+        let c1 = RandomTreeConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let c2 = RandomTreeConfig {
+            seed: 2,
+            ..Default::default()
+        };
         let a = random_document(&mut d1, &c1);
         let b = random_document(&mut d2, &c2);
         // Extremely unlikely to coincide in both size and all tags.

@@ -100,12 +100,16 @@ impl<'a> Run<'a> {
     fn get_next(&mut self, q: usize) -> Option<usize> {
         let children = self.twig.node(q).children.clone();
         if children.is_empty() {
-            return if self.streams[q].head().is_some() { Some(q) } else { None };
+            return if self.streams[q].head().is_some() {
+                Some(q)
+            } else {
+                None
+            };
         }
         let mut alive: Vec<usize> = Vec::with_capacity(children.len());
         for &qi in &children {
             match self.get_next(qi) {
-                None => {} // branch finished
+                None => {}                               // branch finished
                 Some(ni) if ni != qi => return Some(ni), // blocked descendant first
                 Some(_) => alive.push(qi),
             }
@@ -181,8 +185,7 @@ impl<'a> Run<'a> {
         let pq = path[j - 1];
         let axis = self.twig.node(q).axis;
         for p_idx in 0..entry.parent_ptr as usize {
-            if axis == Axis::Child && !self.doc.is_parent(self.stacks[pq][p_idx].node, entry.node)
-            {
+            if axis == Axis::Child && !self.doc.is_parent(self.stacks[pq][p_idx].node, entry.node) {
                 continue;
             }
             self.rec_emit(pi, path, j - 1, p_idx, current);
@@ -249,7 +252,10 @@ pub fn twig_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Ho
                 None => 0,
                 Some(p) => run.stacks[p].len() as u32,
             };
-            run.stacks[q].push(Entry { node: cur, parent_ptr: pptr });
+            run.stacks[q].push(Entry {
+                node: cur,
+                parent_ptr: pptr,
+            });
             if run.twig.node(q).children.is_empty() {
                 run.emit_paths(q);
                 run.stacks[q].pop();
@@ -285,7 +291,10 @@ pub fn twig_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Ho
     let vars = twig.vars();
     let matches = joined.project(&vars).expect("join covers all twig vars");
 
-    HolisticResult { matches, path_solutions }
+    HolisticResult {
+        matches,
+        path_solutions,
+    }
 }
 
 /// Converts a node-id match relation into a value relation (same schema,

@@ -26,11 +26,11 @@ pub mod tag_index;
 pub mod transform;
 pub mod twig;
 
+pub use dewey::{tjfast, ExtendedDewey, TjfastResult};
+pub use holistic::{twig_stack, HolisticResult};
 pub use model::{NodeId, TagId, TagSet, XmlDocument};
 pub use parser::{parse_xml, XmlError};
+pub use pathstack::path_stack;
 pub use tag_index::TagIndex;
 pub use transform::{decompose, transform_to_relations, Decomposition, PathSpec, SubTwig};
 pub use twig::{Axis, TwigError, TwigPattern};
-pub use dewey::{tjfast, ExtendedDewey, TjfastResult};
-pub use holistic::{twig_stack, HolisticResult};
-pub use pathstack::path_stack;

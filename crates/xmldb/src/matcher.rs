@@ -267,8 +267,18 @@ mod tests {
         let twig = TwigPattern::parse("//a//b").unwrap();
         let one = dict.lookup(&Value::Int(1)).unwrap();
         let two = dict.lookup(&Value::Int(2)).unwrap();
-        assert!(match_exists_with_values(&d, &idx, &twig, &[None, Some(one)]));
-        assert!(match_exists_with_values(&d, &idx, &twig, &[None, Some(two)]));
+        assert!(match_exists_with_values(
+            &d,
+            &idx,
+            &twig,
+            &[None, Some(one)]
+        ));
+        assert!(match_exists_with_values(
+            &d,
+            &idx,
+            &twig,
+            &[None, Some(two)]
+        ));
         let mut n = 0;
         for_each_match(&d, &idx, &twig, &[None, Some(one)], &mut |_| {
             n += 1;
@@ -300,8 +310,18 @@ mod tests {
         let one = dict.lookup(&Value::Int(1)).unwrap();
         let two = dict.lookup(&Value::Int(2)).unwrap();
         // x=1 and y=2 under the *same* c never happens.
-        assert!(!match_exists_with_values(&d, &idx, &twig, &[None, Some(one), Some(two)]));
-        assert!(match_exists_with_values(&d, &idx, &twig, &[None, Some(one), Some(one)]));
+        assert!(!match_exists_with_values(
+            &d,
+            &idx,
+            &twig,
+            &[None, Some(one), Some(two)]
+        ));
+        assert!(match_exists_with_values(
+            &d,
+            &idx,
+            &twig,
+            &[None, Some(one), Some(one)]
+        ));
     }
 
     #[test]

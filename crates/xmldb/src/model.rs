@@ -246,7 +246,10 @@ impl Default for DocBuilder {
 impl DocBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        DocBuilder { nodes: Vec::new(), stack: Vec::new() }
+        DocBuilder {
+            nodes: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
     /// Adds a node under `parent` (`None` ⇒ the root; only one root is
@@ -389,7 +392,11 @@ impl DocBuilder {
             })
             .collect();
 
-        XmlDocument { tags, nodes: out, root: NodeId(0) }
+        XmlDocument {
+            tags,
+            nodes: out,
+            root: NodeId(0),
+        }
     }
 }
 

@@ -50,7 +50,11 @@ impl fmt::Display for XmlError {
         match self {
             XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
             XmlError::Malformed { pos, msg } => write!(f, "malformed XML at byte {pos}: {msg}"),
-            XmlError::MismatchedTag { expected, found, pos } => write!(
+            XmlError::MismatchedTag {
+                expected,
+                found,
+                pos,
+            } => write!(
                 f,
                 "mismatched closing tag at byte {pos}: expected </{expected}>, found </{found}>"
             ),
@@ -66,7 +70,10 @@ impl std::error::Error for XmlError {}
 
 /// Parses an XML string into a document, interning values into `dict`.
 pub fn parse_xml(input: &str, dict: &mut Dict) -> Result<XmlDocument, XmlError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let mut builder = XmlDocument::builder();
     // Stack of (builder index, tag name, accumulated text).
     let mut stack: Vec<(usize, String, String)> = Vec::new();
@@ -207,7 +214,10 @@ impl<'a> Parser<'a> {
     }
 
     fn malformed(&self, msg: &str) -> XmlError {
-        XmlError::Malformed { pos: self.pos, msg: msg.to_owned() }
+        XmlError::Malformed {
+            pos: self.pos,
+            msg: msg.to_owned(),
+        }
     }
 
     /// Skips whitespace only when we are between top-level constructs (not
@@ -349,10 +359,8 @@ impl<'a> Parser<'a> {
                     }
                     let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.malformed("invalid UTF-8 in attribute"))?;
-                    let value = decode_entities(raw).map_err(|msg| XmlError::Malformed {
-                        pos: start,
-                        msg,
-                    })?;
+                    let value = decode_entities(raw)
+                        .map_err(|msg| XmlError::Malformed { pos: start, msg })?;
                     self.pos += 1; // closing quote
                     attrs.push((aname, value));
                 }
@@ -408,7 +416,8 @@ pub fn decode_entities(s: &str) -> Result<String, String> {
                 let cp = if let Some(hex) = entity.strip_prefix("#x") {
                     u32::from_str_radix(hex, 16).map_err(|_| format!("bad entity `&{entity};`"))?
                 } else if let Some(dec) = entity.strip_prefix('#') {
-                    dec.parse::<u32>().map_err(|_| format!("bad entity `&{entity};`"))?
+                    dec.parse::<u32>()
+                        .map_err(|_| format!("bad entity `&{entity};`"))?
                 } else {
                     return Err(format!("unknown entity `&{entity};`"));
                 };
@@ -513,7 +522,10 @@ mod tests {
     fn cdata_is_raw_text() {
         let mut dict = Dict::new();
         let doc = parse_xml("<a><![CDATA[<not-a-tag> & raw]]></a>", &mut dict).unwrap();
-        assert_eq!(doc.value_of(&dict, NodeId(0)), &Value::str("<not-a-tag> & raw"));
+        assert_eq!(
+            doc.value_of(&dict, NodeId(0)),
+            &Value::str("<not-a-tag> & raw")
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub fn path_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Ve
                 needs_all = true;
             }
         }
-        all_nodes = if needs_all { doc.node_ids().collect() } else { Vec::new() };
+        all_nodes = if needs_all {
+            doc.node_ids().collect()
+        } else {
+            Vec::new()
+        };
         for n in twig.nodes() {
             streams.push(if n.tag == "*" {
                 &all_nodes
@@ -89,10 +93,25 @@ pub fn path_stack(doc: &XmlDocument, index: &TagIndex, twig: &TwigPattern) -> Ve
         }
         let pushable = q == 0 || !stacks[q - 1].is_empty();
         if pushable {
-            let pptr = if q == 0 { 0 } else { stacks[q - 1].len() as u32 };
-            stacks[q].push(Entry { node: cur, parent_ptr: pptr });
+            let pptr = if q == 0 {
+                0
+            } else {
+                stacks[q - 1].len() as u32
+            };
+            stacks[q].push(Entry {
+                node: cur,
+                parent_ptr: pptr,
+            });
             if q == k - 1 {
-                emit(doc, twig, &stacks, k - 1, stacks[k - 1].len() - 1, &mut Vec::new(), &mut out);
+                emit(
+                    doc,
+                    twig,
+                    &stacks,
+                    k - 1,
+                    stacks[k - 1].len() - 1,
+                    &mut Vec::new(),
+                    &mut out,
+                );
                 stacks[q].pop();
             }
         }
@@ -170,7 +189,14 @@ mod tests {
         let mut dict = Dict::new();
         let d = doc(&mut dict);
         let idx = TagIndex::build(&d);
-        for expr in ["//a//b", "//a/b", "//c//b", "//c/d/b", "//a//d//b", "//a/c/d"] {
+        for expr in [
+            "//a//b",
+            "//a/b",
+            "//c//b",
+            "//c/d/b",
+            "//a//d//b",
+            "//a/c/d",
+        ] {
             assert_matches_naive(&d, &idx, expr);
         }
     }
@@ -227,7 +253,14 @@ mod tests {
             }
             let d = b.build(&mut dict);
             let idx = TagIndex::build(&d);
-            for expr in ["//p//q", "//p/q", "//p//q//s", "//p/q/s", "//q//s", "//s$s1//s$s2"] {
+            for expr in [
+                "//p//q",
+                "//p/q",
+                "//p//q//s",
+                "//p/q/s",
+                "//q//s",
+                "//s$s1//s$s2",
+            ] {
                 assert_matches_naive(&d, &idx, expr);
             }
         }

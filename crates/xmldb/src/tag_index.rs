@@ -32,7 +32,11 @@ impl TagIndex {
             starts_by_tag[n.tag.index()].push(n.start);
             by_tag_value.entry((n.tag, n.value)).or_default().push(id);
         }
-        TagIndex { by_tag, starts_by_tag, by_tag_value }
+        TagIndex {
+            by_tag,
+            starts_by_tag,
+            by_tag_value,
+        }
     }
 
     /// All nodes with tag `tag`, in document order.
@@ -98,7 +102,9 @@ mod tests {
         let idx = TagIndex::build(&d);
         let bs = idx.nodes_named(&d, "b");
         assert_eq!(bs.len(), 3);
-        assert!(bs.windows(2).all(|w| d.node(w[0]).start < d.node(w[1]).start));
+        assert!(bs
+            .windows(2)
+            .all(|w| d.node(w[0]).start < d.node(w[1]).start));
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn decompose(twig: &TwigPattern) -> Decomposition {
         sub_twigs.push(SubTwig { root, nodes });
     }
 
-    Decomposition { sub_twigs, paths, ad_edges }
+    Decomposition {
+        sub_twigs,
+        paths,
+        ad_edges,
+    }
 }
 
 /// Materialises the *value-level* relation of one path: attributes are the
@@ -128,7 +132,9 @@ pub fn path_relation(
         chain[k - 1] = leaf;
         let mut cur = leaf;
         for j in (0..k - 1).rev() {
-            let Some(parent) = doc.node(cur).parent else { continue 'leaf };
+            let Some(parent) = doc.node(cur).parent else {
+                continue 'leaf;
+            };
             let want = &twig.node(path.nodes[j]).tag;
             if want != "*" && doc.tag_name(parent) != want {
                 continue 'leaf;

@@ -189,7 +189,10 @@ impl TwigPattern {
     /// Parses an XPath-like twig expression. See the module docs for the
     /// grammar.
     pub fn parse(input: &str) -> Result<TwigPattern, TwigError> {
-        let mut p = TwigParser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = TwigParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_spaces();
         let axis = p.parse_axis().unwrap_or(Axis::Descendant);
         let _ = axis; // the root's own axis is irrelevant: a twig root matches anywhere
@@ -210,11 +213,7 @@ impl TwigPattern {
 
 impl fmt::Display for TwigPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_node(
-            twig: &TwigPattern,
-            idx: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn write_node(twig: &TwigPattern, idx: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let n = twig.node(idx);
             write!(f, "{}", n.tag)?;
             if n.var.name() != n.tag {
@@ -274,7 +273,10 @@ impl<'a> TwigParser<'a> {
             }
         }
         if self.pos == start {
-            return Err(TwigError::Parse { pos: self.pos, msg: "expected a tag name".into() });
+            return Err(TwigError::Parse {
+                pos: self.pos,
+                msg: "expected a tag name".into(),
+            });
         }
         Ok(String::from_utf8(self.bytes[start..self.pos].to_vec()).expect("ascii names"))
     }
@@ -372,7 +374,10 @@ mod tests {
         let d = 2;
         assert_eq!((t.node(d).tag.as_str(), t.node(d).axis), ("D", Axis::Child));
         let c = 3;
-        assert_eq!((t.node(c).tag.as_str(), t.node(c).axis), ("C", Axis::Descendant));
+        assert_eq!(
+            (t.node(c).tag.as_str(), t.node(c).axis),
+            ("C", Axis::Descendant)
+        );
         assert_eq!(t.node(c).parent, Some(a));
         let e = 4;
         assert_eq!(t.node(e).parent, Some(c));
@@ -414,7 +419,10 @@ mod tests {
             TwigPattern::parse("//a[/b"),
             Err(TwigError::Parse { .. })
         ));
-        assert!(matches!(TwigPattern::parse("//"), Err(TwigError::Parse { .. })));
+        assert!(matches!(
+            TwigPattern::parse("//"),
+            Err(TwigError::Parse { .. })
+        ));
         assert!(matches!(
             TwigPattern::parse("//a]extra"),
             Err(TwigError::Parse { .. })

@@ -8,20 +8,25 @@
 //! ```
 
 use relational::{Database, Schema, Value};
-use xjoin_core::{
-    baseline, parse_query, xjoin, BaselineConfig, DataContext, XJoinConfig,
-};
+use xjoin_core::{baseline, parse_query, xjoin, BaselineConfig, DataContext, XJoinConfig};
 use xmldb::generator::{auction_document, AuctionConfig};
 use xmldb::TagIndex;
 
 fn main() {
-    let cfg = AuctionConfig { people: 40, items: 60, auctions: 80, seed: 7 };
+    let cfg = AuctionConfig {
+        people: 40,
+        items: 60,
+        auctions: 80,
+        seed: 7,
+    };
     let mut db = Database::new();
 
     // Relational: account standing per person, and a watchlist table.
     let mut dict_seed = 11u64;
     let mut next = move || {
-        dict_seed = dict_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        dict_seed = dict_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (dict_seed >> 33) as i64
     };
     db.load(

@@ -8,9 +8,7 @@
 //! ```
 
 use relational::{Database, Schema, Value};
-use xjoin_core::{
-    baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig,
-};
+use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig};
 use xmldb::{parse_xml, TagIndex, TwigPattern};
 
 const INVOICES: &str = "<invoices>\

@@ -9,8 +9,7 @@
 
 use relational::{Database, Schema, Value};
 use xjoin_core::{
-    baseline, lower, query_bound, xjoin, BaselineConfig, DataContext, MultiModelQuery,
-    XJoinConfig,
+    baseline, lower, query_bound, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig,
 };
 use xmldb::{TagIndex, XmlDocument};
 
@@ -22,13 +21,27 @@ fn tight_instance(n: i64) -> (Database, XmlDocument) {
     db.load(
         "R1",
         Schema::of(&["A", "B", "C", "D"]),
-        (0..n).map(|i| vec![Value::Int(1), Value::Int(b0 + i), Value::Int(2), Value::Int(d0 + i)]),
+        (0..n).map(|i| {
+            vec![
+                Value::Int(1),
+                Value::Int(b0 + i),
+                Value::Int(2),
+                Value::Int(d0 + i),
+            ]
+        }),
     )
     .expect("R1 load");
     db.load(
         "R2",
         Schema::of(&["E", "F", "G", "H"]),
-        (0..n).map(|j| vec![Value::Int(e0 + j), Value::Int(3), Value::Int(g0 + j), Value::Int(h0 + j)]),
+        (0..n).map(|j| {
+            vec![
+                Value::Int(e0 + j),
+                Value::Int(3),
+                Value::Int(g0 + j),
+                Value::Int(h0 + j),
+            ]
+        }),
     )
     .expect("R2 load");
 
@@ -73,27 +86,38 @@ fn main() {
     let (db, doc) = tight_instance(n);
     let index = TagIndex::build(&doc);
     let ctx = DataContext::new(&db, &doc, &index);
-    let query = MultiModelQuery::new(
-        &["R1", "R2"],
-        &["//A[/B][/D]//C[/E[//F[/H]][//G]]"],
-    )
-    .expect("query parses");
+    let query = MultiModelQuery::new(&["R1", "R2"], &["//A[/B][/D]//C[/E[//F[/H]][//G]]"])
+        .expect("query parses");
 
     let atoms = lower(&ctx, &query).expect("lowering runs");
     let bound = query_bound(&atoms).expect("bound computes");
     println!("n = {n}: document has {} nodes", doc.len());
-    println!("combined AGM bound (Lemma 3.1): {bound:.0}  (= n^2 = {})", n * n);
+    println!(
+        "combined AGM bound (Lemma 3.1): {bound:.0}  (= n^2 = {})",
+        n * n
+    );
     println!("twig-only bound: n^5 = {}", n.pow(5));
 
     let x = xjoin(&ctx, &query, &XJoinConfig::default()).expect("xjoin runs");
-    println!("\nXJoin   : {} results, max intermediate {:>8}, {:?}",
-        x.results.len(), x.stats.max_intermediate(), x.stats.elapsed);
+    println!(
+        "\nXJoin   : {} results, max intermediate {:>8}, {:?}",
+        x.results.len(),
+        x.stats.max_intermediate(),
+        x.stats.elapsed
+    );
     let b = baseline(&ctx, &query, &BaselineConfig::default()).expect("baseline runs");
-    println!("Baseline: {} results, max intermediate {:>8}, {:?}",
-        b.results.len(), b.stats.max_intermediate(), b.stats.elapsed);
+    println!(
+        "Baseline: {} results, max intermediate {:>8}, {:?}",
+        b.results.len(),
+        b.stats.max_intermediate(),
+        b.stats.elapsed
+    );
 
     println!("\nXJoin stages (never exceed the n^2 bound):\n{}", x.stats);
     println!("Baseline stages (Q2 hits the n^5 twig bound):\n{}", b.stats);
     assert_eq!(x.results.len(), b.results.len());
-    assert!(x.stats.max_intermediate() as f64 <= bound + 1e-6, "Lemma 3.5");
+    assert!(
+        x.stats.max_intermediate() as f64 <= bound + 1e-6,
+        "Lemma 3.5"
+    );
 }

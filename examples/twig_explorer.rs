@@ -7,9 +7,7 @@
 //! ```
 
 use relational::Dict;
-use xmldb::{
-    decompose, holistic, matcher, parse_xml, transform, TagIndex, TwigPattern,
-};
+use xmldb::{decompose, holistic, matcher, parse_xml, transform, TagIndex, TwigPattern};
 
 const CATALOG: &str = "<catalog>\
     <book><title>DB Systems</title><author>Ada</author>\
@@ -25,7 +23,11 @@ fn main() {
     let doc = parse_xml(CATALOG, &mut dict).expect("catalog parses");
     let index = TagIndex::build(&doc);
 
-    println!("document: {} nodes, {} distinct tags", doc.len(), doc.tags().len());
+    println!(
+        "document: {} nodes, {} distinct tags",
+        doc.len(),
+        doc.tags().len()
+    );
     for id in doc.node_ids().take(6) {
         let n = doc.node(id);
         println!(

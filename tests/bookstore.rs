@@ -1,9 +1,7 @@
 //! E6 — the paper's Figure 1, end to end through the public API.
 
 use relational::{Database, Schema, Value};
-use xjoin_core::{
-    baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig,
-};
+use xjoin_core::{baseline, xjoin, BaselineConfig, DataContext, MultiModelQuery, XJoinConfig};
 use xmldb::{parse_xml, TagIndex};
 
 const INVOICES: &str = "<invoices>\

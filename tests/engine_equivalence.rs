@@ -34,7 +34,11 @@ fn random_instance(seed: u64, rows: usize, nodes: usize, domain: i64) -> (Databa
     for _ in 1..nodes {
         let parent = ids[rng.gen_range(0..ids.len())];
         let tag = tags[rng.gen_range(0..tags.len())];
-        let id = b.add_node(Some(parent), tag, Some(Value::Int(rng.gen_range(0..domain))));
+        let id = b.add_node(
+            Some(parent),
+            tag,
+            Some(Value::Int(rng.gen_range(0..domain))),
+        );
         ids.push(id);
     }
     let doc = b.build(&mut dict);
@@ -53,7 +57,7 @@ const TWIGS: &[&str] = &[
 /// Rewrites twig variables so the twig's x-node joins the table's x column.
 fn query_for(twig: &str) -> MultiModelQuery {
     // Twigs above use $xv/$yv aliases except the first two; map accordingly.
-    
+
     match twig {
         "//r//x" | "//r/x" => MultiModelQuery::new(&["S"], &[twig]).unwrap(),
         _ => {
@@ -91,8 +95,14 @@ fn xjoin_configs_agree_with_baseline_on_random_instances() {
             };
             let xjoin_configs = [
                 XJoinConfig::default(),
-                XJoinConfig { ad_filter: true, ..Default::default() },
-                XJoinConfig { partial_validation: true, ..Default::default() },
+                XJoinConfig {
+                    ad_filter: true,
+                    ..Default::default()
+                },
+                XJoinConfig {
+                    partial_validation: true,
+                    ..Default::default()
+                },
                 XJoinConfig {
                     ad_filter: true,
                     partial_validation: true,

@@ -42,7 +42,11 @@ fn random_instance(seed: u64, rows: usize, nodes: usize, domain: i64) -> (Databa
     for _ in 1..nodes {
         let parent = ids[rng.gen_range(0..ids.len())];
         let tag = tags[rng.gen_range(0..tags.len())];
-        ids.push(b.add_node(Some(parent), tag, Some(Value::Int(rng.gen_range(0..domain)))));
+        ids.push(b.add_node(
+            Some(parent),
+            tag,
+            Some(Value::Int(rng.gen_range(0..domain))),
+        ));
     }
     let doc = b.build(&mut dict);
     *db.dict_mut() = dict;
@@ -87,7 +91,12 @@ fn intermediates_respect_prefix_bounds_on_random_instances() {
                 }
                 t => MultiModelQuery::new(&["R", "S"], &[t]).unwrap(),
             };
-            check_lemma(&ctx, &query, &XJoinConfig::default(), &format!("seed {seed} {twig}"));
+            check_lemma(
+                &ctx,
+                &query,
+                &XJoinConfig::default(),
+                &format!("seed {seed} {twig}"),
+            );
         }
     }
 }
@@ -102,10 +111,16 @@ fn lemma_holds_under_every_order_strategy() {
         OrderStrategy::Appearance,
         OrderStrategy::Cardinality,
         OrderStrategy::Given(
-            ["z", "y", "x", "r", "x2"].iter().map(|&s| s.into()).collect(),
+            ["z", "y", "x", "r", "x2"]
+                .iter()
+                .map(|&s| s.into())
+                .collect(),
         ),
     ] {
-        let cfg = XJoinConfig { order: strategy.clone(), ..Default::default() };
+        let cfg = XJoinConfig {
+            order: strategy.clone(),
+            ..Default::default()
+        };
         check_lemma(&ctx, &query, &cfg, &format!("strategy {strategy:?}"));
     }
 }
@@ -121,7 +136,11 @@ fn filters_only_shrink_intermediates() {
         let filtered = xjoin(
             &ctx,
             &query,
-            &XJoinConfig { ad_filter: true, partial_validation: true, ..Default::default() },
+            &XJoinConfig {
+                ad_filter: true,
+                partial_validation: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(filtered.results.set_eq(&plain.results), "seed {seed}");

@@ -2,21 +2,18 @@
 //! primal feasibility, strong duality on random hypergraphs, and bound
 //! sanity against enumerated joins.
 
-use proptest::prelude::*;
 use agm::{
     agm_bound, agm_exponent, fractional_edge_cover, solve, vertex_packing, Cmp, Hypergraph,
     LinearProgram, LpOutcome,
 };
+use proptest::prelude::*;
 
 /// Strategy: a random hypergraph over up to 6 vertices with 1..6 edges, each
 /// edge a non-empty vertex subset; every vertex is covered by construction
 /// (uncovered vertices never enter).
 fn hypergraph_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(
-        prop::collection::btree_set(0usize..6, 1..4),
-        1..6,
-    )
-    .prop_map(|edges| edges.into_iter().map(|e| e.into_iter().collect()).collect())
+    prop::collection::vec(prop::collection::btree_set(0usize..6, 1..4), 1..6)
+        .prop_map(|edges| edges.into_iter().map(|e| e.into_iter().collect()).collect())
 }
 
 fn build(edges: &[Vec<usize>]) -> Hypergraph {
@@ -122,9 +119,9 @@ fn agm_bound_is_an_upper_bound_on_actual_joins() {
     // Enumerate small random joins and compare to the bound.
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use relational::generator::random_relation;
     use relational::generic::generic_join;
     use relational::{Attr, Dict, Schema};
-    use relational::generator::random_relation;
 
     for seed in 0..20u64 {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -141,7 +141,9 @@ fn lftj_streams_in_sorted_order_on_random_data() {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(3);
-    let rows: Vec<(u32, u32)> = (0..200).map(|_| (rng.gen_range(0..20), rng.gen_range(0..20))).collect();
+    let rows: Vec<(u32, u32)> = (0..200)
+        .map(|_| (rng.gen_range(0..20), rng.gen_range(0..20)))
+        .collect();
     let r = rel_from(&rows, "a", "b");
     let order: Vec<Attr> = vec!["a".into(), "b".into()];
     let plan = relational::JoinPlan::new(&[&r], &order).unwrap();

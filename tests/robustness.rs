@@ -26,7 +26,10 @@ fn very_deep_documents_build_and_serialize() {
     let depth = 60_000;
     let doc = chain_doc(&mut dict, depth, "x");
     assert_eq!(doc.len(), depth);
-    assert_eq!(doc.node(xmldb::NodeId((depth - 1) as u32)).level, (depth - 1) as u32);
+    assert_eq!(
+        doc.node(xmldb::NodeId((depth - 1) as u32)).level,
+        (depth - 1) as u32
+    );
     let xml = to_xml_string(&doc, &dict);
     assert!(xml.starts_with("<x>0<x>1"));
     assert!(xml.ends_with("</x></x>"));
@@ -69,7 +72,8 @@ fn wide_documents_and_fat_streams() {
 #[test]
 fn single_node_document_and_single_row_table() {
     let mut db = Database::new();
-    db.load("R", Schema::of(&["v"]), vec![vec![Value::Int(0)]]).unwrap();
+    db.load("R", Schema::of(&["v"]), vec![vec![Value::Int(0)]])
+        .unwrap();
     let mut dict = db.dict().clone();
     let mut b = XmlDocument::builder();
     b.begin("v");

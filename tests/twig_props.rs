@@ -144,8 +144,9 @@ fn twigstack_path_solution_counts_never_below_matches_per_path() {
     // Path solutions are per root-leaf path; a full match contributes one
     // solution to each path, so solutions >= matches for single-path twigs.
     let mut dict = Dict::new();
-    let spec: Vec<(usize, usize, i64)> =
-        (0..30).map(|i| (i * 7 + 3, i * 5 + 1, (i % 4) as i64)).collect();
+    let spec: Vec<(usize, usize, i64)> = (0..30)
+        .map(|i| (i * 7 + 3, i * 5 + 1, (i % 4) as i64))
+        .collect();
     let doc = build_tree(&spec, &mut dict);
     let index = TagIndex::build(&doc);
     let twig = TwigPattern::parse("//r//s/t").unwrap();

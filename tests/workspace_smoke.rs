@@ -1,0 +1,86 @@
+//! Workspace smoke test: the facade crate's re-exports resolve, every layer
+//! is reachable through `xjoin_repro::*`, and the quickstart example's logic
+//! runs end-to-end.
+
+use xjoin_repro::agm::{agm_exponent, Hypergraph};
+use xjoin_repro::relational::{Database, Schema, Value};
+use xjoin_repro::xjoin_core::{xjoin, DataContext, MultiModelQuery, XJoinConfig};
+use xjoin_repro::xmldb::{parse_xml, TagIndex};
+
+/// The `examples/quickstart.rs` flow, asserted instead of printed: load a
+/// table, parse an XML document into the shared dictionary, and join them
+/// with the worst-case optimal multi-model engine.
+#[test]
+fn quickstart_flow_end_to_end() {
+    let mut db = Database::new();
+    db.load(
+        "orders",
+        Schema::of(&["orderID", "userID"]),
+        vec![
+            vec![Value::Int(10963), Value::str("jack")],
+            vec![Value::Int(20134), Value::str("tom")],
+            vec![Value::Int(35768), Value::str("bob")],
+        ],
+    )
+    .expect("orders load");
+
+    let mut dict = db.dict().clone();
+    let doc = parse_xml(
+        "<invoices>\
+           <orderLine><orderID>10963</orderID><price>30</price></orderLine>\
+           <orderLine><orderID>20134</orderID><price>20</price></orderLine>\
+         </invoices>",
+        &mut dict,
+    )
+    .expect("invoices parse");
+    *db.dict_mut() = dict;
+    let index = TagIndex::build(&doc);
+
+    let query = MultiModelQuery::new(&["orders"], &["//orderLine[/orderID][/price]"])
+        .expect("query parses")
+        .with_output(&["userID", "price"]);
+
+    let ctx = DataContext::new(&db, &doc, &index);
+    let out = xjoin(&ctx, &query, &XJoinConfig::default()).expect("xjoin runs");
+
+    // Orders 10963 (jack, price 30) and 20134 (tom, price 20) have invoice
+    // lines; 35768 (bob) does not.
+    assert_eq!(out.results.len(), 2);
+    assert_eq!(out.results.schema().attrs().len(), 2);
+    let rendered = db.render_table(&out.results);
+    assert!(rendered.contains("jack"), "missing jack in:\n{rendered}");
+    assert!(rendered.contains("tom"), "missing tom in:\n{rendered}");
+    assert!(
+        !rendered.contains("bob"),
+        "bob has no invoice line:\n{rendered}"
+    );
+}
+
+/// Every substrate the facade re-exports is usable directly.
+#[test]
+fn facade_reexports_resolve() {
+    // agm: the triangle query's AGM exponent is 3/2.
+    let mut h = Hypergraph::new();
+    h.edge("R", &["a", "b"]);
+    h.edge("S", &["b", "c"]);
+    h.edge("T", &["a", "c"]);
+    let rho = agm_exponent(&h).expect("triangle is covered");
+    assert!((rho - 1.5).abs() < 1e-9, "rho = {rho}");
+
+    // relational: load and read back a table.
+    let mut db = Database::new();
+    db.load(
+        "edge",
+        Schema::of(&["src", "dst"]),
+        vec![vec![Value::Int(1), Value::Int(2)]],
+    )
+    .expect("load");
+    assert_eq!(db.relation("edge").expect("edge exists").len(), 1);
+
+    // xmldb: parse and index a document.
+    let mut dict = db.dict().clone();
+    let doc = parse_xml("<a><b>1</b></a>", &mut dict).expect("parses");
+    assert_eq!(doc.len(), 2);
+    let index = TagIndex::build(&doc);
+    assert_eq!(index.nodes_named(&doc, "b").len(), 1);
+}
