@@ -1,0 +1,90 @@
+//! Serving-layer benchmark: cold-build vs warm-cache query latency, and the
+//! concurrent throughput of the query service.
+//!
+//! The premise of `xjoin-store`: on repeated workloads the per-query trie
+//! construction dominates the join itself, so a warm trie cache should cut
+//! prepared-query latency by a large factor, and snapshot isolation should
+//! let a worker pool scale query throughput across threads.
+//!
+//! Interpreting `store_service`: with W workers on a machine with ≥ W free
+//! cores, `service/batch32/W` should approach `sequential/batch32 ÷ W`. On a
+//! single-core host the pool cannot run jobs in parallel, so the numbers
+//! instead measure the pool's pure coordination overhead (a few percent at
+//! this job size).
+
+use bench::workloads::{fig3_query, fig3_tight};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use xjoin_core::XJoinConfig;
+use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_cache");
+    for n in [4usize, 8] {
+        let inst = fig3_tight(n);
+        let store = VersionedStore::new(inst.db, inst.doc);
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare");
+        group.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, _| {
+            b.iter(|| {
+                // Dropping the cache forces every trie to rebuild — the
+                // one-shot library's per-query cost.
+                store.registry().clear();
+                let out = prepared.execute(&snap).expect("cold execute");
+                black_box(out.results.len())
+            })
+        });
+        prepared.execute(&snap).expect("warm the cache");
+        group.bench_with_input(BenchmarkId::new("warm_cache", n), &n, |b, _| {
+            b.iter(|| {
+                let out = prepared.execute(&snap).expect("warm execute");
+                black_box(out.results.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_service");
+    // A warm query heavy enough (~10² µs) that per-job channel overhead is
+    // amortised — the regime the worker pool targets.
+    let inst = fig3_tight(12);
+    let store = VersionedStore::new(inst.db, inst.doc);
+    let snap = store.snapshot();
+    let prepared = Arc::new(
+        PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare"),
+    );
+    prepared.execute(&snap).expect("warm the cache");
+    const BATCH: usize = 32;
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+    group.bench_function("sequential/batch32", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                black_box(prepared.execute(&snap).expect("execute").results.len());
+            }
+        })
+    });
+    for workers in [2usize, 4] {
+        let service = QueryService::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("service/batch32", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let results =
+                        service.run_all((0..BATCH).map(|_| (Arc::clone(&prepared), snap.clone())));
+                    for r in results {
+                        black_box(r.expect("service execute").results.len());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_concurrent_throughput);
+criterion_main!(benches);

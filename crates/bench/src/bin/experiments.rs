@@ -1,7 +1,9 @@
-//! Regenerates every quantitative artefact of the paper as text tables.
+//! Regenerates every quantitative artefact of the paper as text tables, and
+//! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|all] [--max-n N]
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|all|quick] \
+//!             [--max-n N] [--json PATH]
 //! ```
 //!
 //! * `bounds` — E3/E4: LP-computed size-bound exponents of Examples 3.3
@@ -12,23 +14,90 @@
 //!   prefix AGM bound;
 //! * `bookstore` — E6: the Figure 1 end-to-end example;
 //! * `ablation` — extensions: variable orders, partial validation, A-D
-//!   filtering, baseline engine choices.
+//!   filtering, baseline engine choices;
+//! * `store` — serving layer: cold-build vs warm-cache prepared-query
+//!   latency through `xjoin-store`;
+//! * `quick` — a fast subset (bounds, small fig3, bookstore, store) for CI.
+//!
+//! Every timed run is collected into a JSON report — an array of
+//! `{"name", "wall_ms", "max_intermediate", "output_rows"}` objects — so the
+//! perf trajectory across PRs is recorded and diffable. Only the full `all`
+//! suite writes to `BENCH_results.json` in the working directory by
+//! default; `quick` and single experiments record partial trajectories and
+//! therefore only write when `--json PATH` is given, so they never clobber
+//! the committed full record.
 
 use agm::{agm_exponent, vertex_packing, Hypergraph};
 use bench::workloads::{
     bookstore, bookstore_query, fig2_instance, fig2_query, fig3_query, fig3_random, fig3_tight,
     FIG3_TWIG,
 };
+use std::fmt::Write as _;
 use std::time::Instant;
 use xjoin_core::{
     baseline, lower, prefix_bounds, query_bound, xjoin, BaselineConfig, DataContext,
     MultiModelQuery, OrderStrategy, RelAlg, XJoinConfig, XmlAlg,
 };
+use xjoin_store::{PreparedQuery, VersionedStore};
+
+/// One measured run, as serialised to the JSON report.
+struct BenchRecord {
+    name: String,
+    wall_ms: f64,
+    max_intermediate: usize,
+    output_rows: usize,
+}
+
+/// Collects [`BenchRecord`]s across experiments and writes them as JSON.
+#[derive(Default)]
+struct Report {
+    records: Vec<BenchRecord>,
+}
+
+impl Report {
+    fn add(&mut self, name: impl Into<String>, wall_ms: f64, max_int: usize, rows: usize) {
+        self.records.push(BenchRecord {
+            name: name.into(),
+            wall_ms,
+            max_intermediate: max_int,
+            output_rows: rows,
+        });
+    }
+
+    /// Renders the report as a JSON array (names are ASCII identifiers; only
+    /// quotes and backslashes need escaping).
+    fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{}\", \"wall_ms\": {:.4}, \"max_intermediate\": {}, \"output_rows\": {}}}",
+                name, r.wall_ms, r.max_intermediate, r.output_rows
+            );
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => println!("\nwrote {} records to {path}", self.records.len()),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = "all".to_string();
     let mut max_n = 12usize;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -39,31 +108,56 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--max-n needs an integer");
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
             other => cmd = other.to_string(),
         }
         i += 1;
     }
 
+    let mut report = Report::default();
+    // Anything short of `all` records a partial trajectory, so it only
+    // writes JSON to an explicitly requested path; only the full suite
+    // defaults to the committed BENCH_results.json.
+    let full_suite = cmd == "all";
     match cmd.as_str() {
         "bounds" => exp_bounds(),
-        "fig3" => exp_fig3(max_n),
-        "lemma35" => exp_lemma35(),
-        "bookstore" => exp_bookstore(),
-        "ablation" => exp_ablation(),
+        "fig3" => exp_fig3(max_n, &mut report),
+        "lemma35" => exp_lemma35(&mut report),
+        "bookstore" => exp_bookstore(&mut report),
+        "ablation" => exp_ablation(&mut report),
+        "store" => exp_store(&mut report),
         "all" => {
             exp_bounds();
-            exp_fig3(max_n);
-            exp_lemma35();
-            exp_bookstore();
-            exp_ablation();
+            exp_fig3(max_n, &mut report);
+            exp_lemma35(&mut report);
+            exp_bookstore(&mut report);
+            exp_ablation(&mut report);
+            exp_store(&mut report);
+        }
+        "quick" => {
+            exp_bounds();
+            exp_fig3(max_n.min(4), &mut report);
+            exp_bookstore(&mut report);
+            exp_store(&mut report);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|all] [--max-n N]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|all|quick] [--max-n N] [--json PATH]"
             );
             std::process::exit(2);
         }
+    }
+    match (json_path, full_suite) {
+        (Some(path), _) => report.write(&path),
+        (None, true) => report.write("BENCH_results.json"),
+        (None, false) => println!(
+            "\n(partial run; pass --json PATH to record its {} timed runs)",
+            report.records.len()
+        ),
     }
 }
 
@@ -185,8 +279,23 @@ fn run_fig3_instance(inst: &bench::workloads::Instance, q: &MultiModelQuery) -> 
     }
 }
 
+fn record_fig3_row(report: &mut Report, label: &str, row: &Fig3Row) {
+    report.add(
+        format!("fig3/{label}/n={}/xjoin", row.n),
+        row.xjoin_ms,
+        row.xjoin_max_int,
+        row.result,
+    );
+    report.add(
+        format!("fig3/{label}/n={}/baseline", row.n),
+        row.base_ms,
+        row.base_max_int,
+        row.result,
+    );
+}
+
 /// E1 + E2: the Figure 3 comparison.
-fn exp_fig3(max_n: usize) {
+fn exp_fig3(max_n: usize, report: &mut Report) {
     header("E1/E2: Figure 3 — Baseline vs XJoin (AGM-tight instances)");
     println!(
         "{:>4} {:>10} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10}",
@@ -210,6 +319,7 @@ fn exp_fig3(max_n: usize) {
         let inst = fig3_tight(n);
         let mut row = run_fig3_instance(&inst, &fig3_query());
         row.n = n;
+        record_fig3_row(report, "tight", &row);
         println!(
             "{:>4} {:>10} {:>12.3} {:>12.3} {:>8.1} {:>12} {:>12} {:>8.1} {:>10.0} {:>10}",
             row.n,
@@ -239,6 +349,7 @@ fn exp_fig3(max_n: usize) {
             let inst = fig3_random(n, n as i64, seed);
             let mut row = run_fig3_instance(&inst, &fig3_query());
             row.n = n;
+            record_fig3_row(report, &format!("random/seed={seed}"), &row);
             println!(
                 "{:>4} {:>6} {:>10} {:>12.3} {:>12.3} {:>8.1} {:>12} {:>12} {:>8.1}",
                 row.n,
@@ -256,7 +367,7 @@ fn exp_fig3(max_n: usize) {
 }
 
 /// E5: Lemma 3.5 — every intermediate obeys the prefix bound.
-fn exp_lemma35() {
+fn exp_lemma35(report: &mut Report) {
     header("E5: Lemma 3.5 — XJoin intermediates vs prefix AGM bounds");
     println!(
         "{:>4} {:>6} {:<10} {:>14} {:>14} {:>6}",
@@ -269,7 +380,14 @@ fn exp_lemma35() {
             let idx = inst.index();
             let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
             let q = fig3_query();
+            let t0 = Instant::now();
             let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
+            report.add(
+                format!("lemma35/n={n}/seed={seed}/xjoin"),
+                t0.elapsed().as_secs_f64() * 1e3,
+                out.stats.max_intermediate(),
+                out.results.len(),
+            );
             let atoms = lower(&ctx, &q).expect("lowering succeeds");
             let bounds = prefix_bounds(&atoms, &out.order).expect("bounds compute");
             let expand: Vec<_> = out
@@ -298,18 +416,25 @@ fn exp_lemma35() {
 }
 
 /// E6: the Figure 1 example.
-fn exp_bookstore() {
+fn exp_bookstore(report: &mut Report) {
     header("E6: Figure 1 — bookstore join (Q(userID, ISBN, price))");
     let inst = bookstore();
     let idx = inst.index();
     let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+    let t0 = Instant::now();
     let out = xjoin(&ctx, &bookstore_query(), &XJoinConfig::default()).expect("xjoin runs");
+    report.add(
+        "bookstore/xjoin",
+        t0.elapsed().as_secs_f64() * 1e3,
+        out.stats.max_intermediate(),
+        out.results.len(),
+    );
     print!("{}", inst.db.render_table(&out.results));
     println!("(paper's expected rows: jack/978-3-16-1/30 and tom/634-3-12-2/20)");
 }
 
 /// Extensions: ablations over engine options.
-fn exp_ablation() {
+fn exp_ablation(report: &mut Report) {
     header("Ablation: XJoin options on the tight instance (n = 6)");
     let inst = fig3_tight(6);
     let idx = inst.index();
@@ -354,12 +479,19 @@ fn exp_ablation() {
     for (name, cfg) in configs {
         let t0 = Instant::now();
         let out = xjoin(&ctx, &q, &cfg).expect("xjoin runs");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.add(
+            format!("ablation/xjoin/{name}"),
+            ms,
+            out.stats.max_intermediate(),
+            out.results.len(),
+        );
         println!(
             "{:<34} {:>10} {:>12} {:>12.3}",
             name,
             out.results.len(),
             out.stats.max_intermediate(),
-            t0.elapsed().as_secs_f64() * 1e3
+            ms
         );
     }
 
@@ -400,12 +532,76 @@ fn exp_ablation() {
     ] {
         let t0 = Instant::now();
         let out = baseline(&ctx, &q, &cfg).expect("baseline runs");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.add(
+            format!("ablation/baseline/{name}"),
+            ms,
+            out.stats.max_intermediate(),
+            out.results.len(),
+        );
         println!(
             "{:<34} {:>10} {:>12} {:>12.3}",
             name,
             out.results.len(),
             out.stats.max_intermediate(),
-            t0.elapsed().as_secs_f64() * 1e3
+            ms
         );
     }
+}
+
+/// Serving layer: cold-build vs warm-cache latency of a prepared query
+/// through `xjoin-store` (the new-subsystem claim: repeated executions stop
+/// paying the per-query index-construction cost).
+fn exp_store(report: &mut Report) {
+    header("Store: prepared-query latency, cold build vs warm trie cache (n = 8)");
+    let inst = fig3_tight(8);
+    let store = VersionedStore::new(inst.db, inst.doc);
+    let snap = store.snapshot();
+    let prepared =
+        PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare");
+
+    const RUNS: usize = 5;
+    let mut cold_ms = 0.0f64;
+    let mut warm_ms = 0.0f64;
+    let mut out_rows = 0usize;
+    let mut max_int = 0usize;
+    for _ in 0..RUNS {
+        store.registry().clear();
+        let t0 = Instant::now();
+        let out = prepared.execute(&snap).expect("cold execute");
+        cold_ms += t0.elapsed().as_secs_f64() * 1e3;
+        out_rows = out.results.len();
+        max_int = out.stats.max_intermediate();
+    }
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        prepared.execute(&snap).expect("warm execute");
+        warm_ms += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    cold_ms /= RUNS as f64;
+    warm_ms /= RUNS as f64;
+    let stats = store.registry().stats();
+    println!(
+        "{:<20} {:>12} {:>12} {:>10}",
+        "mode", "avg ms", "max interm.", "result"
+    );
+    println!(
+        "{:<20} {:>12.3} {:>12} {:>10}",
+        "cold build", cold_ms, max_int, out_rows
+    );
+    println!(
+        "{:<20} {:>12.3} {:>12} {:>10}",
+        "warm cache", warm_ms, max_int, out_rows
+    );
+    println!(
+        "speedup {:.1}x; cache: {} hits / {} misses (hit rate {:.0}%), {} entries, {} bytes",
+        cold_ms / warm_ms.max(1e-9),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+        stats.bytes_in_use
+    );
+    report.add("store/cold_build", cold_ms, max_int, out_rows);
+    report.add("store/warm_cache", warm_ms, max_int, out_rows);
 }

@@ -36,7 +36,7 @@ use relational::leapfrog::{leapfrog_foreach, SliceCursor};
 use relational::{Attr, JoinPlan, JoinStats, Relation, Schema, ValueId};
 use std::collections::HashSet;
 use std::time::Instant;
-use xmldb::transform::ad_edge_relation;
+use xmldb::transform::{ad_edge_relation, decompose};
 
 /// Configuration of an XJoin run.
 #[derive(Debug, Clone, Default)]
@@ -73,7 +73,10 @@ const NO_NODE: u32 = u32::MAX;
 /// value pairs.
 type AdCheck = (usize, usize, HashSet<(ValueId, ValueId)>);
 
-/// Runs XJoin on a multi-model query.
+/// Runs XJoin on a multi-model query: lowers the query to atoms, builds a
+/// plan (constructing fresh tries), and executes it. `stats.elapsed` covers
+/// the whole run — lowering, trie construction, and execution — matching
+/// what [`crate::baseline`] times.
 pub fn xjoin(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
@@ -82,13 +85,34 @@ pub fn xjoin(
     let start = Instant::now();
     let atoms = collect_atoms(ctx, query)?;
     let order = compute_order(&atoms, &cfg.order)?;
-    let mut stats = JoinStats::default();
-    for (name, size) in atoms.sizes().iter().skip(atoms.first_path_atom) {
-        stats.record(format!("materialise {name}"), *size);
-    }
-
     let refs = atoms.rel_refs();
     let plan = JoinPlan::new(&refs, &order)?;
+    let mut out = xjoin_with_plan(ctx, query, cfg, &plan, atoms.sizes(), atoms.first_path_atom)?;
+    out.stats.elapsed = start.elapsed();
+    Ok(out)
+}
+
+/// Executes XJoin over an already-assembled [`JoinPlan`] (whose tries may
+/// come from a shared cache — see the `xjoin-store` crate). The plan's order
+/// must cover the query's variables; `atom_sizes` / `first_path_atom`
+/// describe the plan's atoms as [`Atoms::sizes`] /
+/// [`Atoms::first_path_atom`] would. `stats.elapsed` covers execution over
+/// the given plan only — trie construction is the caller's (typically a
+/// cache's) concern.
+pub fn xjoin_with_plan(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    cfg: &XJoinConfig,
+    plan: &JoinPlan,
+    atom_sizes: Vec<(String, usize)>,
+    first_path_atom: usize,
+) -> Result<XJoinOutput> {
+    let start = Instant::now();
+    let order: Vec<Attr> = plan.order().to_vec();
+    let mut stats = JoinStats::default();
+    for (name, size) in atom_sizes.iter().skip(first_path_atom) {
+        stats.record(format!("materialise {name}"), *size);
+    }
 
     // Per-twig validators (used by partial validation and the final filter).
     let mut validators: Vec<TwigValidator<'_>> = query
@@ -101,7 +125,8 @@ pub fn xjoin(
     // triggered at the level where the later endpoint binds.
     let mut ad_checks: Vec<Vec<AdCheck>> = vec![Vec::new(); order.len()];
     if cfg.ad_filter {
-        for (twig, dec) in query.twigs.iter().zip(&atoms.decompositions) {
+        for twig in &query.twigs {
+            let dec = decompose(twig);
             for &edge in &dec.ad_edges {
                 let va = &twig.node(edge.0).var;
                 let vd = &twig.node(edge.1).var;
@@ -227,7 +252,7 @@ pub fn xjoin(
         results: result,
         stats,
         order,
-        atom_sizes: atoms.sizes(),
+        atom_sizes,
     })
 }
 

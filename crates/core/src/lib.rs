@@ -65,11 +65,11 @@ pub mod validate;
 pub use atoms::{collect_atoms, AtomRel, Atoms};
 pub use baseline::{baseline, BaselineConfig, BaselineOutput, RelAlg, XmlAlg};
 pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent};
-pub use engine::{lower, xjoin, XJoinConfig, XJoinOutput};
+pub use engine::{lower, xjoin, xjoin_with_plan, XJoinConfig, XJoinOutput};
 pub use error::{CoreError, Result};
 pub use explain::{explain, Explanation};
 pub use mmql::parse_query;
 pub use order::{compute_order, OrderStrategy};
 pub use query::{all_variables, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term};
-pub use stream::{xjoin_collect, xjoin_count, xjoin_stream};
+pub use stream::{xjoin_collect, xjoin_count, xjoin_stream, xjoin_stream_with_plan};
 pub use validate::TwigValidator;

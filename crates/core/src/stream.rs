@@ -26,23 +26,36 @@ pub fn xjoin_stream(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
     cfg: &XJoinConfig,
-    mut cb: impl FnMut(&[ValueId]),
+    cb: impl FnMut(&[ValueId]),
 ) -> Result<Vec<relational::Attr>> {
     let atoms = collect_atoms(ctx, query)?;
     let order = compute_order(&atoms, &cfg.order)?;
     let refs = atoms.rel_refs();
     let plan = JoinPlan::new(&refs, &order)?;
+    xjoin_stream_with_plan(ctx, query, &plan, cb)?;
+    Ok(order)
+}
+
+/// Streams every result of the query over an already-assembled plan (whose
+/// tries may come from a shared cache — see the `xjoin-store` crate), running
+/// the same per-tuple structure validation as [`xjoin_stream`].
+pub fn xjoin_stream_with_plan(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    plan: &JoinPlan,
+    mut cb: impl FnMut(&[ValueId]),
+) -> Result<()> {
     let mut validators: Vec<TwigValidator<'_>> = query
         .twigs
         .iter()
-        .map(|t| TwigValidator::new(ctx.doc, ctx.index, t, &order))
+        .map(|t| TwigValidator::new(ctx.doc, ctx.index, t, plan.order()))
         .collect::<Result<_>>()?;
-    lftj_foreach(&plan, |tuple| {
+    lftj_foreach(plan, |tuple| {
         if validators.iter_mut().all(|v| v.check(tuple)) {
             cb(tuple);
         }
     });
-    Ok(order)
+    Ok(())
 }
 
 /// Counts results without materialising them (or the intermediates).

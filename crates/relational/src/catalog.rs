@@ -11,10 +11,18 @@ use std::fmt::Write as _;
 ///
 /// In the multi-model setting, the same dictionary is also handed to XML
 /// documents so that values join across models.
+///
+/// The catalog is versioned: every relation carries a monotonically
+/// increasing version (bumped each time the relation is registered or
+/// replaced) and the database as a whole carries an epoch (bumped on any
+/// mutation). Storage layers use these as cache keys — a trie built for
+/// `(name, version)` stays valid exactly as long as the version does.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     dict: Dict,
     relations: BTreeMap<String, Relation>,
+    versions: BTreeMap<String, u64>,
+    epoch: u64,
 }
 
 impl Database {
@@ -33,9 +41,26 @@ impl Database {
         &mut self.dict
     }
 
-    /// Registers (or replaces) a relation under `name`.
+    /// Registers (or replaces) a relation under `name`, bumping its version
+    /// and the database epoch.
     pub fn add_relation(&mut self, name: impl Into<String>, rel: Relation) {
-        self.relations.insert(name.into(), rel);
+        let name = name.into();
+        *self.versions.entry(name.clone()).or_insert(0) += 1;
+        self.epoch += 1;
+        self.relations.insert(name, rel);
+    }
+
+    /// The current version of a relation, if it is registered. Starts at 1
+    /// and is bumped on every [`Database::add_relation`] / [`Database::load`]
+    /// for the name.
+    pub fn relation_version(&self, name: &str) -> Option<u64> {
+        self.versions.get(name).copied()
+    }
+
+    /// A counter bumped on every catalog mutation; two databases at the same
+    /// epoch along one history hold identical relations.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Looks up a relation by name.
@@ -160,6 +185,23 @@ mod tests {
         assert!(table.contains("userID"));
         assert!(table.contains("jack"));
         assert!(table.contains("30"));
+    }
+
+    #[test]
+    fn versions_bump_per_relation_and_epoch_globally() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch(), 0);
+        assert_eq!(db.relation_version("R"), None);
+        db.add_relation("R", Relation::new(Schema::of(&["a"])));
+        db.add_relation("S", Relation::new(Schema::of(&["a"])));
+        assert_eq!(db.relation_version("R"), Some(1));
+        assert_eq!(db.relation_version("S"), Some(1));
+        assert_eq!(db.epoch(), 2);
+        db.load("R", Schema::of(&["a"]), vec![vec![Value::Int(1)]])
+            .unwrap();
+        assert_eq!(db.relation_version("R"), Some(2));
+        assert_eq!(db.relation_version("S"), Some(1));
+        assert_eq!(db.epoch(), 3);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
 use crate::trie::Trie;
 use crate::value::ValueId;
+use std::sync::Arc;
 
 /// Streams every result tuple of the join to `cb`, in lexicographic order of
 /// the plan's variable order.
@@ -34,7 +35,7 @@ pub fn lftj_foreach(plan: &JoinPlan, mut cb: impl FnMut(&[ValueId])) {
 }
 
 fn rec(
-    tries: &[Trie],
+    tries: &[Arc<Trie>],
     var_plans: &[VarPlan],
     d: usize,
     stacks: &mut Vec<Vec<u32>>,

@@ -10,6 +10,7 @@ use crate::error::{RelError, Result};
 use crate::relation::Relation;
 use crate::schema::Attr;
 use crate::trie::Trie;
+use std::sync::Arc;
 
 /// One atom's participation in a variable's expansion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,10 +32,14 @@ pub struct VarPlan {
 
 /// A validated multiway join plan: atoms as tries, leveled consistently with
 /// a global variable order.
+///
+/// Tries are held behind [`Arc`] so plans can be assembled from cached tries
+/// (shared with other concurrent queries) without copying; [`JoinPlan::new`]
+/// still builds fresh tries when no cache is involved.
 #[derive(Debug, Clone)]
 pub struct JoinPlan {
     order: Vec<Attr>,
-    tries: Vec<Trie>,
+    tries: Vec<Arc<Trie>>,
     var_plans: Vec<VarPlan>,
 }
 
@@ -56,19 +61,21 @@ impl JoinPlan {
         }
         let mut tries = Vec::with_capacity(relations.len());
         for rel in relations {
-            let proj = rel.schema().order_projection(order)?;
-            let restricted: Vec<Attr> = proj
-                .iter()
-                .map(|&p| rel.schema().attrs()[p].clone())
-                .collect();
+            let restricted = rel.schema().restrict_order(order)?;
             tries.push(Trie::build(rel, &restricted)?);
         }
         Self::from_tries(tries, order)
     }
 
-    /// Builds a plan from pre-leveled tries, validating that every trie's
-    /// attribute order is a subsequence of `order`.
+    /// Builds a plan from pre-leveled owned tries, validating that every
+    /// trie's attribute order is a subsequence of `order`.
     pub fn from_tries(tries: Vec<Trie>, order: &[Attr]) -> Result<JoinPlan> {
+        Self::from_shared(tries.into_iter().map(Arc::new).collect(), order)
+    }
+
+    /// Builds a plan from shared (possibly cached) tries, validating that
+    /// every trie's attribute order is a subsequence of `order`.
+    pub fn from_shared(tries: Vec<Arc<Trie>>, order: &[Attr]) -> Result<JoinPlan> {
         if tries.is_empty() {
             return Err(RelError::EmptyQuery);
         }
@@ -119,7 +126,7 @@ impl JoinPlan {
     }
 
     /// The atoms' tries (leveled consistently with [`JoinPlan::order`]).
-    pub fn tries(&self) -> &[Trie] {
+    pub fn tries(&self) -> &[Arc<Trie>] {
         &self.tries
     }
 
@@ -206,6 +213,17 @@ mod tests {
         let t = Trie::build(&r, &attrs(&["b", "a"])).unwrap();
         // Global order (a, b) conflicts with trie order (b, a).
         assert!(JoinPlan::from_tries(vec![t], &attrs(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn from_shared_reuses_trie_allocations() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[1, 3]]);
+        let trie = Arc::new(Trie::from_relation(&r));
+        let plan = JoinPlan::from_shared(vec![Arc::clone(&trie)], &attrs(&["a", "b"])).unwrap();
+        assert!(Arc::ptr_eq(&plan.tries()[0], &trie));
+        // The same Arc can back several plans simultaneously.
+        let plan2 = JoinPlan::from_shared(vec![Arc::clone(&trie)], &attrs(&["a", "b"])).unwrap();
+        assert!(Arc::ptr_eq(&plan2.tries()[0], &plan.tries()[0]));
     }
 
     #[test]

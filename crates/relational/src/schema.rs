@@ -165,6 +165,18 @@ impl Schema {
         }
         Ok(proj)
     }
+
+    /// The schema's attributes reordered by a global attribute order — the
+    /// trie level order every planner derives (see [`crate::JoinPlan`] and
+    /// the `xjoin-store` prepared queries, which must agree on it). Errors
+    /// if some schema attribute is missing from `order`.
+    pub fn restrict_order(&self, order: &[Attr]) -> Result<Vec<Attr>> {
+        Ok(self
+            .order_projection(order)?
+            .into_iter()
+            .map(|p| self.attrs[p].clone())
+            .collect())
+    }
 }
 
 impl fmt::Display for Schema {

@@ -208,6 +208,19 @@ impl Trie {
     pub fn node_count(&self) -> usize {
         self.levels.iter().map(|l| l.vals.len()).sum()
     }
+
+    /// Approximate heap footprint in bytes (value and child-range arrays;
+    /// attribute names excluded). Trie caches charge entries against their
+    /// byte budget using this estimate.
+    pub fn estimated_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.vals.len() * std::mem::size_of::<ValueId>()
+                    + l.child_start.len() * std::mem::size_of::<u32>()
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +321,15 @@ mod tests {
         let t = Trie::from_relation(&sample());
         // level 0: values 1,3 -> 2 nodes; level 1: 4,5 under 1 and 5 under 3 -> 3 nodes.
         assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn estimated_bytes_counts_vals_and_child_ranges() {
+        let t = Trie::from_relation(&sample());
+        // level 0: 2 vals + 3 child_start entries; level 1: 3 vals.
+        assert_eq!(t.estimated_bytes(), (2 + 3 + 3) * 4);
+        let empty = Trie::from_relation(&Relation::new(Schema::of(&["a"])));
+        assert_eq!(empty.estimated_bytes(), 0);
     }
 
     #[test]

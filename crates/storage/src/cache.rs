@@ -1,0 +1,363 @@
+//! The trie registry: a shared, byte-budgeted LRU cache of built tries.
+//!
+//! Building a trie is the dominant per-query cost on repeated workloads —
+//! every engine in the workspace (LFTJ, the level-wise generic join,
+//! streaming XJoin, and the level-wise XJoin engine) consumes the same flat
+//! sorted [`Trie`] representation, so one cache serves them all. Entries are
+//! keyed by [`TrieKey`]: *what* the trie was built from (a relation name or
+//! a derived-atom fingerprint), *which version* of it, and *under which
+//! attribute order* it was leveled. Storage versioning guarantees that a key
+//! never maps to two different tries, so entries need no invalidation —
+//! stale versions simply age out of the LRU.
+
+use crate::error::StoreError;
+use relational::{Attr, Trie};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Identity of a cached trie: owning store, source, version, and level
+/// order.
+///
+/// * base relations use their catalog name, versioned by
+///   [`relational::Database::relation_version`];
+/// * derived relational atoms (positional renames, constant selections) use
+///   a fingerprint of the atom's terms, versioned by the base relation;
+/// * twig path relations use [`xmldb::path_fingerprint`], versioned by the
+///   document (see [`crate::Snapshot::doc_version`]).
+///
+/// Versions are only comparable within one store's history (every fresh
+/// store starts at version 1, and [`relational::ValueId`]s are relative to
+/// its dictionary), so the key also carries the process-unique id of the
+/// owning [`crate::VersionedStore`] — a registry shared between stores can
+/// never serve one store's trie to another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrieKey {
+    /// Process-unique id of the store the trie belongs to.
+    pub store: u64,
+    /// Content identity of the relation the trie was built from.
+    pub source: String,
+    /// Version of that content (relation version or document version).
+    pub version: u64,
+    /// The trie's level order (the restriction of a global variable order to
+    /// the source's attributes).
+    pub order: Vec<Attr>,
+}
+
+/// A point-in-time view of the registry's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to build a trie.
+    pub misses: u64,
+    /// Entries dropped to respect the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated bytes currently charged against the budget.
+    pub bytes_in_use: usize,
+    /// The configured byte budget (`None` = unbounded).
+    pub budget: Option<usize>,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    trie: Arc<Trie>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<TrieKey, Entry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    bytes_in_use: usize,
+    budget: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    /// Evicts least-recently-used entries (never `protect`) until the budget
+    /// is respected or only the protected entry remains.
+    fn evict_to_budget(&mut self, protect: &TrieKey) {
+        let Some(budget) = self.budget else { return };
+        while self.bytes_in_use > budget && self.map.len() > 1 {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| *k != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes_in_use -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// A thread-safe trie cache with an LRU byte budget and hit/miss/eviction
+/// counters. Shared via [`Arc`] between the store, its snapshots, and the
+/// query service's workers.
+pub struct TrieRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl TrieRegistry {
+    /// An unbounded registry (entries are never evicted).
+    pub fn new() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// A registry evicting least-recently-used tries once the estimated
+    /// resident bytes exceed `budget` (`None` = unbounded). The most recent
+    /// entry is always kept, even if it alone exceeds the budget.
+    pub fn with_budget(budget: Option<usize>) -> Self {
+        TrieRegistry {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes_in_use: 0,
+                budget,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Peeks for a cached trie, counting a hit (and refreshing recency) when
+    /// found. A miss is *not* counted — only [`TrieRegistry::get_or_build`]
+    /// records misses, so peek-then-build call sites count each request once.
+    pub fn lookup(&self, key: &TrieKey) -> Option<Arc<Trie>> {
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(e) = g.map.get_mut(key) {
+            e.last_used = tick;
+            let trie = Arc::clone(&e.trie);
+            g.hits += 1;
+            Some(trie)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the cached trie for `key`, building (and caching) it with
+    /// `build` on a miss. The lock is released while building, so concurrent
+    /// misses on the same key may build twice; the first insert wins and the
+    /// duplicate is dropped.
+    pub fn get_or_build(
+        &self,
+        key: &TrieKey,
+        build: impl FnOnce() -> relational::Result<Trie>,
+    ) -> Result<Arc<Trie>, StoreError> {
+        {
+            let mut g = self.lock();
+            g.tick += 1;
+            let tick = g.tick;
+            if let Some(e) = g.map.get_mut(key) {
+                e.last_used = tick;
+                let trie = Arc::clone(&e.trie);
+                g.hits += 1;
+                return Ok(trie);
+            }
+            g.misses += 1;
+        }
+        let trie = Arc::new(build()?);
+        let bytes = trie.estimated_bytes();
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(e) = g.map.get_mut(key) {
+            // Lost a build race; serve the resident entry.
+            e.last_used = tick;
+            return Ok(Arc::clone(&e.trie));
+        }
+        g.map.insert(
+            key.clone(),
+            Entry {
+                trie: Arc::clone(&trie),
+                bytes,
+                last_used: tick,
+            },
+        );
+        g.bytes_in_use += bytes;
+        g.evict_to_budget(key);
+        Ok(trie)
+    }
+
+    /// Whether `key` is currently resident (does not touch recency or
+    /// counters).
+    pub fn contains(&self, key: &TrieKey) -> bool {
+        self.lock().map.contains_key(key)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut g = self.lock();
+        g.map.clear();
+        g.bytes_in_use = 0;
+    }
+
+    /// A snapshot of the registry's counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.lock();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.map.len(),
+            bytes_in_use: g.bytes_in_use,
+            budget: g.budget,
+        }
+    }
+}
+
+impl Default for TrieRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for TrieRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrieRegistry")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Relation, Schema, ValueId};
+
+    fn key(source: &str, version: u64) -> TrieKey {
+        TrieKey {
+            store: 0,
+            source: source.into(),
+            version,
+            order: vec!["a".into(), "b".into()],
+        }
+    }
+
+    fn sample_rel(rows: u32) -> Relation {
+        let mut r = Relation::new(Schema::of(&["a", "b"]));
+        for i in 0..rows {
+            r.push(&[ValueId(i), ValueId(i + 1)]).unwrap();
+        }
+        r
+    }
+
+    fn build(rows: u32) -> relational::Result<Trie> {
+        let r = sample_rel(rows);
+        Ok(Trie::from_relation(&r))
+    }
+
+    #[test]
+    fn first_request_builds_second_hits() {
+        let reg = TrieRegistry::new();
+        let t1 = reg.get_or_build(&key("R", 1), || build(4)).unwrap();
+        let t2 = reg
+            .get_or_build(&key("R", 1), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn versions_orders_and_stores_key_separately() {
+        let reg = TrieRegistry::new();
+        reg.get_or_build(&key("R", 1), || build(4)).unwrap();
+        reg.get_or_build(&key("R", 2), || build(5)).unwrap();
+        let mut flipped = key("R", 1);
+        flipped.order.reverse();
+        reg.get_or_build(&flipped, || build(4)).unwrap();
+        // Same name/version/order from a different store must not collide.
+        let mut other_store = key("R", 1);
+        other_store.store = 7;
+        reg.get_or_build(&other_store, || build(6)).unwrap();
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 4, 4));
+    }
+
+    #[test]
+    fn lookup_counts_hits_but_not_misses() {
+        let reg = TrieRegistry::new();
+        assert!(reg.lookup(&key("R", 1)).is_none());
+        assert_eq!(reg.stats().misses, 0);
+        reg.get_or_build(&key("R", 1), || build(4)).unwrap();
+        assert!(reg.lookup(&key("R", 1)).is_some());
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // Each 4-row trie costs a few dozen bytes; budget fits ~2 of them.
+        let one = build(4).unwrap().estimated_bytes();
+        let reg = TrieRegistry::with_budget(Some(2 * one));
+        reg.get_or_build(&key("R1", 1), || build(4)).unwrap();
+        reg.get_or_build(&key("R2", 1), || build(4)).unwrap();
+        // Touch R1 so R2 is the LRU victim.
+        reg.lookup(&key("R1", 1)).unwrap();
+        reg.get_or_build(&key("R3", 1), || build(4)).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes_in_use <= 2 * one);
+        assert!(reg.contains(&key("R1", 1)));
+        assert!(!reg.contains(&key("R2", 1)));
+        assert!(reg.contains(&key("R3", 1)));
+    }
+
+    #[test]
+    fn oversized_single_entry_is_kept() {
+        let reg = TrieRegistry::with_budget(Some(1));
+        reg.get_or_build(&key("R", 1), || build(8)).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.entries, 1);
+        assert!(reg.contains(&key("R", 1)));
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let reg = TrieRegistry::new();
+        reg.get_or_build(&key("R", 1), || build(4)).unwrap();
+        reg.clear();
+        let s = reg.stats();
+        assert_eq!((s.entries, s.bytes_in_use), (0, 0));
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn build_errors_propagate_and_cache_nothing() {
+        let reg = TrieRegistry::new();
+        let err = reg.get_or_build(&key("R", 1), || Err(relational::RelError::EmptyQuery));
+        assert!(err.is_err());
+        assert_eq!(reg.stats().entries, 0);
+        // A later successful build still works.
+        reg.get_or_build(&key("R", 1), || build(2)).unwrap();
+        assert_eq!(reg.stats().entries, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the storage & serving subsystem.
+
+use std::fmt;
+use xjoin_core::CoreError;
+
+/// Errors raised by the store, cache, prepared queries, or query service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An error from the multi-model engine (lowering, planning, execution).
+    Core(CoreError),
+    /// An error from the relational substrate (trie construction, schemas).
+    Relational(relational::RelError),
+    /// A query result will never arrive: the worker executing it died (or
+    /// the service was shut down before the job ran).
+    WorkerLost,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Core(e) => write!(f, "core: {e}"),
+            StoreError::Relational(e) => write!(f, "relational: {e}"),
+            StoreError::WorkerLost => write!(f, "query worker died before replying"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<relational::RelError> for StoreError {
+    fn from(e: relational::RelError) -> Self {
+        StoreError::Relational(e)
+    }
+}
+
+/// Result alias for the storage subsystem.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: StoreError = CoreError::EmptyQuery.into();
+        assert!(e.to_string().contains("core"));
+        let e: StoreError = relational::RelError::EmptyQuery.into();
+        assert!(e.to_string().contains("relational"));
+        assert!(StoreError::WorkerLost.to_string().contains("worker"));
+    }
+}

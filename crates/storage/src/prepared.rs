@@ -1,0 +1,482 @@
+//! Prepared queries: parse/validate/order once, re-execute cheaply.
+//!
+//! Preparation lowers a [`MultiModelQuery`] against a reference snapshot,
+//! fixes the global variable order (the paper's `PA`), and pins for every
+//! atom a *trie key template*: the atom's content identity plus the
+//! restriction of the global order to its attributes. Execution against any
+//! later snapshot then resolves each template to a concrete
+//! [`TrieKey`] (filling in that snapshot's relation / document versions),
+//! fetches the tries from the shared registry — building only on cache
+//! misses — and runs the XJoin engine body over the assembled plan.
+//!
+//! A fully warm execution performs **zero** [`relational::Trie::build`]
+//! calls and never re-materialises path relations: the plan is assembled
+//! purely from cached `Arc<Trie>`s.
+
+use crate::cache::TrieKey;
+use crate::error::{Result, StoreError};
+use crate::store::Snapshot;
+use relational::{Attr, JoinPlan, Trie, ValueId};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use xjoin_core::{
+    collect_atoms, compute_order, xjoin_stream_with_plan, xjoin_with_plan, CoreError,
+    MultiModelQuery, ResolvedAtom, Term, XJoinConfig, XJoinOutput,
+};
+use xmldb::{decompose, path_fingerprint, path_relation, PathSpec};
+
+/// Where an atom's trie content comes from — which version counter
+/// invalidates it, and how to rebuild just this atom's relation on a cache
+/// miss.
+#[derive(Debug, Clone)]
+enum AtomSource {
+    /// A base relation served as stored; versioned by the relation.
+    Relation(String),
+    /// A relational atom derived from `base` by positional terms (renames,
+    /// constant selections, repeated-variable equalities); versioned by the
+    /// base relation.
+    Derived { base: String, fingerprint: String },
+    /// A twig path relation (`query.twigs[twig]` restricted to `path`);
+    /// versioned by the document.
+    TwigPath {
+        twig: usize,
+        path: PathSpec,
+        fingerprint: String,
+    },
+}
+
+/// One atom's pinned cache identity and trie level order.
+#[derive(Debug, Clone)]
+struct PreparedAtom {
+    /// Display name (as reported in stats), from [`xjoin_core::Atoms::names`].
+    display: String,
+    source: AtomSource,
+    /// The restriction of the global order to this atom's attributes — the
+    /// trie's level order.
+    order: Vec<Attr>,
+}
+
+/// A query prepared for repeated execution: validated, ordered, and with all
+/// trie cache keys pinned. Cheap to execute against any [`Snapshot`] of the
+/// same store; `Send + Sync`, so one prepared query can be shared by every
+/// worker of a [`crate::QueryService`].
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    query: MultiModelQuery,
+    cfg: XJoinConfig,
+    order: Vec<Attr>,
+    atoms: Vec<PreparedAtom>,
+    first_path_atom: usize,
+}
+
+/// Renders a derived atom's positional terms into a stable fingerprint.
+fn terms_fingerprint(name: &str, terms: &[Term]) -> String {
+    let mut fp = format!("atom:{name}(");
+    for (i, t) in terms.iter().enumerate() {
+        if i > 0 {
+            fp.push(',');
+        }
+        match t {
+            Term::Var(v) => {
+                let _ = write!(fp, "?{v}");
+            }
+            Term::Const(c) => {
+                let _ = write!(fp, "{c:?}");
+            }
+        }
+    }
+    fp.push(')');
+    fp
+}
+
+impl PreparedQuery {
+    /// Prepares `query` against a reference snapshot: lowers it to atoms,
+    /// computes the variable order per `cfg`, and pins every atom's trie
+    /// key. The chosen order is kept for all later executions (for the
+    /// `Cardinality` strategy it reflects the reference snapshot's
+    /// statistics).
+    pub fn prepare(
+        snapshot: &Snapshot,
+        query: &MultiModelQuery,
+        cfg: XJoinConfig,
+    ) -> Result<PreparedQuery> {
+        let ctx = snapshot.ctx();
+        let atoms = collect_atoms(&ctx, query)?;
+        let order = compute_order(&atoms, &cfg.order)?;
+
+        // Reconstruct each atom's content source, mirroring the ordering of
+        // `collect_atoms`: relational atoms first, then every twig's paths.
+        let mut sources: Vec<AtomSource> = Vec::with_capacity(atoms.rels.len());
+        for atom in &query.relations {
+            sources.push(match &atom.terms {
+                None => AtomSource::Relation(atom.name.clone()),
+                Some(terms) => AtomSource::Derived {
+                    base: atom.name.clone(),
+                    fingerprint: terms_fingerprint(&atom.name, terms),
+                },
+            });
+        }
+        debug_assert_eq!(sources.len(), atoms.first_path_atom);
+        for (t, twig) in query.twigs.iter().enumerate() {
+            let dec = decompose(twig);
+            for path in dec.paths {
+                let fingerprint = path_fingerprint(twig, &path);
+                sources.push(AtomSource::TwigPath {
+                    twig: t,
+                    path,
+                    fingerprint,
+                });
+            }
+        }
+        assert_eq!(
+            sources.len(),
+            atoms.rels.len(),
+            "atom sources must mirror collect_atoms"
+        );
+
+        let mut prepared = Vec::with_capacity(atoms.rels.len());
+        for ((rel, name), source) in atoms.rels.iter().zip(&atoms.names).zip(sources) {
+            let schema = rel.rel().schema();
+            // Integrity of the source/atom pairing: a path source must carry
+            // exactly the schema of the relation it is paired with. Catches
+            // any future drift between `collect_atoms`' atom ordering and
+            // the reconstruction above before it can poison cache keys.
+            if let AtomSource::TwigPath { twig, path, .. } = &source {
+                let vars: Vec<Attr> = path
+                    .nodes
+                    .iter()
+                    .map(|&q| query.twigs[*twig].node(q).var.clone())
+                    .collect();
+                assert_eq!(
+                    schema.attrs(),
+                    &vars[..],
+                    "atom sources drifted from collect_atoms ordering"
+                );
+            }
+            let restricted = schema.restrict_order(&order).map_err(CoreError::from)?;
+            prepared.push(PreparedAtom {
+                display: name.clone(),
+                source,
+                order: restricted,
+            });
+        }
+
+        Ok(PreparedQuery {
+            query: query.clone(),
+            cfg,
+            order,
+            atoms: prepared,
+            first_path_atom: atoms.first_path_atom,
+        })
+    }
+
+    /// The pinned global variable order.
+    pub fn order(&self) -> &[Attr] {
+        &self.order
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &MultiModelQuery {
+        &self.query
+    }
+
+    /// The pinned engine configuration.
+    pub fn config(&self) -> &XJoinConfig {
+        &self.cfg
+    }
+
+    /// The concrete trie keys this query resolves to on `snapshot` (exposed
+    /// for cache introspection, pre-warming, and tests).
+    pub fn trie_keys(&self, snapshot: &Snapshot) -> Result<Vec<TrieKey>> {
+        self.atoms
+            .iter()
+            .map(|a| {
+                // The `rel:` / `atom:` / `path:` prefixes keep the three
+                // source namespaces disjoint — a relation whose *name*
+                // happens to look like a fingerprint cannot collide.
+                let (source, version) = match &a.source {
+                    AtomSource::Relation(name) => {
+                        (format!("rel:{name}"), self.rel_version(snapshot, name)?)
+                    }
+                    AtomSource::Derived { base, fingerprint } => {
+                        (fingerprint.clone(), self.rel_version(snapshot, base)?)
+                    }
+                    AtomSource::TwigPath { fingerprint, .. } => {
+                        (fingerprint.clone(), snapshot.doc_version())
+                    }
+                };
+                Ok(TrieKey {
+                    store: snapshot.store_id(),
+                    source,
+                    version,
+                    order: a.order.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn rel_version(&self, snapshot: &Snapshot, name: &str) -> Result<u64> {
+        snapshot
+            .relation_version(name)
+            .ok_or_else(|| StoreError::Core(CoreError::UnknownRelation(name.to_owned())))
+    }
+
+    /// Assembles the join plan for `snapshot`, fetching tries from the
+    /// registry. A cache miss re-materialises only the missing atom's
+    /// relation — an update to one relation never re-derives the other
+    /// atoms (in particular, it never re-walks the document for path
+    /// relations whose tries are still cached).
+    #[allow(clippy::type_complexity)]
+    fn plan_for(&self, snapshot: &Snapshot) -> Result<(JoinPlan, Vec<(String, usize)>)> {
+        let keys = self.trie_keys(snapshot)?;
+        let registry = snapshot.registry();
+        let ctx = snapshot.ctx();
+
+        // Resolved relational atoms, computed at most once per execution
+        // (only when some derived atom misses); aligned with
+        // `self.query.relations`.
+        let mut resolved: Option<Vec<ResolvedAtom<'_>>> = None;
+        let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(keys.len());
+        for (i, (spec, key)) in self.atoms.iter().zip(&keys).enumerate() {
+            if let Some(trie) = registry.lookup(key) {
+                tries.push(trie);
+                continue;
+            }
+            let trie = match &spec.source {
+                AtomSource::Relation(name) => {
+                    let rel = ctx.db.relation(name).map_err(CoreError::from)?;
+                    registry.get_or_build(key, || Trie::build(rel, &spec.order))?
+                }
+                AtomSource::Derived { .. } => {
+                    // Resolution happens outside the build closure because it
+                    // can fail with a CoreError the closure's RelError result
+                    // cannot carry; a lost build race wastes one resolve.
+                    if resolved.is_none() {
+                        resolved = Some(ctx.resolve_atoms(&self.query)?);
+                    }
+                    let atoms = resolved.as_ref().expect("just resolved");
+                    registry.get_or_build(key, || Trie::build(atoms[i].rel(), &spec.order))?
+                }
+                AtomSource::TwigPath { twig, path, .. } => {
+                    // Materialised lazily inside the closure: if a concurrent
+                    // worker wins the build race, the document is not walked.
+                    registry.get_or_build(key, || {
+                        let rel = path_relation(ctx.doc, ctx.index, &self.query.twigs[*twig], path);
+                        Trie::build(&rel, &spec.order)
+                    })?
+                }
+            };
+            tries.push(trie);
+        }
+
+        // Atom cardinalities always come from the tries (distinct tuples),
+        // never from the lowered relations, so the reported stats are
+        // identical whether a run was cold or warm.
+        let atom_sizes: Vec<(String, usize)> = self
+            .atoms
+            .iter()
+            .zip(&tries)
+            .map(|(spec, trie)| (spec.display.clone(), trie.num_tuples()))
+            .collect();
+
+        let plan = JoinPlan::from_shared(tries, &self.order).map_err(CoreError::from)?;
+        Ok((plan, atom_sizes))
+    }
+
+    /// Executes the prepared query against `snapshot` with the level-wise
+    /// XJoin engine, reusing cached tries. Results are identical to
+    /// [`xjoin_core::xjoin`] on the same snapshot (modulo the pinned order).
+    pub fn execute(&self, snapshot: &Snapshot) -> Result<XJoinOutput> {
+        let (plan, atom_sizes) = self.plan_for(snapshot)?;
+        let ctx = snapshot.ctx();
+        xjoin_with_plan(
+            &ctx,
+            &self.query,
+            &self.cfg,
+            &plan,
+            atom_sizes,
+            self.first_path_atom,
+        )
+        .map_err(StoreError::from)
+    }
+
+    /// Streams the prepared query's results depth-first (LFTJ-style) against
+    /// `snapshot`, reusing the same cached tries as [`PreparedQuery::execute`].
+    /// Tuples arrive in lexicographic order of [`PreparedQuery::order`].
+    pub fn stream(&self, snapshot: &Snapshot, cb: impl FnMut(&[ValueId])) -> Result<()> {
+        let (plan, _) = self.plan_for(snapshot)?;
+        let ctx = snapshot.ctx();
+        xjoin_stream_with_plan(&ctx, &self.query, &plan, cb).map_err(StoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VersionedStore;
+    use relational::{Database, Schema, Value};
+    use xjoin_core::xjoin;
+    use xmldb::XmlDocument;
+
+    fn bookstore_store() -> VersionedStore {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["orderID", "userID"]),
+            vec![
+                vec![Value::Int(10963), Value::str("jack")],
+                vec![Value::Int(20134), Value::str("tom")],
+            ],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("invoices");
+        for (oid, isbn, price) in [(10963i64, "978-3-16-1", 30i64), (20134, "634-3-12-2", 20)] {
+            b.begin("orderLine");
+            b.leaf("orderID", oid);
+            b.leaf("ISBN", isbn);
+            b.leaf("price", price);
+            b.end();
+        }
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        VersionedStore::new(db, doc)
+    }
+
+    fn bookstore_query() -> MultiModelQuery {
+        MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
+            .unwrap()
+            .with_output(&["userID", "ISBN", "price"])
+    }
+
+    #[test]
+    fn prepared_matches_direct_xjoin() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = bookstore_query();
+        let prepared = PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap();
+        let out = prepared.execute(&snap).unwrap();
+        let direct = xjoin(&snap.ctx(), &q, &XJoinConfig::default()).unwrap();
+        assert!(out.results.set_eq(&direct.results));
+        assert_eq!(out.order, direct.order);
+    }
+
+    #[test]
+    fn warm_execution_touches_no_builds() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+        let cold = prepared.execute(&snap).unwrap();
+        let after_cold = store.registry().stats();
+        assert!(after_cold.misses > 0);
+        let warm = prepared.execute(&snap).unwrap();
+        let after_warm = store.registry().stats();
+        assert_eq!(
+            after_warm.misses, after_cold.misses,
+            "warm run rebuilt a trie"
+        );
+        assert_eq!(
+            after_warm.hits,
+            after_cold.hits + prepared.atoms.len() as u64
+        );
+        assert!(warm.results.set_eq(&cold.results));
+    }
+
+    #[test]
+    fn execution_follows_relation_versions() {
+        let store = bookstore_store();
+        let snap1 = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap1, &bookstore_query(), XJoinConfig::default()).unwrap();
+        let out1 = prepared.execute(&snap1).unwrap();
+        assert_eq!(out1.results.len(), 2);
+        store.update(|db| {
+            db.load(
+                "R",
+                Schema::of(&["orderID", "userID"]),
+                vec![vec![Value::Int(10963), Value::str("jack")]],
+            )
+            .unwrap();
+        });
+        let snap2 = store.snapshot();
+        // Old snapshot still serves the old answer; the new one re-keys.
+        assert_eq!(prepared.execute(&snap1).unwrap().results.len(), 2);
+        assert_eq!(prepared.execute(&snap2).unwrap().results.len(), 1);
+        let k1 = prepared.trie_keys(&snap1).unwrap();
+        let k2 = prepared.trie_keys(&snap2).unwrap();
+        assert_ne!(k1[0], k2[0], "R's key must re-version");
+        assert_eq!(&k1[1..], &k2[1..], "path keys are unchanged");
+    }
+
+    #[test]
+    fn stream_agrees_with_execute() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &["//orderLine/orderID"]).unwrap();
+        let prepared = PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap();
+        let mut n = 0usize;
+        prepared.stream(&snap, |_| n += 1).unwrap();
+        assert_eq!(n, prepared.execute(&snap).unwrap().results.len());
+    }
+
+    #[test]
+    fn shared_registry_never_mixes_stores() {
+        use crate::cache::TrieRegistry;
+        // Two stores with identical names/versions/orders but different
+        // contents share one registry; each must be served its own tries.
+        let registry = Arc::new(TrieRegistry::new());
+        let make = |rows: Vec<Vec<Value>>| {
+            let mut db = Database::new();
+            db.load("R", Schema::of(&["x"]), rows).unwrap();
+            let mut dict = db.dict().clone();
+            let mut b = XmlDocument::builder();
+            b.begin("root");
+            b.end();
+            let doc = b.build(&mut dict);
+            *db.dict_mut() = dict;
+            crate::store::VersionedStore::with_registry(db, doc, Arc::clone(&registry))
+        };
+        let s1 = make(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let s2 = make(vec![vec![Value::Int(9)]]);
+        assert_ne!(s1.id(), s2.id());
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let snap1 = s1.snapshot();
+        let snap2 = s2.snapshot();
+        let p1 = PreparedQuery::prepare(&snap1, &q, XJoinConfig::default()).unwrap();
+        let p2 = PreparedQuery::prepare(&snap2, &q, XJoinConfig::default()).unwrap();
+        assert_eq!(p1.execute(&snap1).unwrap().results.len(), 2);
+        // Same relation name, version 1, order (x) — but a different store:
+        // this must *miss* and build s2's own trie, not hit s1's.
+        let before = registry.stats();
+        assert_eq!(p2.execute(&snap2).unwrap().results.len(), 1);
+        let after = registry.stats();
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.hits, before.hits);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported_at_execute() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+        // A fresh, unrelated store lacks `R`.
+        let mut db = Database::new();
+        db.load("S", Schema::of(&["x"]), vec![vec![Value::Int(1)]])
+            .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("invoices");
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let other = VersionedStore::new(db, doc);
+        assert!(matches!(
+            prepared.execute(&other.snapshot()),
+            Err(StoreError::Core(CoreError::UnknownRelation(_)))
+        ));
+    }
+}

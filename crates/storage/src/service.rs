@@ -1,0 +1,200 @@
+//! A concurrent query service: a std-only worker pool executing prepared
+//! queries across snapshots.
+//!
+//! Workers are plain `std::thread`s pulling jobs from a shared channel (the
+//! classic `Arc<Mutex<Receiver>>` pool — no external dependencies). Each job
+//! pairs an `Arc<PreparedQuery>` with a [`Snapshot`]; because snapshots are
+//! immutable and tries are shared through the registry, any number of
+//! workers can execute against the same (or different) store states
+//! simultaneously, each returning its own [`XJoinOutput`] with per-query
+//! [`relational::JoinStats`].
+
+use crate::error::{Result, StoreError};
+use crate::prepared::PreparedQuery;
+use crate::store::Snapshot;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{Builder, JoinHandle};
+use xjoin_core::XJoinOutput;
+
+struct Job {
+    prepared: Arc<PreparedQuery>,
+    snapshot: Snapshot,
+    reply: Sender<Result<XJoinOutput>>,
+}
+
+/// A handle to one submitted query; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<XJoinOutput>>,
+}
+
+impl Ticket {
+    /// Blocks until the query finishes, returning its output (or
+    /// [`StoreError::WorkerLost`] if the executing worker died).
+    pub fn wait(self) -> Result<XJoinOutput> {
+        self.rx.recv().unwrap_or(Err(StoreError::WorkerLost))
+    }
+}
+
+/// A fixed-size pool of query workers. Dropping the service shuts the pool
+/// down: queued jobs still run, then workers exit and are joined.
+pub struct QueryService {
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawns a service with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                Builder::new()
+                    .name(format!("xjoin-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => {
+                                let out = job.prepared.execute(&job.snapshot);
+                                let _ = job.reply.send(out);
+                            }
+                            Err(_) => break, // sender dropped: shutdown
+                        }
+                    })
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService {
+            tx: Mutex::new(Some(tx)),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one query execution; returns immediately with a [`Ticket`].
+    pub fn submit(&self, prepared: Arc<PreparedQuery>, snapshot: Snapshot) -> Ticket {
+        let (reply, rx) = channel();
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tx) = guard.as_ref() {
+            // A send error means every worker is gone; the dropped `reply`
+            // sender then surfaces as WorkerLost at wait().
+            let _ = tx.send(Job {
+                prepared,
+                snapshot,
+                reply,
+            });
+        }
+        Ticket { rx }
+    }
+
+    /// Submits a batch and waits for all results, in submission order.
+    pub fn run_all(
+        &self,
+        jobs: impl IntoIterator<Item = (Arc<PreparedQuery>, Snapshot)>,
+    ) -> Vec<Result<XJoinOutput>> {
+        let tickets: Vec<Ticket> = jobs.into_iter().map(|(p, s)| self.submit(p, s)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // Close the job channel so workers drain the queue and exit. Recover
+        // from poisoning — leaving the Sender alive would make the joins
+        // below wait forever on workers blocked in recv().
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VersionedStore;
+    use relational::{Database, Schema, Value};
+    use xjoin_core::{MultiModelQuery, XJoinConfig};
+    use xmldb::XmlDocument;
+
+    fn store() -> VersionedStore {
+        let mut db = Database::new();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+            .collect();
+        db.load("R", Schema::of(&["id", "grp"]), rows).unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("root");
+        for i in 0..5i64 {
+            b.leaf("grp", i);
+        }
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        VersionedStore::new(db, doc)
+    }
+
+    #[test]
+    fn service_executes_jobs_and_matches_inline_execution() {
+        let store = store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &["//root/grp"]).unwrap();
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap());
+        let expect = prepared.execute(&snap).unwrap();
+
+        let service = QueryService::new(4);
+        let results = service.run_all((0..16).map(|_| (Arc::clone(&prepared), snap.clone())));
+        assert_eq!(results.len(), 16);
+        for r in results {
+            assert!(r.unwrap().results.set_eq(&expect.results));
+        }
+    }
+
+    #[test]
+    fn tickets_resolve_out_of_order_submissions() {
+        let store = store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap());
+        let service = QueryService::new(2);
+        let t1 = service.submit(Arc::clone(&prepared), snap.clone());
+        let t2 = service.submit(Arc::clone(&prepared), snap.clone());
+        // Wait in reverse submission order: each ticket carries its own
+        // reply channel, so ordering cannot deadlock or cross wires.
+        let r2 = t2.wait().unwrap();
+        let r1 = t1.wait().unwrap();
+        assert!(r1.results.set_eq(&r2.results));
+    }
+
+    #[test]
+    fn dropping_the_service_joins_workers() {
+        let service = QueryService::new(3);
+        assert_eq!(service.workers(), 3);
+        drop(service); // must not hang
+    }
+
+    #[test]
+    fn zero_worker_request_still_gets_one() {
+        let service = QueryService::new(0);
+        assert_eq!(service.workers(), 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! The versioned store: epoch-based snapshots over a multi-model database.
+//!
+//! A [`VersionedStore`] owns the current [`relational::Database`] and XML
+//! document behind an [`Arc`]-swapped state. Writers ([`VersionedStore::update`],
+//! [`VersionedStore::replace_document`]) clone the state, apply their
+//! mutation (bumping relation versions through the catalog's own hooks, or
+//! the document version here), and atomically swap the current pointer.
+//! Readers take [`Snapshot`]s — cheap `Arc` clones that stay valid for as
+//! long as they are held, so in-flight queries are never invalidated by
+//! writes.
+//!
+//! Dictionary discipline: all snapshots along one store history share an
+//! append-only [`Dict`]. Writers must only *intern* new values (which every
+//! [`relational::Database::load`] / document build does); replacing the
+//! dictionary wholesale would silently re-number values cached in tries.
+
+use crate::cache::TrieRegistry;
+use relational::{Database, Dict};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xjoin_core::DataContext;
+use xmldb::{TagIndex, XmlDocument};
+
+/// Process-wide store id source: cache keys carry the owning store's id so a
+/// [`TrieRegistry`] shared between stores can never mix their tries (store
+/// versions and dictionary-encoded values are only meaningful per store).
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The XML side of a store state: document, its tag index, and a version
+/// bumped on every document replacement.
+#[derive(Debug)]
+struct XmlPart {
+    doc: XmlDocument,
+    index: TagIndex,
+    version: u64,
+}
+
+/// One immutable state of the store. Relational writes clone the database
+/// (cheap relative to serving, and only on the write path) but share the XML
+/// part; document replacements do the reverse.
+#[derive(Debug)]
+struct StoreState {
+    db: Database,
+    xml: Arc<XmlPart>,
+}
+
+/// A versioned multi-model store with copy-on-write snapshots and a shared
+/// trie registry.
+#[derive(Debug)]
+pub struct VersionedStore {
+    /// Unique (per process) store identity, embedded in trie cache keys.
+    id: u64,
+    /// The current state pointer. Held only for O(1) reads and swaps —
+    /// snapshots never wait on a writer's clone.
+    state: Mutex<Arc<StoreState>>,
+    /// Serialises writers so clone-apply-swap sequences don't lose updates.
+    write_lock: Mutex<()>,
+    registry: Arc<TrieRegistry>,
+}
+
+impl VersionedStore {
+    /// Creates a store over a database and a document (which must share the
+    /// database's dictionary, as everywhere in this workspace), with an
+    /// unbounded trie registry.
+    pub fn new(db: Database, doc: XmlDocument) -> Self {
+        Self::with_registry(db, doc, Arc::new(TrieRegistry::new()))
+    }
+
+    /// Creates a store whose cached tries are bounded by `budget` bytes.
+    pub fn with_cache_budget(db: Database, doc: XmlDocument, budget: usize) -> Self {
+        Self::with_registry(db, doc, Arc::new(TrieRegistry::with_budget(Some(budget))))
+    }
+
+    /// Creates a store sharing an externally owned trie registry (e.g. one
+    /// registry across several stores).
+    pub fn with_registry(db: Database, doc: XmlDocument, registry: Arc<TrieRegistry>) -> Self {
+        let index = TagIndex::build(&doc);
+        VersionedStore {
+            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(Arc::new(StoreState {
+                db,
+                xml: Arc::new(XmlPart {
+                    doc,
+                    index,
+                    version: 1,
+                }),
+            })),
+            write_lock: Mutex::new(()),
+            registry,
+        }
+    }
+
+    fn current(&self) -> Arc<StoreState> {
+        Arc::clone(&self.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn swap(&self, next: Arc<StoreState>) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = next;
+    }
+
+    /// The store's process-unique id (embedded in its trie cache keys).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Takes an immutable snapshot of the current state. O(1); holding it
+    /// pins the state (and its memory) but never blocks writers — and
+    /// writers never block it, even mid-clone.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            store_id: self.id,
+            state: self.current(),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
+    /// The shared trie registry (for cache statistics or pre-warming).
+    pub fn registry(&self) -> &Arc<TrieRegistry> {
+        &self.registry
+    }
+
+    /// Applies a relational write: `f` receives a private copy of the
+    /// database, and the store atomically switches to it afterwards.
+    /// Relation versions bump through [`Database::add_relation`] /
+    /// [`Database::load`]; existing snapshots keep reading the old state.
+    /// Writers are serialised against each other, but readers only wait for
+    /// the O(1) pointer swap, never for the clone or `f`. Returns the new
+    /// database epoch.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Database) -> R) -> (u64, R) {
+        let _writer = self.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.current();
+        let mut db = base.db.clone();
+        let out = f(&mut db);
+        debug_assert!(
+            db.dict().len() >= base.db.dict().len(),
+            "store dictionaries are append-only: replacing the dict re-numbers \
+             values and invalidates every cached trie"
+        );
+        let epoch = db.epoch();
+        self.swap(Arc::new(StoreState {
+            db,
+            xml: Arc::clone(&base.xml),
+        }));
+        (epoch, out)
+    }
+
+    /// Replaces the XML document: `build` constructs the new document
+    /// against the store's dictionary (interning any new values), and the
+    /// document version bumps. Returns the new document version.
+    pub fn replace_document(&self, build: impl FnOnce(&mut Dict) -> XmlDocument) -> u64 {
+        let _writer = self.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.current();
+        let mut db = base.db.clone();
+        let doc = build(db.dict_mut());
+        debug_assert!(
+            db.dict().len() >= base.db.dict().len(),
+            "store dictionaries are append-only: replacing the dict re-numbers \
+             values and invalidates every cached trie"
+        );
+        let index = TagIndex::build(&doc);
+        let version = base.xml.version + 1;
+        self.swap(Arc::new(StoreState {
+            db,
+            xml: Arc::new(XmlPart {
+                doc,
+                index,
+                version,
+            }),
+        }));
+        version
+    }
+}
+
+/// An immutable view of one store state, shared by reference counting.
+/// Queries run against a snapshot via [`Snapshot::ctx`]; the snapshot also
+/// carries the registry so prepared queries resolve cached tries against the
+/// right store.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    store_id: u64,
+    state: Arc<StoreState>,
+    registry: Arc<TrieRegistry>,
+}
+
+impl Snapshot {
+    /// The id of the store this snapshot was taken from.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// The query context over this snapshot's database and document.
+    pub fn ctx(&self) -> DataContext<'_> {
+        DataContext::new(&self.state.db, &self.state.xml.doc, &self.state.xml.index)
+    }
+
+    /// The snapshot's database.
+    pub fn db(&self) -> &Database {
+        &self.state.db
+    }
+
+    /// The snapshot's XML document.
+    pub fn doc(&self) -> &XmlDocument {
+        &self.state.xml.doc
+    }
+
+    /// The database epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.state.db.epoch()
+    }
+
+    /// The version of the XML document (bumped per
+    /// [`VersionedStore::replace_document`]).
+    pub fn doc_version(&self) -> u64 {
+        self.state.xml.version
+    }
+
+    /// The version of a named relation, if registered.
+    pub fn relation_version(&self, name: &str) -> Option<u64> {
+        self.state.db.relation_version(name)
+    }
+
+    /// The registry serving this snapshot's cached tries.
+    pub fn registry(&self) -> &Arc<TrieRegistry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{Schema, Value};
+
+    fn store() -> VersionedStore {
+        let mut db = Database::new();
+        db.load(
+            "R",
+            Schema::of(&["x", "y"]),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("root");
+        b.leaf("x", 1i64);
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        VersionedStore::new(db, doc)
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_writes() {
+        let s = store();
+        let before = s.snapshot();
+        let (epoch, ()) = s.update(|db| {
+            db.load(
+                "R",
+                Schema::of(&["x", "y"]),
+                vec![
+                    vec![Value::Int(1), Value::Int(2)],
+                    vec![Value::Int(3), Value::Int(4)],
+                ],
+            )
+            .unwrap();
+        });
+        let after = s.snapshot();
+        assert_eq!(before.db().relation("R").unwrap().len(), 1);
+        assert_eq!(after.db().relation("R").unwrap().len(), 2);
+        assert!(after.epoch() > before.epoch());
+        assert_eq!(after.epoch(), epoch);
+        assert_eq!(
+            after.relation_version("R"),
+            before.relation_version("R").map(|v| v + 1)
+        );
+        // The XML side is shared untouched.
+        assert_eq!(before.doc_version(), after.doc_version());
+    }
+
+    #[test]
+    fn replace_document_bumps_doc_version_only() {
+        let s = store();
+        let before = s.snapshot();
+        let v = s.replace_document(|dict| {
+            let mut b = XmlDocument::builder();
+            b.begin("root");
+            b.leaf("x", 99i64);
+            b.end();
+            b.build(dict)
+        });
+        let after = s.snapshot();
+        assert_eq!(v, before.doc_version() + 1);
+        assert_eq!(after.doc_version(), v);
+        assert_eq!(after.relation_version("R"), before.relation_version("R"));
+        assert_eq!(before.doc().len(), after.doc().len());
+    }
+
+    #[test]
+    fn ctx_serves_queries_against_the_snapshot() {
+        let s = store();
+        let snap = s.snapshot();
+        let q = xjoin_core::MultiModelQuery::new(&["R"], &["//root/x"]).unwrap();
+        let out = xjoin_core::xjoin(&snap.ctx(), &q, &Default::default()).unwrap();
+        assert_eq!(out.results.len(), 1);
+    }
+}

@@ -32,5 +32,8 @@ pub use model::{NodeId, TagId, TagSet, XmlDocument};
 pub use parser::{parse_xml, XmlError};
 pub use pathstack::path_stack;
 pub use tag_index::TagIndex;
-pub use transform::{decompose, transform_to_relations, Decomposition, PathSpec, SubTwig};
+pub use transform::{
+    decompose, path_fingerprint, path_relation, transform_to_relations, Decomposition, PathSpec,
+    SubTwig,
+};
 pub use twig::{Axis, TwigError, TwigPattern};

@@ -150,6 +150,24 @@ pub fn path_relation(
     rel
 }
 
+/// A stable content-based identity for one path relation, usable as a cache
+/// key: two paths with the same fingerprint produce identical
+/// [`path_relation`] output on the same document.
+///
+/// The fingerprint covers exactly what [`path_relation`] reads from the twig
+/// — the tag and variable of every node along the path — so it is shared
+/// across queries whose twigs contain the same P-C chain, regardless of the
+/// surrounding twig shape or the path's index within it.
+pub fn path_fingerprint(twig: &TwigPattern, path: &PathSpec) -> String {
+    use std::fmt::Write as _;
+    let mut fp = String::from("path:");
+    for &q in &path.nodes {
+        let node = twig.node(q);
+        let _ = write!(fp, "/{}${}", node.tag, node.var);
+    }
+    fp
+}
+
 /// Materialises every path relation of a twig's decomposition.
 pub fn transform_to_relations(
     doc: &XmlDocument,
@@ -338,6 +356,22 @@ mod tests {
         for row in rel.rows() {
             assert_eq!(row[0], nine);
         }
+    }
+
+    #[test]
+    fn path_fingerprints_are_stable_and_shape_independent() {
+        // The same P-C chain inside two differently-shaped twigs fingerprints
+        // identically; distinct chains (or renamed variables) do not.
+        let t1 = TwigPattern::parse("//a/b").unwrap();
+        let d1 = decompose(&t1);
+        let t2 = TwigPattern::parse("//a[/b][//c]").unwrap();
+        let d2 = decompose(&t2);
+        let fp1 = path_fingerprint(&t1, &d1.paths[0]);
+        assert_eq!(fp1, path_fingerprint(&t2, &d2.paths[0]));
+        assert_eq!(fp1, "path:/a$a/b$b");
+        let t3 = TwigPattern::parse("//a/b$b2").unwrap();
+        let d3 = decompose(&t3);
+        assert_ne!(fp1, path_fingerprint(&t3, &d3.paths[0]));
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //!   packing, computing the paper's size bounds;
 //! * [`xjoin_core`] — the paper's contribution: the XJoin engine, the
 //!   per-model baseline it is compared against, and Lemma 3.1/3.5 bound
-//!   checks.
+//!   checks;
+//! * [`xjoin_store`] — the serving layer: a versioned store with immutable
+//!   snapshots, a shared LRU trie cache, prepared queries, and a concurrent
+//!   query service.
 //!
-//! See `examples/quickstart.rs` for a three-minute tour, and the `bench`
+//! See `examples/quickstart.rs` for a three-minute tour,
+//! `examples/query_server.rs` for the serving layer, and the `bench`
 //! crate's `experiments` binary for the paper's tables and figures.
 
 pub use agm;
 pub use relational;
 pub use xjoin_core;
+pub use xjoin_store;
 pub use xmldb;

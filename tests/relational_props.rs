@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use relational::generic::{generic_join, naive_join};
 use relational::hashjoin::multiway_hash_join;
-use relational::leapfrog::intersect;
+use relational::leapfrog::{gallop, intersect};
 use relational::lftj::lftj_join;
 use relational::{Attr, Relation, Schema, Trie, ValueId};
 use std::collections::BTreeSet;
@@ -110,6 +110,59 @@ proptest! {
         let (out_base, _) = generic_join(&[&r, &s], &base).unwrap();
         let (out_perm, _) = generic_join(&[&r, &s], &chosen).unwrap();
         prop_assert!(out_perm.project(&base).unwrap().set_eq(&out_base));
+    }
+
+    #[test]
+    fn gallop_matches_naive_linear_scan(
+        set in prop::collection::btree_set(0u32..300, 0..80),
+        target in 0u32..320,
+        lo in 0usize..100,
+    ) {
+        // `lo` ranges past the slice length (sets hold at most 80 values),
+        // covering the empty-slice and `lo >= len` contract: gallop returns
+        // `lo` unchanged there. Targets above 300 exercise the all-smaller
+        // case (every element < target -> len).
+        let slice: Vec<ValueId> = set.iter().map(|&x| ValueId(x)).collect();
+        let got = gallop(&slice, lo, ValueId(target));
+        let expect = if lo >= slice.len() {
+            lo
+        } else {
+            (lo..slice.len())
+                .find(|&i| slice[i] >= ValueId(target))
+                .unwrap_or(slice.len())
+        };
+        prop_assert_eq!(got, expect, "slice len {}, lo {}, target {}", slice.len(), lo, target);
+        if got < slice.len() && lo < slice.len() {
+            prop_assert!(slice[got] >= ValueId(target));
+        }
+    }
+
+    #[test]
+    fn trie_build_ignores_duplicate_tuples(
+        rows in prop::collection::vec((0u32..5, 0u32..5, 0u32..5), 0..30),
+        perm in 0usize..6,
+        dup_factor in 2usize..4,
+    ) {
+        // Building from a relation with duplicated tuples equals building
+        // from its deduplicated form, for any attribute order.
+        let orders: [[&str; 3]; 6] = [
+            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
+            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+        ];
+        let order: Vec<Attr> = orders[perm].iter().map(|&n| Attr::new(n)).collect();
+        let mut with_dups = Relation::new(Schema::of(&["a", "b", "c"]));
+        for _ in 0..dup_factor {
+            for &(x, y, z) in &rows {
+                with_dups.push(&[ValueId(x), ValueId(y), ValueId(z)]).unwrap();
+            }
+        }
+        let mut deduped = with_dups.clone();
+        deduped.sort_dedup();
+        let t_dups = Trie::build(&with_dups, &order).unwrap();
+        let t_dedup = Trie::build(&deduped, &order).unwrap();
+        prop_assert_eq!(t_dups.num_tuples(), t_dedup.num_tuples());
+        prop_assert_eq!(t_dups.node_count(), t_dedup.node_count());
+        prop_assert_eq!(t_dups.to_relation(), t_dedup.to_relation());
     }
 
     #[test]

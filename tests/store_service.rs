@@ -1,0 +1,171 @@
+//! Integration tests of the `xjoin-store` serving layer: warm-cache
+//! re-execution builds zero tries, the concurrent service agrees with
+//! single-threaded `xjoin`, and snapshots isolate queries from writes.
+
+use bench::workloads::{bookstore, bookstore_query, fig3_query, fig3_tight};
+use relational::{Schema, Value};
+use std::sync::Arc;
+use xjoin_core::{xjoin, MultiModelQuery, XJoinConfig};
+use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
+
+fn bookstore_store() -> VersionedStore {
+    let inst = bookstore();
+    VersionedStore::new(inst.db, inst.doc)
+}
+
+#[test]
+fn warm_cache_reexecution_performs_zero_trie_builds() {
+    let store = bookstore_store();
+    let snap = store.snapshot();
+    let prepared =
+        PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+
+    let cold = prepared.execute(&snap).unwrap();
+    let after_cold = store.registry().stats();
+    assert!(after_cold.misses > 0, "cold run must build tries");
+    assert_eq!(after_cold.hits, 0);
+
+    let warm = prepared.execute(&snap).unwrap();
+    let after_warm = store.registry().stats();
+    // Zero Trie::build calls on the warm path: the miss counter is exactly
+    // the build counter (misses are only recorded when a build is required).
+    assert_eq!(
+        after_warm.misses, after_cold.misses,
+        "warm re-execution rebuilt a trie"
+    );
+    assert!(
+        after_warm.hits > 0,
+        "warm run must be served from the cache"
+    );
+    assert!(warm.results.set_eq(&cold.results));
+
+    // Streaming (LFTJ-style) execution shares the same cached tries.
+    let mut streamed = 0usize;
+    prepared.stream(&snap, |_| streamed += 1).unwrap();
+    let after_stream = store.registry().stats();
+    assert_eq!(after_stream.misses, after_warm.misses);
+    // The level-wise engine projects to the output list; compare pre-projection
+    // cardinality via a fresh unprojected run.
+    let q_all =
+        MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"]).unwrap();
+    let unprojected = xjoin(&snap.ctx(), &q_all, &XJoinConfig::default()).unwrap();
+    assert_eq!(streamed, unprojected.results.len());
+}
+
+#[test]
+fn concurrent_service_matches_single_threaded_xjoin() {
+    let inst = fig3_tight(3);
+    let store = VersionedStore::new(inst.db, inst.doc);
+    let snap = store.snapshot();
+    let q1 = fig3_query();
+    let p1 = Arc::new(PreparedQuery::prepare(&snap, &q1, XJoinConfig::default()).unwrap());
+    let q2 = MultiModelQuery::new(&["R1"], &["//A/B"]).unwrap();
+    let p2 = Arc::new(PreparedQuery::prepare(&snap, &q2, XJoinConfig::default()).unwrap());
+
+    let expect1 = xjoin(&snap.ctx(), &q1, &XJoinConfig::default()).unwrap();
+    let expect2 = xjoin(&snap.ctx(), &q2, &XJoinConfig::default()).unwrap();
+
+    let service = QueryService::new(4);
+    let jobs = (0..12).map(|i| {
+        let p = if i % 2 == 0 {
+            Arc::clone(&p1)
+        } else {
+            Arc::clone(&p2)
+        };
+        (p, snap.clone())
+    });
+    let results = service.run_all(jobs);
+    assert_eq!(results.len(), 12);
+    for (i, r) in results.into_iter().enumerate() {
+        let out = r.unwrap();
+        let expect = if i % 2 == 0 { &expect1 } else { &expect2 };
+        assert!(
+            out.results.set_eq(&expect.results),
+            "job {i} disagrees with single-threaded xjoin"
+        );
+    }
+}
+
+#[test]
+fn snapshots_isolate_in_flight_queries_from_writes() {
+    let store = bookstore_store();
+    let old_snap = store.snapshot();
+    let prepared =
+        PreparedQuery::prepare(&old_snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+    assert_eq!(prepared.execute(&old_snap).unwrap().results.len(), 2);
+
+    // A writer replaces the orders table with a single row.
+    store.update(|db| {
+        db.load(
+            "R",
+            Schema::of(&["orderID", "userID"]),
+            vec![vec![Value::Int(10963), Value::str("jack")]],
+        )
+        .unwrap();
+    });
+
+    let new_snap = store.snapshot();
+    // The old snapshot still answers from the old state; the new one sees
+    // the write. Both through the same prepared query and cache.
+    assert_eq!(prepared.execute(&old_snap).unwrap().results.len(), 2);
+    let new_out = prepared.execute(&new_snap).unwrap();
+    assert_eq!(new_out.results.len(), 1);
+    assert!(new_out.results.set_eq(
+        &xjoin(&new_snap.ctx(), &bookstore_query(), &XJoinConfig::default())
+            .unwrap()
+            .results
+    ));
+
+    // Only the re-versioned relation re-keys: path-relation tries are reused
+    // across the write, so the second snapshot's execution misses exactly once.
+    let k_old = prepared.trie_keys(&old_snap).unwrap();
+    let k_new = prepared.trie_keys(&new_snap).unwrap();
+    let changed = k_old.iter().zip(&k_new).filter(|(a, b)| a != b).count();
+    assert_eq!(changed, 1);
+    let before = store.registry().stats();
+    prepared.execute(&new_snap).unwrap();
+    assert_eq!(
+        store.registry().stats().misses,
+        before.misses,
+        "re-running on the new snapshot must be fully warm"
+    );
+}
+
+#[test]
+fn service_scales_across_snapshots_of_different_sizes() {
+    let inst = fig3_tight(2);
+    let store = VersionedStore::new(inst.db, inst.doc);
+    let q = fig3_query();
+    let snap_small = store.snapshot();
+    let prepared =
+        Arc::new(PreparedQuery::prepare(&snap_small, &q, XJoinConfig::default()).unwrap());
+
+    // Grow the relational side (decoding through the source dictionary so
+    // values re-intern into the store's); the twig side stays as-is.
+    let bigger = fig3_tight(4);
+    let r1_rows = bigger.db.decode(bigger.db.relation("R1").unwrap());
+    let r2_rows = bigger.db.decode(bigger.db.relation("R2").unwrap());
+    store.update(|db| {
+        db.load("R1", Schema::of(&["A", "B", "C", "D"]), r1_rows)
+            .unwrap();
+        db.load("R2", Schema::of(&["E", "F", "G", "H"]), r2_rows)
+            .unwrap();
+    });
+    let snap_big = store.snapshot();
+
+    let service = QueryService::new(3);
+    let results = service.run_all(vec![
+        (Arc::clone(&prepared), snap_small.clone()),
+        (Arc::clone(&prepared), snap_big.clone()),
+        (Arc::clone(&prepared), snap_small.clone()),
+    ]);
+    let sizes: Vec<usize> = results
+        .into_iter()
+        .map(|r| r.unwrap().results.len())
+        .collect();
+    assert_eq!(sizes[0], sizes[2]);
+    let expect_small = xjoin(&snap_small.ctx(), &q, &XJoinConfig::default()).unwrap();
+    let expect_big = xjoin(&snap_big.ctx(), &q, &XJoinConfig::default()).unwrap();
+    assert_eq!(sizes[0], expect_small.results.len());
+    assert_eq!(sizes[1], expect_big.results.len());
+}
