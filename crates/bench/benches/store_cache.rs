@@ -16,7 +16,7 @@ use bench::workloads::{fig3_query, fig3_tight};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use xjoin_core::XJoinConfig;
+use xjoin_core::ExecOptions;
 use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
 
 fn bench_cold_vs_warm(c: &mut Criterion) {
@@ -26,7 +26,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
         let store = VersionedStore::new(inst.db, inst.doc);
         let snap = store.snapshot();
         let prepared =
-            PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare");
+            PreparedQuery::prepare(&snap, &fig3_query(), ExecOptions::default()).expect("prepare");
         group.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, _| {
             b.iter(|| {
                 // Dropping the cache forces every trie to rebuild — the
@@ -55,7 +55,7 @@ fn bench_concurrent_throughput(c: &mut Criterion) {
     let store = VersionedStore::new(inst.db, inst.doc);
     let snap = store.snapshot();
     let prepared = Arc::new(
-        PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare"),
+        PreparedQuery::prepare(&snap, &fig3_query(), ExecOptions::default()).expect("prepare"),
     );
     prepared.execute(&snap).expect("warm the cache");
     const BATCH: usize = 32;

@@ -35,8 +35,8 @@ use bench::workloads::{
 use std::fmt::Write as _;
 use std::time::Instant;
 use xjoin_core::{
-    baseline, lower, prefix_bounds, query_bound, xjoin, BaselineConfig, DataContext,
-    MultiModelQuery, OrderStrategy, RelAlg, XJoinConfig, XmlAlg,
+    execute, lower, prefix_bounds, query_bound, DataContext, EngineKind, ExecOptions,
+    MultiModelQuery, OrderStrategy, RelAlg, XmlAlg,
 };
 use xjoin_store::{PreparedQuery, VersionedStore};
 
@@ -260,10 +260,18 @@ fn run_fig3_instance(inst: &bench::workloads::Instance, q: &MultiModelQuery) -> 
     let idx = inst.index();
     let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
     let t0 = Instant::now();
-    let x = xjoin(&ctx, q, &XJoinConfig::default()).expect("xjoin runs");
+    let x = execute(&ctx, q, &ExecOptions::default()).expect("xjoin runs");
     let xjoin_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    let b = baseline(&ctx, q, &BaselineConfig::default()).expect("baseline runs");
+    let b = execute(
+        &ctx,
+        q,
+        &ExecOptions::for_engine(EngineKind::Baseline {
+            rel_alg: RelAlg::default(),
+            xml_alg: XmlAlg::default(),
+        }),
+    )
+    .expect("baseline runs");
     let base_ms = t0.elapsed().as_secs_f64() * 1e3;
     let atoms = lower(&ctx, q).expect("lowering succeeds");
     let bound = query_bound(&atoms).expect("bound computes");
@@ -381,7 +389,7 @@ fn exp_lemma35(report: &mut Report) {
             let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
             let q = fig3_query();
             let t0 = Instant::now();
-            let out = xjoin(&ctx, &q, &XJoinConfig::default()).expect("xjoin runs");
+            let out = execute(&ctx, &q, &ExecOptions::default()).expect("xjoin runs");
             report.add(
                 format!("lemma35/n={n}/seed={seed}/xjoin"),
                 t0.elapsed().as_secs_f64() * 1e3,
@@ -422,7 +430,7 @@ fn exp_bookstore(report: &mut Report) {
     let idx = inst.index();
     let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
     let t0 = Instant::now();
-    let out = xjoin(&ctx, &bookstore_query(), &XJoinConfig::default()).expect("xjoin runs");
+    let out = execute(&ctx, &bookstore_query(), &ExecOptions::default()).expect("xjoin runs");
     report.add(
         "bookstore/xjoin",
         t0.elapsed().as_secs_f64() * 1e3,
@@ -444,25 +452,25 @@ fn exp_ablation(report: &mut Report) {
         "{:<34} {:>10} {:>12} {:>12}",
         "configuration", "result", "max interm.", "time ms"
     );
-    let configs: Vec<(&str, XJoinConfig)> = vec![
-        ("default (Algorithm 1)", XJoinConfig::default()),
+    let configs: Vec<(&str, ExecOptions)> = vec![
+        ("default (Algorithm 1)", ExecOptions::default()),
         (
             "+ A-D filter",
-            XJoinConfig {
+            ExecOptions {
                 ad_filter: true,
                 ..Default::default()
             },
         ),
         (
             "+ partial validation",
-            XJoinConfig {
+            ExecOptions {
                 partial_validation: true,
                 ..Default::default()
             },
         ),
         (
             "+ both (paper's future work)",
-            XJoinConfig {
+            ExecOptions {
                 ad_filter: true,
                 partial_validation: true,
                 ..Default::default()
@@ -470,15 +478,15 @@ fn exp_ablation(report: &mut Report) {
         ),
         (
             "cardinality order",
-            XJoinConfig {
+            ExecOptions {
                 order: OrderStrategy::Cardinality,
                 ..Default::default()
             },
         ),
     ];
-    for (name, cfg) in configs {
+    for (name, opts) in configs {
         let t0 = Instant::now();
-        let out = xjoin(&ctx, &q, &cfg).expect("xjoin runs");
+        let out = execute(&ctx, &q, &opts).expect("xjoin runs");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         report.add(
             format!("ablation/xjoin/{name}"),
@@ -500,38 +508,38 @@ fn exp_ablation(report: &mut Report) {
         "{:<34} {:>10} {:>12} {:>12}",
         "configuration", "result", "max interm.", "time ms"
     );
-    for (name, cfg) in [
+    for (name, kind) in [
         (
             "hash + TwigStack",
-            BaselineConfig {
+            EngineKind::Baseline {
                 rel_alg: RelAlg::Hash,
                 xml_alg: XmlAlg::TwigStack,
             },
         ),
         (
             "LFTJ + TwigStack",
-            BaselineConfig {
+            EngineKind::Baseline {
                 rel_alg: RelAlg::Lftj,
                 xml_alg: XmlAlg::TwigStack,
             },
         ),
         (
             "hash + navigational",
-            BaselineConfig {
+            EngineKind::Baseline {
                 rel_alg: RelAlg::Hash,
                 xml_alg: XmlAlg::Navigational,
             },
         ),
         (
             "hash + TJFast (ext. Dewey)",
-            BaselineConfig {
+            EngineKind::Baseline {
                 rel_alg: RelAlg::Hash,
                 xml_alg: XmlAlg::Tjfast,
             },
         ),
     ] {
         let t0 = Instant::now();
-        let out = baseline(&ctx, &q, &cfg).expect("baseline runs");
+        let out = execute(&ctx, &q, &ExecOptions::for_engine(kind)).expect("baseline runs");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         report.add(
             format!("ablation/baseline/{name}"),
@@ -547,6 +555,33 @@ fn exp_ablation(report: &mut Report) {
             ms
         );
     }
+
+    header("Unified API: every EngineKind on the tight instance (n = 6)");
+    println!(
+        "{:<34} {:>10} {:>12} {:>12}",
+        "engine", "result", "max interm.", "time ms"
+    );
+    let mut reference: Option<usize> = None;
+    for kind in EngineKind::all() {
+        let t0 = Instant::now();
+        let out = execute(&ctx, &q, &ExecOptions::for_engine(kind)).expect("engine runs");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let n = out.results.len();
+        assert_eq!(*reference.get_or_insert(n), n, "engine {kind} diverged");
+        report.add(
+            format!("ablation/engine/{kind}"),
+            ms,
+            out.stats.max_intermediate(),
+            n,
+        );
+        println!(
+            "{:<34} {:>10} {:>12} {:>12.3}",
+            kind.to_string(),
+            n,
+            out.stats.max_intermediate(),
+            ms
+        );
+    }
 }
 
 /// Serving layer: cold-build vs warm-cache latency of a prepared query
@@ -558,7 +593,7 @@ fn exp_store(report: &mut Report) {
     let store = VersionedStore::new(inst.db, inst.doc);
     let snap = store.snapshot();
     let prepared =
-        PreparedQuery::prepare(&snap, &fig3_query(), XJoinConfig::default()).expect("prepare");
+        PreparedQuery::prepare(&snap, &fig3_query(), ExecOptions::default()).expect("prepare");
 
     const RUNS: usize = 5;
     let mut cold_ms = 0.0f64;

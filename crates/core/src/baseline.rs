@@ -8,7 +8,8 @@
 //! the gap the paper's bar chart shows.
 
 use crate::error::{CoreError, Result};
-use crate::query::{DataContext, MultiModelQuery};
+use crate::exec::{validate_output, EngineKind, QueryOutput};
+use crate::query::{variables_of, DataContext, MultiModelQuery};
 use relational::hashjoin::{hash_join, multiway_hash_join};
 use relational::lftj::lftj_join;
 use relational::{Attr, JoinStats, Relation};
@@ -48,15 +49,6 @@ pub struct BaselineConfig {
     pub rel_alg: RelAlg,
     /// XML engine.
     pub xml_alg: XmlAlg,
-}
-
-/// Result of a baseline run.
-#[derive(Debug)]
-pub struct BaselineOutput {
-    /// The query result (same semantics as XJoin's).
-    pub results: Relation,
-    /// Stages: Q1 operators, per-twig match counts, cross-model merge sizes.
-    pub stats: JoinStats,
 }
 
 /// Evaluates the value-level tuples of one twig with the configured XML
@@ -104,20 +96,27 @@ fn eval_twig(
     }
 }
 
-/// Runs the baseline on a multi-model query.
+/// Runs the baseline on a multi-model query. Stats cover Q1's operators,
+/// per-twig match counts, and cross-model merge sizes.
 pub fn baseline(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
     cfg: &BaselineConfig,
-) -> Result<BaselineOutput> {
+) -> Result<QueryOutput> {
     if query.is_empty() {
         return Err(CoreError::EmptyQuery);
     }
+    // Timing starts here so `stats.elapsed` covers atom resolution, like
+    // `xjoin`'s covers lowering — the Figure 3 comparison depends on parity.
     let start = Instant::now();
+    let resolved = ctx.resolve_atoms(query)?;
+    // Validate the output projection before any evaluation, mirroring the
+    // XJoin engines' prepare-time check (the resolved atoms double as Q1's
+    // input below).
+    validate_output(query, &variables_of(&resolved, &query.twigs))?;
     let mut stats = JoinStats::default();
 
     // Q1: the relational part.
-    let resolved = ctx.resolve_atoms(query)?;
     let rels: Vec<&Relation> = resolved.iter().map(|a| a.rel()).collect();
     let mut acc: Option<Relation> = if rels.is_empty() {
         None
@@ -163,14 +162,21 @@ pub fn baseline(
 
     let mut result = acc.expect("query is non-empty");
     result.sort_dedup();
+    let order = result.schema().attrs().to_vec();
     if let Some(out_attrs) = &query.output {
         result = result.project(out_attrs)?;
     }
     stats.output_rows = result.len();
     stats.elapsed = start.elapsed();
-    Ok(BaselineOutput {
+    Ok(QueryOutput {
         results: result,
         stats,
+        order,
+        atom_sizes: Vec::new(),
+        engine: EngineKind::Baseline {
+            rel_alg: cfg.rel_alg,
+            xml_alg: cfg.xml_alg,
+        },
     })
 }
 

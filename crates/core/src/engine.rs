@@ -29,6 +29,7 @@
 
 use crate::atoms::{collect_atoms, Atoms};
 use crate::error::Result;
+use crate::exec::{validate_output, EngineKind, QueryOutput};
 use crate::order::{compute_order, OrderStrategy};
 use crate::query::{DataContext, MultiModelQuery};
 use crate::validate::TwigValidator;
@@ -52,20 +53,6 @@ pub struct XJoinConfig {
     pub ad_filter: bool,
 }
 
-/// Result of an XJoin run.
-#[derive(Debug)]
-pub struct XJoinOutput {
-    /// The query result (schema = output attributes, or the full variable
-    /// order when the query has no explicit output list).
-    pub results: Relation,
-    /// Per-stage intermediate sizes, timings.
-    pub stats: JoinStats,
-    /// The variable order that was used.
-    pub order: Vec<Attr>,
-    /// `(name, cardinality)` of every atom, path relations included.
-    pub atom_sizes: Vec<(String, usize)>,
-}
-
 /// Sentinel for "no trie level bound yet".
 const NO_NODE: u32 = u32::MAX;
 
@@ -76,15 +63,18 @@ type AdCheck = (usize, usize, HashSet<(ValueId, ValueId)>);
 /// Runs XJoin on a multi-model query: lowers the query to atoms, builds a
 /// plan (constructing fresh tries), and executes it. `stats.elapsed` covers
 /// the whole run — lowering, trie construction, and execution — matching
-/// what [`crate::baseline`] times.
+/// what [`crate::baseline::baseline`] times.
 pub fn xjoin(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
     cfg: &XJoinConfig,
-) -> Result<XJoinOutput> {
+) -> Result<QueryOutput> {
     let start = Instant::now();
     let atoms = collect_atoms(ctx, query)?;
     let order = compute_order(&atoms, &cfg.order)?;
+    // Output attributes are checked here, before any trie is built, so a
+    // typo'd projection fails fast instead of after the whole join.
+    validate_output(query, &order)?;
     let refs = atoms.rel_refs();
     let plan = JoinPlan::new(&refs, &order)?;
     let mut out = xjoin_with_plan(ctx, query, cfg, &plan, atoms.sizes(), atoms.first_path_atom)?;
@@ -106,9 +96,10 @@ pub fn xjoin_with_plan(
     plan: &JoinPlan,
     atom_sizes: Vec<(String, usize)>,
     first_path_atom: usize,
-) -> Result<XJoinOutput> {
+) -> Result<QueryOutput> {
     let start = Instant::now();
     let order: Vec<Attr> = plan.order().to_vec();
+    validate_output(query, &order)?;
     let mut stats = JoinStats::default();
     for (name, size) in atom_sizes.iter().skip(first_path_atom) {
         stats.record(format!("materialise {name}"), *size);
@@ -248,11 +239,12 @@ pub fn xjoin_with_plan(
     }
     stats.output_rows = result.len();
     stats.elapsed = start.elapsed();
-    Ok(XJoinOutput {
+    Ok(QueryOutput {
         results: result,
         stats,
         order,
         atom_sizes,
+        engine: EngineKind::XJoin,
     })
 }
 

@@ -17,6 +17,11 @@ pub enum CoreError {
     UnknownRelation(String),
     /// The configured variable order is unusable.
     BadOrder(String),
+    /// An output attribute references no variable of the query. Raised at
+    /// resolve/prepare time, before any trie is built.
+    UnknownAttribute(String),
+    /// The requested operation is not available for the chosen engine.
+    Unsupported(String),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +33,10 @@ impl fmt::Display for CoreError {
             CoreError::EmptyQuery => write!(f, "query has neither relations nor twigs"),
             CoreError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
             CoreError::BadOrder(m) => write!(f, "bad variable order: {m}"),
+            CoreError::UnknownAttribute(a) => {
+                write!(f, "output attribute `{a}` is not a variable of the query")
+            }
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
 }
@@ -69,6 +78,10 @@ mod tests {
         assert!(e.to_string().contains("R9"));
         let e = CoreError::BadOrder("missing x".into());
         assert!(e.to_string().contains("missing x"));
+        let e = CoreError::UnknownAttribute("zz".into());
+        assert!(e.to_string().contains("zz"));
+        let e = CoreError::Unsupported("no plan".into());
+        assert!(e.to_string().contains("no plan"));
         assert!(!CoreError::EmptyQuery.to_string().is_empty());
     }
 }

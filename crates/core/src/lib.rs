@@ -18,16 +18,21 @@
 //! * [`bounds`] — Lemma 3.1/3.5 instantiated: AGM bounds for the mixed
 //!   query and all its prefixes;
 //! * [`validate`] — the final (and partial) twig-structure validation;
-//! * [`stream`] — a depth-first (LFTJ-style) XJoin variant that enumerates
-//!   results without materialising intermediates;
+//! * [`mod@stream`] — the pull-based [`Rows`] iterator: depth-first (LFTJ-style)
+//!   enumeration without materialised intermediates, with `LIMIT` pushdown;
+//! * [`exec`] — **the unified execution API**: every engine (level-wise
+//!   XJoin, streaming XJoin, baseline combinations, LFTJ, generic, hash)
+//!   behind one [`Engine`] trait, selected by [`EngineKind`], configured by
+//!   [`ExecOptions`], built via [`QueryBuilder`], returning one
+//!   [`QueryOutput`];
 //! * [`mmql`] — a datalog-style surface syntax
 //!   (`Q(x,y) :- R(x,y), //twig`), with constants and intra-atom equalities;
-//! * [`explain`] — `EXPLAIN`: lowered atoms, chosen order, per-prefix bounds.
+//! * [`mod@explain`] — `EXPLAIN`: lowered atoms, chosen order, per-prefix bounds.
 //!
 //! ```
 //! use relational::{Database, Schema, Value};
 //! use xmldb::{parse_xml, TagIndex};
-//! use xjoin_core::{xjoin, DataContext, MultiModelQuery, XJoinConfig};
+//! use xjoin_core::{DataContext, QueryBuilder};
 //!
 //! let mut db = Database::new();
 //! db.load("orders", Schema::of(&["orderID", "userID"]), vec![
@@ -41,10 +46,10 @@
 //! *db.dict_mut() = dict;
 //! let index = TagIndex::build(&doc);
 //! let ctx = DataContext::new(&db, &doc, &index);
-//! let query = MultiModelQuery::new(&["orders"], &["//orderLine[/orderID][/price]"])
-//!     .unwrap()
-//!     .with_output(&["userID", "price"]);
-//! let out = xjoin(&ctx, &query, &XJoinConfig::default()).unwrap();
+//! let query = QueryBuilder::mmql(
+//!     "Q(userID, price) :- orders(orderID, userID), //orderLine[/orderID][/price]",
+//! ).unwrap().build().unwrap();
+//! let out = query.execute(&ctx).unwrap();
 //! assert_eq!(out.results.len(), 1);
 //! ```
 
@@ -55,6 +60,7 @@ pub mod baseline;
 pub mod bounds;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod mmql;
 pub mod order;
@@ -63,13 +69,19 @@ pub mod stream;
 pub mod validate;
 
 pub use atoms::{collect_atoms, AtomRel, Atoms};
-pub use baseline::{baseline, BaselineConfig, BaselineOutput, RelAlg, XmlAlg};
+pub use baseline::{baseline, BaselineConfig, RelAlg, XmlAlg};
 pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent};
-pub use engine::{lower, xjoin, xjoin_with_plan, XJoinConfig, XJoinOutput};
+pub use engine::{lower, xjoin, xjoin_with_plan, XJoinConfig};
 pub use error::{CoreError, Result};
+pub use exec::{
+    engine_for, execute, execute_with_plan, stream, validate_output, Engine, EngineKind,
+    ExecOptions, ExecPlan, Query, QueryBuilder, QueryOutput,
+};
 pub use explain::{explain, Explanation};
 pub use mmql::parse_query;
 pub use order::{compute_order, OrderStrategy};
-pub use query::{all_variables, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term};
-pub use stream::{xjoin_collect, xjoin_count, xjoin_stream, xjoin_stream_with_plan};
+pub use query::{
+    all_variables, variables_of, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term,
+};
+pub use stream::{xjoin_rows, xjoin_rows_with_plan, Rows, RowsStats};
 pub use validate::TwigValidator;

@@ -17,7 +17,7 @@ pub enum Term {
 /// columns rebound positionally as in datalog bodies. Terms may be
 /// variables (renames), constants (selections), or repeated variables
 /// (intra-atom equality).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelAtom {
     /// Name of the relation in the [`Database`].
     pub name: String,
@@ -54,7 +54,7 @@ impl RelAtom {
 /// A multi-model join query: relational atoms plus twig patterns, over a
 /// shared variable namespace (relational column names / rebound variables
 /// and twig node variables).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MultiModelQuery {
     /// The relational atoms (resolved against the [`Database`]).
     pub relations: Vec<RelAtom>,
@@ -229,25 +229,34 @@ fn apply_terms(db: &Database, rel: &Relation, terms: &[Term]) -> Result<Relation
     Ok(out)
 }
 
-/// Collects every variable of the query: relational attributes (in schema
-/// order per atom) followed by twig variables (in twig-node order), without
-/// duplicates.
-pub fn all_variables(ctx: &DataContext<'_>, query: &MultiModelQuery) -> Result<Vec<Attr>> {
+/// Collects every variable from already-resolved relational atoms followed
+/// by twig variables (in twig-node order), without duplicates — the
+/// resolution-free body of [`all_variables`], for callers that already hold
+/// the resolved atoms.
+pub fn variables_of(resolved: &[ResolvedAtom<'_>], twigs: &[TwigPattern]) -> Vec<Attr> {
     let mut vars: Vec<Attr> = Vec::new();
-    for atom in ctx.resolve_atoms(query)? {
+    for atom in resolved {
         for a in atom.rel().schema().attrs() {
             if !vars.contains(a) {
                 vars.push(a.clone());
             }
         }
     }
-    for twig in &query.twigs {
+    for twig in twigs {
         for v in twig.vars() {
             if !vars.contains(&v) {
                 vars.push(v);
             }
         }
     }
+    vars
+}
+
+/// Collects every variable of the query: relational attributes (in schema
+/// order per atom) followed by twig variables (in twig-node order), without
+/// duplicates.
+pub fn all_variables(ctx: &DataContext<'_>, query: &MultiModelQuery) -> Result<Vec<Attr>> {
+    let vars = variables_of(&ctx.resolve_atoms(query)?, &query.twigs);
     if vars.is_empty() {
         return Err(CoreError::EmptyQuery);
     }

@@ -5,6 +5,7 @@
 //! `O(k · n_min · log(n_max / n_min))`-ish time using galloping seeks.
 
 use crate::value::ValueId;
+use std::ops::ControlFlow;
 
 /// Returns the first index `i` in `lo..slice.len()` with `slice[i] >= target`
 /// (or `slice.len()` when no such index exists), using exponential probing
@@ -86,27 +87,30 @@ impl<'a> SliceCursor<'a> {
 }
 
 /// Runs leapfrog intersection over `cursors`, invoking `f(v, cursors)` for
-/// every value `v` present in all of them. When `f` is called, every cursor
-/// is positioned exactly at `v`, so callers can read [`SliceCursor::pos`] to
+/// every value `v` present in all of them and stopping early when `f`
+/// returns [`ControlFlow::Break`]. When `f` is called, every cursor is
+/// positioned exactly at `v`, so callers can read [`SliceCursor::pos`] to
 /// recover per-slice match positions (the join engines use this to derive
 /// trie child indices).
 ///
-/// An empty `cursors` list yields nothing (the neutral intersection is
-/// handled by callers, who know the variable's domain).
-pub fn leapfrog_foreach(
+/// Returns `Break(())` iff the callback broke; an exhausted intersection
+/// returns `Continue(())`. An empty `cursors` list yields nothing (the
+/// neutral intersection is handled by callers, who know the variable's
+/// domain).
+pub fn leapfrog_foreach_until(
     cursors: &mut [SliceCursor<'_>],
-    mut f: impl FnMut(ValueId, &[SliceCursor<'_>]),
-) {
+    mut f: impl FnMut(ValueId, &[SliceCursor<'_>]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     let k = cursors.len();
     if k == 0 || cursors.iter().any(|c| c.at_end()) {
-        return;
+        return ControlFlow::Continue(());
     }
     if k == 1 {
         while !cursors[0].at_end() {
-            f(cursors[0].key(), cursors);
+            f(cursors[0].key(), cursors)?;
             cursors[0].next();
         }
-        return;
+        return ControlFlow::Continue(());
     }
     // `order` holds cursor indices sorted ascending by current key; `p`
     // cycles through it, always pointing at the (currently) smallest key.
@@ -119,17 +123,30 @@ pub fn leapfrog_foreach(
         let x = cursors[i].key();
         if x == max {
             // All k cursors agree on x.
-            f(x, cursors);
+            f(x, cursors)?;
             cursors[i].next();
         } else {
             cursors[i].seek(max);
         }
         if cursors[i].at_end() {
-            return;
+            return ControlFlow::Continue(());
         }
         max = cursors[i].key();
         p = (p + 1) % k;
     }
+}
+
+/// Runs leapfrog intersection to exhaustion — the infallible counterpart of
+/// [`leapfrog_foreach_until`] for callers that never stop early.
+pub fn leapfrog_foreach(
+    cursors: &mut [SliceCursor<'_>],
+    mut f: impl FnMut(ValueId, &[SliceCursor<'_>]),
+) {
+    let flow = leapfrog_foreach_until(cursors, |v, cs| {
+        f(v, cs);
+        ControlFlow::Continue(())
+    });
+    debug_assert!(flow.is_continue());
 }
 
 /// Materialises the intersection of the given sorted slices.
@@ -231,6 +248,48 @@ mod tests {
             assert_eq!(cs[1].slice()[cs[1].pos()], v);
         });
         assert_eq!(seen, vec![(ValueId(2), 1, 1), (ValueId(7), 2, 3)]);
+    }
+
+    #[test]
+    fn foreach_until_breaks_early() {
+        let a = ids(&[1, 2, 3, 4, 5]);
+        let b = ids(&[2, 3, 4, 5, 6]);
+        let mut cursors = vec![SliceCursor::new(&a), SliceCursor::new(&b)];
+        let mut seen = Vec::new();
+        let flow = leapfrog_foreach_until(&mut cursors, |v, _| {
+            seen.push(v);
+            if seen.len() == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(seen, ids(&[2, 3]));
+        // Cursors are parked on the value that triggered the break.
+        assert_eq!(cursors[0].key(), ValueId(3));
+        assert_eq!(cursors[1].key(), ValueId(3));
+    }
+
+    #[test]
+    fn foreach_until_exhaustion_is_continue() {
+        let a = ids(&[1, 2]);
+        let mut cursors = vec![SliceCursor::new(&a)];
+        let flow = leapfrog_foreach_until(&mut cursors, |_, _| ControlFlow::Continue(()));
+        assert!(flow.is_continue());
+    }
+
+    #[test]
+    fn single_cursor_breaks_early() {
+        let a = ids(&[1, 2, 3]);
+        let mut cursors = vec![SliceCursor::new(&a)];
+        let mut n = 0usize;
+        let flow = leapfrog_foreach_until(&mut cursors, |_, _| {
+            n += 1;
+            ControlFlow::Break(())
+        });
+        assert!(flow.is_break());
+        assert_eq!(n, 1);
     }
 
     #[test]

@@ -4,73 +4,311 @@
 //! Unlike the level-wise engine in [`crate::generic`], LFTJ never
 //! materialises intermediates: it walks all atom tries in lockstep,
 //! performing a leapfrog intersection per variable and backtracking on
-//! failure. Results are delivered to a callback in lexicographic order of the
-//! plan's variable order.
+//! failure. Results are delivered in lexicographic order of the plan's
+//! variable order.
+//!
+//! Two consumption styles are offered:
+//!
+//! * **pull** — [`LftjWalk`] owns its [`JoinPlan`] (tries are shared
+//!   `Arc`s, so the plan is cheap to clone) and yields one tuple per
+//!   [`LftjWalk::next_tuple`] call. Abandoning the walk after `k` tuples
+//!   does strictly less work than full enumeration — this is the substrate
+//!   for `LIMIT` pushdown in the multi-model `Rows` iterator;
+//! * **push** — [`lftj_foreach_until`] drives a callback that can stop the
+//!   walk by returning [`ControlFlow::Break`] ([`lftj_foreach`] is the
+//!   never-stopping wrapper).
 
 use crate::error::Result;
-use crate::leapfrog::{leapfrog_foreach, SliceCursor};
-use crate::plan::{JoinPlan, VarPlan};
+use crate::leapfrog::gallop;
+use crate::plan::JoinPlan;
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
 use crate::trie::Trie;
 use crate::value::ValueId;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
-/// Streams every result tuple of the join to `cb`, in lexicographic order of
-/// the plan's variable order.
-pub fn lftj_foreach(plan: &JoinPlan, mut cb: impl FnMut(&[ValueId])) {
-    if plan.has_empty_atom() {
-        return;
-    }
-    let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); plan.tries().len()];
-    let mut prefix: Vec<ValueId> = Vec::with_capacity(plan.order().len());
-    rec(
-        plan.tries(),
-        plan.var_plans(),
-        0,
-        &mut stacks,
-        &mut prefix,
-        &mut cb,
-    );
+/// An owned cursor over one contiguous sibling range of a trie level.
+///
+/// Unlike [`crate::leapfrog::SliceCursor`], positions are absolute node
+/// indices resolved against the tries on each access, so the cursor borrows
+/// nothing — which is what lets [`LftjWalk`] own its plan and hand out
+/// tuples across calls.
+#[derive(Debug, Clone)]
+struct RangeCursor {
+    atom: usize,
+    level: usize,
+    hi: u32,
+    pos: u32,
 }
 
-fn rec(
-    tries: &[Arc<Trie>],
-    var_plans: &[VarPlan],
-    d: usize,
-    stacks: &mut Vec<Vec<u32>>,
-    prefix: &mut Vec<ValueId>,
-    cb: &mut dyn FnMut(&[ValueId]),
-) {
-    if d == var_plans.len() {
-        cb(prefix);
-        return;
+impl RangeCursor {
+    #[inline]
+    fn at_end(&self) -> bool {
+        self.pos >= self.hi
     }
-    let vp = &var_plans[d];
-    let mut range_starts: Vec<u32> = Vec::with_capacity(vp.participants.len());
-    let mut cursors: Vec<SliceCursor<'_>> = Vec::with_capacity(vp.participants.len());
-    for p in &vp.participants {
-        let trie = &tries[p.atom];
-        let range = if p.level == 0 {
-            trie.root_range()
+
+    #[inline]
+    fn key(&self, tries: &[Arc<Trie>]) -> ValueId {
+        tries[self.atom].value(self.level, self.pos)
+    }
+
+    #[inline]
+    fn next(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Seeks forward to the first node with value `>= target`.
+    fn seek(&mut self, tries: &[Arc<Trie>], target: ValueId) {
+        let slice = tries[self.atom].values(self.level, self.pos..self.hi);
+        self.pos += gallop(slice, 0, target) as u32;
+    }
+}
+
+/// Resumable leapfrog intersection state for one variable: the cursors of
+/// every participating atom plus the rotation bookkeeping of the classic
+/// algorithm, restartable between [`LevelState::advance`] calls.
+///
+/// This mirrors [`crate::leapfrog::leapfrog_foreach_until`]'s rotation
+/// (prime → emit at agreement → step the emitter → seek the rest) but over
+/// owned index cursors, which is what makes the walk resumable across
+/// calls. The two cores are kept honest against each other by the engine
+/// equivalence suites (LFTJ vs the level-wise join on random instances).
+#[derive(Debug)]
+struct LevelState {
+    cursors: Vec<RangeCursor>,
+    /// Cursor indices in ascending-key rotation order (filled on priming).
+    rot: Vec<usize>,
+    p: usize,
+    max: ValueId,
+    primed: bool,
+    exhausted: bool,
+    /// Whether this level's current match is bound onto the walk's prefix.
+    bound: bool,
+}
+
+impl LevelState {
+    fn new(cursors: Vec<RangeCursor>) -> LevelState {
+        let exhausted = cursors.iter().any(RangeCursor::at_end);
+        LevelState {
+            cursors,
+            rot: Vec::new(),
+            p: 0,
+            max: ValueId(0),
+            primed: false,
+            exhausted,
+            bound: false,
+        }
+    }
+
+    /// Yields the next value present in every cursor; on `Some(v)` every
+    /// cursor is parked exactly at `v` (so node indices can be read off).
+    fn advance(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
+        if self.exhausted {
+            return None;
+        }
+        let k = self.cursors.len();
+        if !self.primed {
+            self.primed = true;
+            self.rot = (0..k).collect();
+            self.rot.sort_by_key(|&i| self.cursors[i].key(tries));
+            self.p = 0;
+            self.max = self.cursors[self.rot[k - 1]].key(tries);
         } else {
-            let parent = *stacks[p.atom].last().expect("parent level bound");
-            trie.children(p.level - 1, parent)
-        };
-        range_starts.push(range.start);
-        cursors.push(SliceCursor::new(trie.values(p.level, range)));
+            // Resume after an emitted match: step the cursor that emitted it.
+            let i = self.rot[self.p];
+            self.cursors[i].next();
+            if self.cursors[i].at_end() {
+                self.exhausted = true;
+                return None;
+            }
+            self.max = self.cursors[i].key(tries);
+            self.p = (self.p + 1) % k;
+        }
+        loop {
+            let i = self.rot[self.p];
+            let x = self.cursors[i].key(tries);
+            if x == self.max {
+                // All k cursors agree on x; `p` stays put so the next
+                // `advance` steps this cursor past the match.
+                return Some(x);
+            }
+            self.cursors[i].seek(tries, self.max);
+            if self.cursors[i].at_end() {
+                self.exhausted = true;
+                return None;
+            }
+            self.max = self.cursors[i].key(tries);
+            self.p = (self.p + 1) % k;
+        }
     }
-    leapfrog_foreach(&mut cursors, |v, cs| {
-        for (k, p) in vp.participants.iter().enumerate() {
-            stacks[p.atom].push(range_starts[k] + cs[k].pos() as u32);
+}
+
+/// A pull-based depth-first LFTJ walk over a join plan.
+///
+/// The walk owns its plan (tries are `Arc`-shared, so construction from a
+/// borrowed plan is a cheap clone) and yields result tuples one
+/// [`LftjWalk::next_tuple`] call at a time, in lexicographic order of the
+/// plan's variable order. Dropping the walk after `k` tuples abandons the
+/// remaining search space — [`LftjWalk::bindings`] exposes how many variable
+/// bindings were actually made, which early termination provably shrinks.
+#[derive(Debug)]
+pub struct LftjWalk {
+    plan: JoinPlan,
+    /// Open levels, one [`LevelState`] per currently-entered variable.
+    levels: Vec<LevelState>,
+    /// Per-atom stack of bound node indices (absolute within each level).
+    nodes: Vec<Vec<u32>>,
+    prefix: Vec<ValueId>,
+    started: bool,
+    done: bool,
+    bindings: u64,
+}
+
+impl LftjWalk {
+    /// Creates a walk over `plan`. No work happens until the first
+    /// [`LftjWalk::next_tuple`] call.
+    pub fn new(plan: JoinPlan) -> LftjWalk {
+        let natoms = plan.tries().len();
+        LftjWalk {
+            plan,
+            levels: Vec::new(),
+            nodes: vec![Vec::new(); natoms],
+            prefix: Vec::new(),
+            started: false,
+            done: false,
+            bindings: 0,
         }
-        prefix.push(v);
-        rec(tries, var_plans, d + 1, stacks, prefix, cb);
-        prefix.pop();
-        for p in &vp.participants {
-            stacks[p.atom].pop();
+    }
+
+    /// The plan's global variable order (= the layout of yielded tuples).
+    pub fn order(&self) -> &[Attr] {
+        self.plan.order()
+    }
+
+    /// The plan driving the walk.
+    pub fn plan(&self) -> &JoinPlan {
+        &self.plan
+    }
+
+    /// Number of variable bindings made so far across all levels — the
+    /// walk's work counter. Early termination (stopping after `k` tuples)
+    /// leaves this strictly below the full-enumeration count whenever
+    /// results remain.
+    pub fn bindings(&self) -> u64 {
+        self.bindings
+    }
+
+    /// Whether the walk has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Opens the leapfrog state for the next unentered variable, scoping
+    /// every participating atom to the children of its bound parent node.
+    fn open_level(&mut self) {
+        let d = self.levels.len();
+        let vp = &self.plan.var_plans()[d];
+        let mut cursors = Vec::with_capacity(vp.participants.len());
+        for part in &vp.participants {
+            let trie = &self.plan.tries()[part.atom];
+            let range = if part.level == 0 {
+                trie.root_range()
+            } else {
+                let parent = *self.nodes[part.atom].last().expect("parent level bound");
+                trie.children(part.level - 1, parent)
+            };
+            cursors.push(RangeCursor {
+                atom: part.atom,
+                level: part.level,
+                hi: range.end,
+                pos: range.start,
+            });
         }
+        self.levels.push(LevelState::new(cursors));
+    }
+
+    /// Yields the next result tuple (laid out per [`LftjWalk::order`]), or
+    /// `None` when the join is exhausted. The returned slice is only valid
+    /// until the next call.
+    pub fn next_tuple(&mut self) -> Option<&[ValueId]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.plan.has_empty_atom() {
+                self.done = true;
+                return None;
+            }
+            if self.plan.var_plans().is_empty() {
+                // Zero-variable plan: the join of non-empty nullary atoms
+                // holds exactly one empty tuple.
+                self.done = true;
+                return Some(&self.prefix);
+            }
+            self.open_level();
+        }
+        let nlevels = self.plan.var_plans().len();
+        loop {
+            let d = self.levels.len() - 1;
+            // Unbind this level's previous match (if any)…
+            if self.levels[d].bound {
+                self.levels[d].bound = false;
+                self.prefix.pop();
+                for part in &self.plan.var_plans()[d].participants {
+                    self.nodes[part.atom].pop();
+                }
+            }
+            // …and pull its next one.
+            match self.levels[d].advance(self.plan.tries()) {
+                Some(v) => {
+                    self.prefix.push(v);
+                    for (c, part) in self.plan.var_plans()[d].participants.iter().enumerate() {
+                        self.nodes[part.atom].push(self.levels[d].cursors[c].pos);
+                    }
+                    self.levels[d].bound = true;
+                    self.bindings += 1;
+                    if d + 1 == nlevels {
+                        return Some(&self.prefix);
+                    }
+                    self.open_level();
+                }
+                None => {
+                    self.levels.pop();
+                    if self.levels.is_empty() {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams result tuples of the join to `cb` in lexicographic order of the
+/// plan's variable order, stopping early when `cb` returns
+/// [`ControlFlow::Break`]. Returns `Break(())` iff the callback broke.
+pub fn lftj_foreach_until(
+    plan: &JoinPlan,
+    mut cb: impl FnMut(&[ValueId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut walk = LftjWalk::new(plan.clone());
+    while let Some(t) = walk.next_tuple() {
+        cb(t)?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Streams every result tuple of the join to `cb`, in lexicographic order of
+/// the plan's variable order (the never-stopping wrapper of
+/// [`lftj_foreach_until`]).
+pub fn lftj_foreach(plan: &JoinPlan, mut cb: impl FnMut(&[ValueId])) {
+    let flow = lftj_foreach_until(plan, |t| {
+        cb(t);
+        ControlFlow::Continue(())
     });
+    debug_assert!(flow.is_continue());
 }
 
 /// Materialises the LFTJ result into a relation (schema = variable order).
@@ -199,5 +437,79 @@ mod tests {
         let out = lftj_join(&refs, &attrs(&["a", "b", "c", "d"])).unwrap();
         // All 4! orderings of {1,2,3,4}.
         assert_eq!(out.len(), 24);
+    }
+
+    #[test]
+    fn walk_matches_foreach() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 1], &[1, 3]]);
+        let s = rel(&["b", "c"], &[&[2, 3], &[3, 1], &[1, 2], &[3, 3]]);
+        let t = rel(&["a", "c"], &[&[1, 3], &[2, 1], &[3, 2], &[1, 1]]);
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        let mut pushed: Vec<Vec<ValueId>> = Vec::new();
+        lftj_foreach(&plan, |t| pushed.push(t.to_vec()));
+        let mut walk = LftjWalk::new(plan);
+        let mut pulled: Vec<Vec<ValueId>> = Vec::new();
+        while let Some(t) = walk.next_tuple() {
+            pulled.push(t.to_vec());
+        }
+        assert_eq!(pushed, pulled);
+        assert!(walk.is_done());
+        assert!(
+            walk.next_tuple().is_none(),
+            "exhausted walk stays exhausted"
+        );
+    }
+
+    #[test]
+    fn foreach_until_stops_the_walk() {
+        let r = rel(&["a"], &[&[1], &[2], &[3], &[4]]);
+        let s = rel(&["b"], &[&[7], &[8]]);
+        let plan = JoinPlan::new(&[&r, &s], &attrs(&["a", "b"])).unwrap();
+        let mut seen = 0usize;
+        let flow = lftj_foreach_until(&plan, |_| {
+            seen += 1;
+            if seen == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(seen, 3);
+        let full = lftj_foreach_until(&plan, |_| ControlFlow::Continue(()));
+        assert!(full.is_continue());
+    }
+
+    #[test]
+    fn early_termination_does_less_work() {
+        // A large cartesian product: stopping after one tuple must bind far
+        // fewer values than full enumeration.
+        let rows_a: Vec<Vec<ValueId>> = (0..50).map(|i| vec![v(i)]).collect();
+        let rows_b: Vec<Vec<ValueId>> = (0..50).map(|i| vec![v(100 + i)]).collect();
+        let a = Relation::from_rows(Schema::of(&["a"]), rows_a).unwrap();
+        let b = Relation::from_rows(Schema::of(&["b"]), rows_b).unwrap();
+        let plan = JoinPlan::new(&[&a, &b], &attrs(&["a", "b"])).unwrap();
+
+        let mut full = LftjWalk::new(plan.clone());
+        while full.next_tuple().is_some() {}
+        let mut early = LftjWalk::new(plan);
+        assert!(early.next_tuple().is_some());
+        assert!(
+            early.bindings() < full.bindings(),
+            "early {} !< full {}",
+            early.bindings(),
+            full.bindings()
+        );
+        assert_eq!(full.bindings(), 50 + 50 * 50);
+    }
+
+    #[test]
+    fn walk_exposes_order_and_plan() {
+        let r = rel(&["a", "b"], &[&[1, 2]]);
+        let plan = JoinPlan::new(&[&r], &attrs(&["a", "b"])).unwrap();
+        let walk = LftjWalk::new(plan);
+        assert_eq!(walk.order(), &attrs(&["a", "b"])[..]);
+        assert_eq!(walk.plan().tries().len(), 1);
+        assert_eq!(walk.bindings(), 0);
     }
 }

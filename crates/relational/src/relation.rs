@@ -144,6 +144,15 @@ impl Relation {
         self.data = out;
     }
 
+    /// Keeps only the first `n` tuples (no-op when `n >= len`). Engines use
+    /// this to apply a `LIMIT` to an already-materialised result.
+    pub fn truncate(&mut self, n: usize) {
+        // Nullary tuples are stored as one sentinel value each, so the
+        // per-tuple stride is `max(arity, 1)` either way.
+        let stride = self.schema.arity().max(1);
+        self.data.truncate(n.saturating_mul(stride));
+    }
+
     /// Projects onto `attrs` (with set semantics on the result).
     pub fn project(&self, attrs: &[Attr]) -> Result<Relation> {
         let positions: Vec<usize> = attrs

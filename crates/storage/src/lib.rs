@@ -14,16 +14,18 @@
 //!   streaming XJoin, and the level-wise XJoin engine — XML path relations
 //!   (lowered via `xmldb::transform`) included;
 //! * [`prepared`] — [`PreparedQuery`]: parse/validate/order a
-//!   [`xjoin_core::MultiModelQuery`] once, pin its trie keys, and
-//!   re-execute cheaply against any snapshot (a fully warm execution builds
-//!   zero tries);
+//!   [`xjoin_core::MultiModelQuery`] once (with its pinned
+//!   [`xjoin_core::ExecOptions`] — any plan-based engine kind), pin its
+//!   trie keys, and re-execute cheaply against any snapshot (a fully warm
+//!   execution builds zero tries), materialised or as pull-based
+//!   [`xjoin_core::Rows`];
 //! * [`service`] — [`QueryService`]: a std-only worker pool executing
 //!   prepared queries across snapshots in parallel, returning per-query
 //!   [`relational::JoinStats`].
 //!
 //! ```
 //! use relational::{Database, Schema, Value};
-//! use xjoin_core::{MultiModelQuery, XJoinConfig};
+//! use xjoin_core::{ExecOptions, MultiModelQuery};
 //! use xjoin_store::{PreparedQuery, VersionedStore};
 //! use xmldb::XmlDocument;
 //!
@@ -47,7 +49,7 @@
 //! let query = MultiModelQuery::new(&["orders"], &["//orderLine[/orderID][/price]"])
 //!     .unwrap()
 //!     .with_output(&["userID", "price"]);
-//! let prepared = PreparedQuery::prepare(&snap, &query, XJoinConfig::default()).unwrap();
+//! let prepared = PreparedQuery::prepare(&snap, &query, ExecOptions::default()).unwrap();
 //! let cold = prepared.execute(&snap).unwrap();   // builds + caches tries
 //! let warm = prepared.execute(&snap).unwrap();   // zero trie builds
 //! assert!(warm.results.set_eq(&cold.results));

@@ -7,7 +7,11 @@
 //! later snapshot then resolves each template to a concrete
 //! [`TrieKey`] (filling in that snapshot's relation / document versions),
 //! fetches the tries from the shared registry — building only on cache
-//! misses — and runs the XJoin engine body over the assembled plan.
+//! misses — and runs the engine selected by the pinned
+//! [`xjoin_core::ExecOptions`] over the assembled plan (any plan-based
+//! [`xjoin_core::EngineKind`]: level-wise XJoin, streaming XJoin, LFTJ, or
+//! the generic join — the baseline and hash join do not consume trie plans
+//! and are rejected at prepare time).
 //!
 //! A fully warm execution performs **zero** [`relational::Trie::build`]
 //! calls and never re-materialises path relations: the plan is assembled
@@ -16,12 +20,12 @@
 use crate::cache::TrieKey;
 use crate::error::{Result, StoreError};
 use crate::store::Snapshot;
-use relational::{Attr, JoinPlan, Trie, ValueId};
+use relational::{Attr, JoinPlan, Trie};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use xjoin_core::{
-    collect_atoms, compute_order, xjoin_stream_with_plan, xjoin_with_plan, CoreError,
-    MultiModelQuery, ResolvedAtom, Term, XJoinConfig, XJoinOutput,
+    collect_atoms, compute_order, execute_with_plan, validate_output, xjoin_rows_with_plan,
+    CoreError, ExecOptions, MultiModelQuery, QueryOutput, ResolvedAtom, Rows, Term,
 };
 use xmldb::{decompose, path_fingerprint, path_relation, PathSpec};
 
@@ -63,7 +67,7 @@ struct PreparedAtom {
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     query: MultiModelQuery,
-    cfg: XJoinConfig,
+    options: ExecOptions,
     order: Vec<Attr>,
     atoms: Vec<PreparedAtom>,
     first_path_atom: usize,
@@ -91,18 +95,30 @@ fn terms_fingerprint(name: &str, terms: &[Term]) -> String {
 
 impl PreparedQuery {
     /// Prepares `query` against a reference snapshot: lowers it to atoms,
-    /// computes the variable order per `cfg`, and pins every atom's trie
-    /// key. The chosen order is kept for all later executions (for the
-    /// `Cardinality` strategy it reflects the reference snapshot's
-    /// statistics).
+    /// computes the variable order per `options.order`, validates the
+    /// output projection, and pins every atom's trie key. The chosen order
+    /// is kept for all later executions (for the `Cardinality` strategy it
+    /// reflects the reference snapshot's statistics).
+    ///
+    /// `options.engine` must be a plan-based kind
+    /// ([`xjoin_core::EngineKind::is_plan_based`]); the baseline and hash
+    /// join do not execute from trie plans and are rejected here.
     pub fn prepare(
         snapshot: &Snapshot,
         query: &MultiModelQuery,
-        cfg: XJoinConfig,
+        options: ExecOptions,
     ) -> Result<PreparedQuery> {
+        if !options.engine.is_plan_based() {
+            return Err(StoreError::Core(CoreError::Unsupported(format!(
+                "engine `{}` does not execute from a trie plan; run it through \
+                 xjoin_core::execute instead",
+                options.engine
+            ))));
+        }
         let ctx = snapshot.ctx();
         let atoms = collect_atoms(&ctx, query)?;
-        let order = compute_order(&atoms, &cfg.order)?;
+        let order = compute_order(&atoms, &options.order)?;
+        validate_output(query, &order)?;
 
         // Reconstruct each atom's content source, mirroring the ordering of
         // `collect_atoms`: relational atoms first, then every twig's paths.
@@ -163,7 +179,7 @@ impl PreparedQuery {
 
         Ok(PreparedQuery {
             query: query.clone(),
-            cfg,
+            options,
             order,
             atoms: prepared,
             first_path_atom: atoms.first_path_atom,
@@ -180,9 +196,10 @@ impl PreparedQuery {
         &self.query
     }
 
-    /// The pinned engine configuration.
-    pub fn config(&self) -> &XJoinConfig {
-        &self.cfg
+    /// The pinned execution options (engine kind, order strategy, filters,
+    /// limit).
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
     }
 
     /// The concrete trie keys this query resolves to on `snapshot` (exposed
@@ -283,16 +300,17 @@ impl PreparedQuery {
         Ok((plan, atom_sizes))
     }
 
-    /// Executes the prepared query against `snapshot` with the level-wise
-    /// XJoin engine, reusing cached tries. Results are identical to
-    /// [`xjoin_core::xjoin`] on the same snapshot (modulo the pinned order).
-    pub fn execute(&self, snapshot: &Snapshot) -> Result<XJoinOutput> {
+    /// Executes the prepared query against `snapshot` on the pinned engine,
+    /// reusing cached tries. Results are identical to running
+    /// [`xjoin_core::execute`] with the same options on the same snapshot
+    /// (modulo the pinned order).
+    pub fn execute(&self, snapshot: &Snapshot) -> Result<QueryOutput> {
         let (plan, atom_sizes) = self.plan_for(snapshot)?;
         let ctx = snapshot.ctx();
-        xjoin_with_plan(
+        execute_with_plan(
             &ctx,
             &self.query,
-            &self.cfg,
+            &self.options,
             &plan,
             atom_sizes,
             self.first_path_atom,
@@ -300,13 +318,21 @@ impl PreparedQuery {
         .map_err(StoreError::from)
     }
 
-    /// Streams the prepared query's results depth-first (LFTJ-style) against
-    /// `snapshot`, reusing the same cached tries as [`PreparedQuery::execute`].
-    /// Tuples arrive in lexicographic order of [`PreparedQuery::order`].
-    pub fn stream(&self, snapshot: &Snapshot, cb: impl FnMut(&[ValueId])) -> Result<()> {
+    /// Streams the prepared query's results as a pull-based
+    /// [`Rows`] iterator against `snapshot`, reusing the same cached tries
+    /// as [`PreparedQuery::execute`]. Tuples arrive in lexicographic order
+    /// of [`PreparedQuery::order`]; the pinned `limit` (if any) is pushed
+    /// into the trie walk.
+    ///
+    /// This is always the depth-first streaming walk (with per-tuple twig
+    /// validation), regardless of which plan-based engine kind is pinned —
+    /// the pinned kind and its XJoin-only flags govern
+    /// [`PreparedQuery::execute`]; the result *set* is identical either
+    /// way.
+    pub fn rows<'s>(&'s self, snapshot: &'s Snapshot) -> Result<Rows<'s>> {
         let (plan, _) = self.plan_for(snapshot)?;
-        let ctx = snapshot.ctx();
-        xjoin_stream_with_plan(&ctx, &self.query, &plan, cb).map_err(StoreError::from)
+        xjoin_rows_with_plan(&snapshot.ctx(), &self.query, plan, self.options.limit)
+            .map_err(StoreError::from)
     }
 }
 
@@ -315,7 +341,7 @@ mod tests {
     use super::*;
     use crate::store::VersionedStore;
     use relational::{Database, Schema, Value};
-    use xjoin_core::xjoin;
+    use xjoin_core::{xjoin, EngineKind, XJoinConfig};
     use xmldb::XmlDocument;
 
     fn bookstore_store() -> VersionedStore {
@@ -356,7 +382,7 @@ mod tests {
         let store = bookstore_store();
         let snap = store.snapshot();
         let q = bookstore_query();
-        let prepared = PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap();
+        let prepared = PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap();
         let out = prepared.execute(&snap).unwrap();
         let direct = xjoin(&snap.ctx(), &q, &XJoinConfig::default()).unwrap();
         assert!(out.results.set_eq(&direct.results));
@@ -368,7 +394,7 @@ mod tests {
         let store = bookstore_store();
         let snap = store.snapshot();
         let prepared =
-            PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+            PreparedQuery::prepare(&snap, &bookstore_query(), ExecOptions::default()).unwrap();
         let cold = prepared.execute(&snap).unwrap();
         let after_cold = store.registry().stats();
         assert!(after_cold.misses > 0);
@@ -390,7 +416,7 @@ mod tests {
         let store = bookstore_store();
         let snap1 = store.snapshot();
         let prepared =
-            PreparedQuery::prepare(&snap1, &bookstore_query(), XJoinConfig::default()).unwrap();
+            PreparedQuery::prepare(&snap1, &bookstore_query(), ExecOptions::default()).unwrap();
         let out1 = prepared.execute(&snap1).unwrap();
         assert_eq!(out1.results.len(), 2);
         store.update(|db| {
@@ -412,14 +438,87 @@ mod tests {
     }
 
     #[test]
-    fn stream_agrees_with_execute() {
+    fn rows_agree_with_execute() {
         let store = bookstore_store();
         let snap = store.snapshot();
         let q = MultiModelQuery::new(&["R"], &["//orderLine/orderID"]).unwrap();
-        let prepared = PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap();
-        let mut n = 0usize;
-        prepared.stream(&snap, |_| n += 1).unwrap();
+        let prepared = PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap();
+        let n = prepared.rows(&snap).unwrap().count();
         assert_eq!(n, prepared.execute(&snap).unwrap().results.len());
+    }
+
+    #[test]
+    fn every_plan_based_engine_executes_from_the_cache() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = bookstore_query();
+        let reference = PreparedQuery::prepare(&snap, &q, ExecOptions::default())
+            .unwrap()
+            .execute(&snap)
+            .unwrap();
+        for kind in EngineKind::all() {
+            let opts = ExecOptions::for_engine(kind);
+            if !kind.is_plan_based() {
+                assert!(
+                    matches!(
+                        PreparedQuery::prepare(&snap, &q, opts),
+                        Err(StoreError::Core(CoreError::Unsupported(_)))
+                    ),
+                    "non-plan engine {kind} must be rejected at prepare"
+                );
+                continue;
+            }
+            let prepared = PreparedQuery::prepare(&snap, &q, opts).unwrap();
+            let out = prepared.execute(&snap).unwrap();
+            assert!(
+                out.results.set_eq(&reference.results),
+                "prepared engine {kind} diverged"
+            );
+            assert_eq!(out.engine, kind);
+        }
+    }
+
+    #[test]
+    fn prepared_limit_pushes_into_the_walk() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &["//orderLine/orderID"]).unwrap();
+        let full =
+            PreparedQuery::prepare(&snap, &q, ExecOptions::for_engine(EngineKind::XJoinStream))
+                .unwrap();
+        let mut all = full.rows(&snap).unwrap();
+        let total = all.by_ref().count();
+        assert!(total > 1);
+        let full_visited = all.stats().visited;
+
+        let limited = PreparedQuery::prepare(
+            &snap,
+            &q,
+            ExecOptions {
+                engine: EngineKind::XJoinStream,
+                limit: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rows = limited.rows(&snap).unwrap();
+        assert_eq!(rows.by_ref().count(), 1);
+        assert!(rows.stats().visited < full_visited);
+        // The materialising path honours the limit too.
+        assert_eq!(limited.execute(&snap).unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn unknown_output_attribute_rejected_at_prepare() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &["//orderLine/orderID"])
+            .unwrap()
+            .with_output(&["nope"]);
+        assert!(matches!(
+            PreparedQuery::prepare(&snap, &q, ExecOptions::default()),
+            Err(StoreError::Core(CoreError::UnknownAttribute(_)))
+        ));
     }
 
     #[test]
@@ -445,8 +544,8 @@ mod tests {
         let q = MultiModelQuery::new(&["R"], &[]).unwrap();
         let snap1 = s1.snapshot();
         let snap2 = s2.snapshot();
-        let p1 = PreparedQuery::prepare(&snap1, &q, XJoinConfig::default()).unwrap();
-        let p2 = PreparedQuery::prepare(&snap2, &q, XJoinConfig::default()).unwrap();
+        let p1 = PreparedQuery::prepare(&snap1, &q, ExecOptions::default()).unwrap();
+        let p2 = PreparedQuery::prepare(&snap2, &q, ExecOptions::default()).unwrap();
         assert_eq!(p1.execute(&snap1).unwrap().results.len(), 2);
         // Same relation name, version 1, order (x) — but a different store:
         // this must *miss* and build s2's own trie, not hit s1's.
@@ -462,7 +561,7 @@ mod tests {
         let store = bookstore_store();
         let snap = store.snapshot();
         let prepared =
-            PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+            PreparedQuery::prepare(&snap, &bookstore_query(), ExecOptions::default()).unwrap();
         // A fresh, unrelated store lacks `R`.
         let mut db = Database::new();
         db.load("S", Schema::of(&["x"]), vec![vec![Value::Int(1)]])

@@ -6,7 +6,7 @@
 //! pairs an `Arc<PreparedQuery>` with a [`Snapshot`]; because snapshots are
 //! immutable and tries are shared through the registry, any number of
 //! workers can execute against the same (or different) store states
-//! simultaneously, each returning its own [`XJoinOutput`] with per-query
+//! simultaneously, each returning its own [`QueryOutput`] with per-query
 //! [`relational::JoinStats`].
 
 use crate::error::{Result, StoreError};
@@ -15,24 +15,24 @@ use crate::store::Snapshot;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{Builder, JoinHandle};
-use xjoin_core::XJoinOutput;
+use xjoin_core::QueryOutput;
 
 struct Job {
     prepared: Arc<PreparedQuery>,
     snapshot: Snapshot,
-    reply: Sender<Result<XJoinOutput>>,
+    reply: Sender<Result<QueryOutput>>,
 }
 
 /// A handle to one submitted query; redeem it with [`Ticket::wait`].
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<Result<XJoinOutput>>,
+    rx: Receiver<Result<QueryOutput>>,
 }
 
 impl Ticket {
     /// Blocks until the query finishes, returning its output (or
     /// [`StoreError::WorkerLost`] if the executing worker died).
-    pub fn wait(self) -> Result<XJoinOutput> {
+    pub fn wait(self) -> Result<QueryOutput> {
         self.rx.recv().unwrap_or(Err(StoreError::WorkerLost))
     }
 }
@@ -101,7 +101,7 @@ impl QueryService {
     pub fn run_all(
         &self,
         jobs: impl IntoIterator<Item = (Arc<PreparedQuery>, Snapshot)>,
-    ) -> Vec<Result<XJoinOutput>> {
+    ) -> Vec<Result<QueryOutput>> {
         let tickets: Vec<Ticket> = jobs.into_iter().map(|(p, s)| self.submit(p, s)).collect();
         tickets.into_iter().map(Ticket::wait).collect()
     }
@@ -132,7 +132,7 @@ mod tests {
     use super::*;
     use crate::store::VersionedStore;
     use relational::{Database, Schema, Value};
-    use xjoin_core::{MultiModelQuery, XJoinConfig};
+    use xjoin_core::{ExecOptions, MultiModelQuery};
     use xmldb::XmlDocument;
 
     fn store() -> VersionedStore {
@@ -158,7 +158,7 @@ mod tests {
         let store = store();
         let snap = store.snapshot();
         let q = MultiModelQuery::new(&["R"], &["//root/grp"]).unwrap();
-        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap());
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap());
         let expect = prepared.execute(&snap).unwrap();
 
         let service = QueryService::new(4);
@@ -174,7 +174,7 @@ mod tests {
         let store = store();
         let snap = store.snapshot();
         let q = MultiModelQuery::new(&["R"], &[]).unwrap();
-        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, XJoinConfig::default()).unwrap());
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap());
         let service = QueryService::new(2);
         let t1 = service.submit(Arc::clone(&prepared), snap.clone());
         let t2 = service.submit(Arc::clone(&prepared), snap.clone());

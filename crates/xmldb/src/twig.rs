@@ -38,7 +38,7 @@ impl fmt::Display for Axis {
 }
 
 /// One node of a twig pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwigNode {
     /// The join variable this node binds (unique within the twig).
     pub var: Attr,
@@ -81,7 +81,7 @@ impl fmt::Display for TwigError {
 impl std::error::Error for TwigError {}
 
 /// A validated twig pattern. Node 0 is always the root.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwigPattern {
     nodes: Vec<TwigNode>,
 }

@@ -13,7 +13,7 @@
 use bench::workloads::bookstore;
 use relational::{Schema, Value};
 use std::sync::Arc;
-use xjoin_core::{MultiModelQuery, XJoinConfig};
+use xjoin_core::{EngineKind, ExecOptions, QueryBuilder};
 use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
 
 fn main() {
@@ -24,19 +24,27 @@ fn main() {
     let snapshot = store.snapshot();
 
     // 2. Prepare two queries once: parse, validate, fix the variable order,
-    //    and pin every atom's trie cache key.
-    let q_invoices =
-        MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"])
-            .expect("twig parses")
-            .with_output(&["userID", "ISBN", "price"]);
-    let q_discounts = MultiModelQuery::new(&["R"], &["//orderLine[/orderID][/discount]"])
-        .expect("twig parses")
-        .with_output(&["userID", "discount"]);
+    //    and pin every atom's trie cache key. The unified QueryBuilder
+    //    carries the options (engine kind, limits) alongside the query.
+    let q_invoices = QueryBuilder::new()
+        .relation("R")
+        .twig("//invoices/orderLine[/orderID][/ISBN][/price]")
+        .output(&["userID", "ISBN", "price"])
+        .build()
+        .expect("query builds");
+    let q_discounts = QueryBuilder::new()
+        .relation("R")
+        .twig("//orderLine[/orderID][/discount]")
+        .output(&["userID", "discount"])
+        .build()
+        .expect("query builds");
     let invoices = Arc::new(
-        PreparedQuery::prepare(&snapshot, &q_invoices, XJoinConfig::default()).expect("prepare"),
+        PreparedQuery::prepare(&snapshot, &q_invoices.query, q_invoices.options.clone())
+            .expect("prepare"),
     );
     let discounts = Arc::new(
-        PreparedQuery::prepare(&snapshot, &q_discounts, XJoinConfig::default()).expect("prepare"),
+        PreparedQuery::prepare(&snapshot, &q_discounts.query, q_discounts.options.clone())
+            .expect("prepare"),
     );
 
     // 3. Serve both queries concurrently through a 4-worker pool. The first
@@ -83,7 +91,27 @@ fn main() {
         new.results.len()
     );
 
-    // 5. Cache behaviour over the whole session.
+    // 5. Pull-based streaming from the same cache: the depth-first engine
+    //    with a limit stops the trie walk after two rows.
+    let limited = PreparedQuery::prepare(
+        &fresh,
+        &q_invoices.query,
+        ExecOptions {
+            engine: EngineKind::XJoinStream,
+            limit: Some(2),
+            ..Default::default()
+        },
+    )
+    .expect("prepare streaming");
+    let mut rows = limited.rows(&fresh).expect("rows");
+    let pulled: Vec<_> = rows.by_ref().collect();
+    println!(
+        "\nstreamed {} row(s) with limit 2 ({} bindings made)",
+        pulled.len(),
+        rows.stats().visited
+    );
+
+    // 6. Cache behaviour over the whole session.
     let stats = store.registry().stats();
     println!(
         "\ntrie cache: {} hits / {} misses (hit rate {:.0}%), {} entries, {} bytes (budget {:?})",

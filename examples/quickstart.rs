@@ -1,11 +1,12 @@
-//! Quickstart: join a relational table with an XML document in ~30 lines.
+//! Quickstart: join a relational table with an XML document through the
+//! unified execution API in ~30 lines.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use relational::{Database, Schema, Value};
-use xjoin_core::{xjoin, DataContext, MultiModelQuery, XJoinConfig};
+use xjoin_core::{DataContext, EngineKind, QueryBuilder};
 use xmldb::{parse_xml, TagIndex};
 
 fn main() {
@@ -35,18 +36,39 @@ fn main() {
     .expect("invoices parse");
     *db.dict_mut() = dict;
     let index = TagIndex::build(&doc);
-
-    // 3. A multi-model query: the twig variable `orderID` and the relational
-    //    column `orderID` are the same join variable.
-    let query = MultiModelQuery::new(&["orders"], &["//orderLine[/orderID][/price]"])
-        .expect("query parses")
-        .with_output(&["userID", "price"]);
-
-    // 4. Run the worst-case optimal multi-model join.
     let ctx = DataContext::new(&db, &doc, &index);
-    let out = xjoin(&ctx, &query, &XJoinConfig::default()).expect("xjoin runs");
 
+    // 3. One query, one builder: MMQL text (or programmatic atoms), output
+    //    projection, and engine choice in a single chain. The twig variable
+    //    `orderID` and the relational column `orderID` are the same join
+    //    variable.
+    let query = QueryBuilder::mmql(
+        "Q(userID, price) :- orders(orderID, userID), //orderLine[/orderID][/price]",
+    )
+    .expect("query parses")
+    .build()
+    .expect("query builds");
+
+    // 4. Run the worst-case optimal multi-model join (the default engine is
+    //    the paper's level-wise XJoin).
+    let out = query.execute(&ctx).expect("xjoin runs");
     println!("Q(userID, price):");
     print!("{}", db.render_table(&out.results));
     println!("\nper-stage intermediate sizes:\n{}", out.stats);
+
+    // 5. The same query streams through any engine: pull rows lazily from
+    //    the depth-first engine, stopping after the first row — the trie
+    //    walk is abandoned, not completed.
+    let streaming = QueryBuilder::from_query(query.query.clone())
+        .engine(EngineKind::XJoinStream)
+        .limit(1)
+        .build()
+        .expect("query builds");
+    let mut rows = streaming.rows(&ctx).expect("rows stream");
+    let first = rows.next().expect("at least one row");
+    println!(
+        "first row via Rows + limit(1): {:?} (bindings made: {})",
+        first,
+        rows.stats().visited
+    );
 }

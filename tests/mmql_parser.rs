@@ -1,0 +1,136 @@
+//! MMQL parser robustness: every malformed input returns `Err` (never
+//! panics), and the programmatic `QueryBuilder` round-trips with
+//! `parse_query` onto the same `MultiModelQuery`.
+
+use relational::Value;
+use xjoin_core::{parse_query, CoreError, QueryBuilder, Term};
+
+/// Malformed atoms: bad names, missing or stray delimiters, empty/bad
+/// terms. All must be rejected with an error, not a panic.
+#[test]
+fn malformed_atoms_error() {
+    for src in [
+        "R(a",              // unterminated atom
+        "R a)",             // missing opening paren
+        "R()",              // atom binds no terms
+        "R(,)",             // empty terms
+        "R(a,)",            // trailing empty term
+        "R(a b)",           // space-separated terms
+        "bad name(a)",      // space in relation name
+        "R(a-b)",           // bad variable name
+        "R((a))",           // nested parens
+        "(a)",              // no relation name
+        "R(\"unterminated", // unterminated string constant
+        "R(9x)",            // bad numeric constant
+        "R(a), , S(b)",     // empty atom between commas
+    ] {
+        let result = parse_query(src);
+        assert!(result.is_err(), "`{src}` should be rejected: {result:?}");
+    }
+}
+
+/// Unbalanced parentheses / brackets at every nesting position.
+#[test]
+fn unbalanced_parentheses_error() {
+    for src in [
+        "Q(a :- R(a)",
+        "Q(a)) :- R(a)",
+        "R(a))",
+        "//a[/b",
+        "//a[/b]]",
+        "//a[[/b]",
+        "R(a), //x[",
+    ] {
+        let result = parse_query(src);
+        assert!(result.is_err(), "`{src}` should be rejected: {result:?}");
+    }
+}
+
+/// Bad twig expressions are surfaced as twig errors, not panics.
+#[test]
+fn bad_twig_expressions_error() {
+    for src in [
+        "//",                   // no tag
+        "/",                    // no tag
+        "//a//",                // trailing axis
+        "//a[/b][",             // unclosed predicate
+        "//a$",                 // empty variable rename
+        "//a/b$x, //c$x, R(x)", // fine syntactically? duplicate var within one twig only
+    ] {
+        // The last case is actually valid MMQL (vars are per-twig); only
+        // assert no panic for it.
+        let _ = parse_query(src);
+    }
+    assert!(parse_query("//").is_err());
+    assert!(parse_query("/").is_err());
+    assert!(parse_query("//a//").is_err());
+    assert!(parse_query("//a[/b][").is_err());
+    // Duplicate variable *within one twig* is a twig error.
+    assert!(matches!(
+        parse_query("//a/b/a"),
+        Err(CoreError::Twig(_)) | Err(CoreError::BadOrder(_))
+    ));
+}
+
+/// Empty heads and empty bodies error.
+#[test]
+fn empty_heads_and_bodies_error() {
+    for src in [
+        "",
+        "   ",
+        ":- R(a)",      // empty head shape
+        "Q() :- R(a)",  // head binds no terms
+        "Q(a) :- ",     // empty body
+        "Q(a) :-",      // empty body, no space
+        "Q(3) :- R(a)", // constant in head
+    ] {
+        let result = parse_query(src);
+        assert!(result.is_err(), "`{src}` should be rejected: {result:?}");
+    }
+}
+
+/// The builder and the parser construct the *same* query value.
+#[test]
+fn builder_round_trips_with_parse_query() {
+    let parsed =
+        parse_query("Q(who, price) :- orders(oid, who), ratings(oid, 5), //line[/oid][/price]")
+            .unwrap();
+    let built = QueryBuilder::new()
+        .relation_as("orders", &["oid", "who"])
+        .relation_terms(
+            "ratings",
+            vec![Term::Var("oid".into()), Term::Const(Value::Int(5))],
+        )
+        .twig("//line[/oid][/price]")
+        .output(&["who", "price"])
+        .build()
+        .unwrap();
+    assert_eq!(parsed, built.query);
+}
+
+/// Headless queries round-trip too (output = None), and string constants /
+/// repeated variables survive both construction paths.
+#[test]
+fn headless_and_constant_round_trip() {
+    let parsed = parse_query(r#"E(n, n), people(n, "new york"), //g/n"#).unwrap();
+    let built = QueryBuilder::new()
+        .relation_terms("E", vec![Term::Var("n".into()), Term::Var("n".into())])
+        .relation_terms(
+            "people",
+            vec![Term::Var("n".into()), Term::Const(Value::str("new york"))],
+        )
+        .twig("//g/n")
+        .build()
+        .unwrap();
+    assert_eq!(parsed, built.query);
+    assert!(parsed.output.is_none());
+}
+
+/// `QueryBuilder::mmql` is exactly `parse_query` plus default options.
+#[test]
+fn mmql_builder_equals_parse_query() {
+    let text = "Q(x) :- S(x, y), //r//x";
+    let via_builder = QueryBuilder::mmql(text).unwrap().build().unwrap();
+    let via_parser = parse_query(text).unwrap();
+    assert_eq!(via_builder.query, via_parser);
+}

@@ -5,7 +5,7 @@
 use bench::workloads::{bookstore, bookstore_query, fig3_query, fig3_tight};
 use relational::{Schema, Value};
 use std::sync::Arc;
-use xjoin_core::{xjoin, MultiModelQuery, XJoinConfig};
+use xjoin_core::{execute, ExecOptions, MultiModelQuery};
 use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
 
 fn bookstore_store() -> VersionedStore {
@@ -18,7 +18,7 @@ fn warm_cache_reexecution_performs_zero_trie_builds() {
     let store = bookstore_store();
     let snap = store.snapshot();
     let prepared =
-        PreparedQuery::prepare(&snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+        PreparedQuery::prepare(&snap, &bookstore_query(), ExecOptions::default()).unwrap();
 
     let cold = prepared.execute(&snap).unwrap();
     let after_cold = store.registry().stats();
@@ -39,17 +39,12 @@ fn warm_cache_reexecution_performs_zero_trie_builds() {
     );
     assert!(warm.results.set_eq(&cold.results));
 
-    // Streaming (LFTJ-style) execution shares the same cached tries.
-    let mut streamed = 0usize;
-    prepared.stream(&snap, |_| streamed += 1).unwrap();
+    // Pull-based streaming execution shares the same cached tries, and
+    // yields the same projected, deduplicated rows as execute().
+    let streamed = prepared.rows(&snap).unwrap().count();
     let after_stream = store.registry().stats();
     assert_eq!(after_stream.misses, after_warm.misses);
-    // The level-wise engine projects to the output list; compare pre-projection
-    // cardinality via a fresh unprojected run.
-    let q_all =
-        MultiModelQuery::new(&["R"], &["//invoices/orderLine[/orderID][/ISBN][/price]"]).unwrap();
-    let unprojected = xjoin(&snap.ctx(), &q_all, &XJoinConfig::default()).unwrap();
-    assert_eq!(streamed, unprojected.results.len());
+    assert_eq!(streamed, warm.results.len());
 }
 
 #[test]
@@ -58,12 +53,12 @@ fn concurrent_service_matches_single_threaded_xjoin() {
     let store = VersionedStore::new(inst.db, inst.doc);
     let snap = store.snapshot();
     let q1 = fig3_query();
-    let p1 = Arc::new(PreparedQuery::prepare(&snap, &q1, XJoinConfig::default()).unwrap());
+    let p1 = Arc::new(PreparedQuery::prepare(&snap, &q1, ExecOptions::default()).unwrap());
     let q2 = MultiModelQuery::new(&["R1"], &["//A/B"]).unwrap();
-    let p2 = Arc::new(PreparedQuery::prepare(&snap, &q2, XJoinConfig::default()).unwrap());
+    let p2 = Arc::new(PreparedQuery::prepare(&snap, &q2, ExecOptions::default()).unwrap());
 
-    let expect1 = xjoin(&snap.ctx(), &q1, &XJoinConfig::default()).unwrap();
-    let expect2 = xjoin(&snap.ctx(), &q2, &XJoinConfig::default()).unwrap();
+    let expect1 = execute(&snap.ctx(), &q1, &ExecOptions::default()).unwrap();
+    let expect2 = execute(&snap.ctx(), &q2, &ExecOptions::default()).unwrap();
 
     let service = QueryService::new(4);
     let jobs = (0..12).map(|i| {
@@ -91,7 +86,7 @@ fn snapshots_isolate_in_flight_queries_from_writes() {
     let store = bookstore_store();
     let old_snap = store.snapshot();
     let prepared =
-        PreparedQuery::prepare(&old_snap, &bookstore_query(), XJoinConfig::default()).unwrap();
+        PreparedQuery::prepare(&old_snap, &bookstore_query(), ExecOptions::default()).unwrap();
     assert_eq!(prepared.execute(&old_snap).unwrap().results.len(), 2);
 
     // A writer replaces the orders table with a single row.
@@ -111,7 +106,7 @@ fn snapshots_isolate_in_flight_queries_from_writes() {
     let new_out = prepared.execute(&new_snap).unwrap();
     assert_eq!(new_out.results.len(), 1);
     assert!(new_out.results.set_eq(
-        &xjoin(&new_snap.ctx(), &bookstore_query(), &XJoinConfig::default())
+        &execute(&new_snap.ctx(), &bookstore_query(), &ExecOptions::default())
             .unwrap()
             .results
     ));
@@ -138,7 +133,7 @@ fn service_scales_across_snapshots_of_different_sizes() {
     let q = fig3_query();
     let snap_small = store.snapshot();
     let prepared =
-        Arc::new(PreparedQuery::prepare(&snap_small, &q, XJoinConfig::default()).unwrap());
+        Arc::new(PreparedQuery::prepare(&snap_small, &q, ExecOptions::default()).unwrap());
 
     // Grow the relational side (decoding through the source dictionary so
     // values re-intern into the store's); the twig side stays as-is.
@@ -164,8 +159,8 @@ fn service_scales_across_snapshots_of_different_sizes() {
         .map(|r| r.unwrap().results.len())
         .collect();
     assert_eq!(sizes[0], sizes[2]);
-    let expect_small = xjoin(&snap_small.ctx(), &q, &XJoinConfig::default()).unwrap();
-    let expect_big = xjoin(&snap_big.ctx(), &q, &XJoinConfig::default()).unwrap();
+    let expect_small = execute(&snap_small.ctx(), &q, &ExecOptions::default()).unwrap();
+    let expect_big = execute(&snap_big.ctx(), &q, &ExecOptions::default()).unwrap();
     assert_eq!(sizes[0], expect_small.results.len());
     assert_eq!(sizes[1], expect_big.results.len());
 }
