@@ -2,8 +2,8 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|all|quick] \
-//!             [--max-n N] [--json PATH]
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|all|quick] \
+//!             [--max-n N] [--json PATH] [--threads 1,2,4]
 //! ```
 //!
 //! * `bounds` — E3/E4: LP-computed size-bound exponents of Examples 3.3
@@ -17,7 +17,10 @@
 //!   filtering, baseline engine choices;
 //! * `store` — serving layer: cold-build vs warm-cache prepared-query
 //!   latency through `xjoin-store`;
-//! * `quick` — a fast subset (bounds, small fig3, bookstore, store) for CI.
+//! * `threads` — morsel-parallel scaling: the triangle and 4-clique
+//!   workloads swept over worker counts (`--threads`), speedups vs serial;
+//! * `quick` — a fast subset (bounds, small fig3, bookstore, store,
+//!   threads) for CI.
 //!
 //! Every timed run is collected into a JSON report — an array of
 //! `{"name", "wall_ms", "max_intermediate", "output_rows"}` objects — so the
@@ -29,14 +32,14 @@
 
 use agm::{agm_exponent, vertex_packing, Hypergraph};
 use bench::workloads::{
-    bookstore, bookstore_query, fig2_instance, fig2_query, fig3_query, fig3_random, fig3_tight,
-    FIG3_TWIG,
+    bookstore, bookstore_query, clique4_query, fig2_instance, fig2_query, fig3_query, fig3_random,
+    fig3_tight, graph_instance, triangle_query, FIG3_TWIG,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 use xjoin_core::{
     execute, lower, prefix_bounds, query_bound, DataContext, EngineKind, ExecOptions,
-    MultiModelQuery, OrderStrategy, RelAlg, XmlAlg,
+    MultiModelQuery, OrderStrategy, Parallelism, RelAlg, XmlAlg,
 };
 use xjoin_store::{PreparedQuery, VersionedStore};
 
@@ -98,6 +101,7 @@ fn main() {
     let mut cmd = "all".to_string();
     let mut max_n = 12usize;
     let mut json_path: Option<String> = None;
+    let mut threads: Vec<usize> = vec![1, 2, 4];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +115,17 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .expect("--threads needs a comma-separated list, e.g. 1,2,4")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads entries are integers"))
+                    .filter(|&n| n >= 1)
+                    .collect();
+                assert!(!threads.is_empty(), "--threads needs at least one count");
             }
             other => cmd = other.to_string(),
         }
@@ -129,6 +144,7 @@ fn main() {
         "bookstore" => exp_bookstore(&mut report),
         "ablation" => exp_ablation(&mut report),
         "store" => exp_store(&mut report),
+        "threads" => exp_threads(&threads, &mut report),
         "all" => {
             exp_bounds();
             exp_fig3(max_n, &mut report);
@@ -136,17 +152,19 @@ fn main() {
             exp_bookstore(&mut report);
             exp_ablation(&mut report);
             exp_store(&mut report);
+            exp_threads(&threads, &mut report);
         }
         "quick" => {
             exp_bounds();
             exp_fig3(max_n.min(4), &mut report);
             exp_bookstore(&mut report);
             exp_store(&mut report);
+            exp_threads(&threads, &mut report);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|all|quick] [--max-n N] [--json PATH]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]"
             );
             std::process::exit(2);
         }
@@ -639,4 +657,82 @@ fn exp_store(report: &mut Report) {
     );
     report.add("store/cold_build", cold_ms, max_int, out_rows);
     report.add("store/warm_cache", warm_ms, max_int, out_rows);
+}
+
+/// Threads sweep: morsel-parallel scaling of the plan-based engines on the
+/// classic triangle and 4-clique workloads. Speedups are relative to the
+/// serial run of the same engine; on a single-core box the table measures
+/// scheduling overhead only (speedup ≈ 1), on multi-core hardware it shows
+/// the sharding gain.
+fn exp_threads(threads: &[usize], report: &mut Report) {
+    header("Threads: morsel-parallel scaling on triangle / 4-clique workloads");
+    println!(
+        "(host reports {} available core(s))",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let workloads: Vec<(&str, bench::workloads::Instance, MultiModelQuery)> = vec![
+        ("triangle", graph_instance(300, 2600, 42), triangle_query()),
+        ("clique4", graph_instance(64, 700, 42), clique4_query()),
+    ];
+    // The serial run is always measured first so the speedup column is
+    // genuinely relative to t=1, whatever `--threads` lists.
+    let mut sweep: Vec<usize> = vec![1];
+    sweep.extend(threads.iter().copied().filter(|&t| t != 1));
+    const RUNS: usize = 3;
+    println!(
+        "{:<12} {:<14} {:>8} {:>12} {:>10} {:>10}",
+        "workload", "engine", "threads", "best ms", "speedup", "result"
+    );
+    for (name, inst, q) in &workloads {
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        for engine in [EngineKind::Lftj, EngineKind::XJoinStream] {
+            let mut serial_ms: Option<f64> = None;
+            let mut serial_rows: Option<usize> = None;
+            for &t in &sweep {
+                let opts = ExecOptions {
+                    engine,
+                    parallelism: if t <= 1 {
+                        Parallelism::Serial
+                    } else {
+                        Parallelism::Threads(t)
+                    },
+                    ..Default::default()
+                };
+                let mut best = f64::INFINITY;
+                let mut rows = 0usize;
+                let mut max_int = 0usize;
+                for _ in 0..RUNS {
+                    let t0 = Instant::now();
+                    let out = execute(&ctx, q, &opts).expect("graph query runs");
+                    best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                    rows = out.results.len();
+                    max_int = out.stats.max_intermediate();
+                }
+                assert_eq!(
+                    *serial_rows.get_or_insert(rows),
+                    rows,
+                    "{name}/{engine}: thread count changed the result"
+                );
+                let base = *serial_ms.get_or_insert(best);
+                report.add(
+                    format!("threads/{name}/{engine}/t={t}"),
+                    best,
+                    max_int,
+                    rows,
+                );
+                println!(
+                    "{:<12} {:<14} {:>8} {:>12.3} {:>10.2} {:>10}",
+                    name,
+                    engine.to_string(),
+                    t,
+                    best,
+                    base / best.max(1e-9),
+                    rows
+                );
+            }
+        }
+    }
 }

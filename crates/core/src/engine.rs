@@ -34,7 +34,7 @@ use crate::order::{compute_order, OrderStrategy};
 use crate::query::{DataContext, MultiModelQuery};
 use crate::validate::TwigValidator;
 use relational::leapfrog::{leapfrog_foreach, SliceCursor};
-use relational::{Attr, JoinPlan, JoinStats, Relation, Schema, ValueId};
+use relational::{Attr, JoinPlan, JoinStats, Relation, Schema, ValueId, ValueRange};
 use std::collections::HashSet;
 use std::time::Instant;
 use xmldb::transform::{ad_edge_relation, decompose};
@@ -58,7 +58,7 @@ const NO_NODE: u32 = u32::MAX;
 
 /// One A-D edge filter: order positions of the endpoints plus the legal
 /// value pairs.
-type AdCheck = (usize, usize, HashSet<(ValueId, ValueId)>);
+pub(crate) type AdCheck = (usize, usize, HashSet<(ValueId, ValueId)>);
 
 /// Runs XJoin on a multi-model query: lowers the query to atoms, builds a
 /// plan (constructing fresh tries), and executes it. `stats.elapsed` covers
@@ -97,25 +97,33 @@ pub fn xjoin_with_plan(
     atom_sizes: Vec<(String, usize)>,
     first_path_atom: usize,
 ) -> Result<QueryOutput> {
-    let start = Instant::now();
-    let order: Vec<Attr> = plan.order().to_vec();
-    validate_output(query, &order)?;
-    let mut stats = JoinStats::default();
-    for (name, size) in atom_sizes.iter().skip(first_path_atom) {
-        stats.record(format!("materialise {name}"), *size);
-    }
+    xjoin_with_plan_in_range(
+        ctx,
+        query,
+        cfg,
+        plan,
+        atom_sizes,
+        first_path_atom,
+        &ValueRange::all(),
+    )
+}
 
-    // Per-twig validators (used by partial validation and the final filter).
-    let mut validators: Vec<TwigValidator<'_>> = query
-        .twigs
-        .iter()
-        .map(|t| TwigValidator::new(ctx.doc, ctx.index, t, &order))
-        .collect::<Result<_>>()?;
-
-    // A-D edge filters: (anc position, desc position, value-pair set),
-    // triggered at the level where the later endpoint binds.
+/// Builds the A-D edge filters for a query under `order`: per expansion
+/// level, the `(anc position, desc position, value-pair set)` checks
+/// triggered at the level where the later endpoint binds. The sets are
+/// immutable and depend only on the context, query, and order — the morsel
+/// scheduler builds them **once** per query and shares them read-only
+/// across all morsel workers (materialising each edge's value pairs is an
+/// ancestor×descendant document scan, far too expensive to repeat per
+/// morsel). Empty per-level vectors when `enabled` is false.
+pub(crate) fn build_ad_checks(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    order: &[Attr],
+    enabled: bool,
+) -> Vec<Vec<AdCheck>> {
     let mut ad_checks: Vec<Vec<AdCheck>> = vec![Vec::new(); order.len()];
-    if cfg.ad_filter {
+    if enabled {
         for twig in &query.twigs {
             let dec = decompose(twig);
             for &edge in &dec.ad_edges {
@@ -135,6 +143,70 @@ pub fn xjoin_with_plan(
             }
         }
     }
+    ad_checks
+}
+
+/// Range-restricted [`xjoin_with_plan`]: the level-wise expansion only
+/// considers first-variable candidates inside `root`, making the run an
+/// independent morsel of the full join. Over a disjoint cover of the value
+/// space, per-stage intermediate counts (and results) partition exactly —
+/// summing each stage across morsels reproduces the unrestricted run's
+/// Lemma 3.5 series. The morsel scheduler in [`crate::morsel`] drives the
+/// crate-internal body directly (sharing one set of A-D checks across
+/// morsels, with a projection-free query and empty `atom_sizes` so each
+/// morsel reports only its own expansion stages).
+#[allow(clippy::too_many_arguments)]
+pub fn xjoin_with_plan_in_range(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    cfg: &XJoinConfig,
+    plan: &JoinPlan,
+    atom_sizes: Vec<(String, usize)>,
+    first_path_atom: usize,
+    root: &ValueRange,
+) -> Result<QueryOutput> {
+    validate_output(query, plan.order())?;
+    let ad_checks = build_ad_checks(ctx, query, plan.order(), cfg.ad_filter);
+    xjoin_with_plan_body(
+        ctx,
+        query,
+        cfg,
+        plan,
+        atom_sizes,
+        first_path_atom,
+        root,
+        &ad_checks,
+    )
+}
+
+/// The level-wise XJoin body over pre-built A-D checks (see
+/// [`build_ad_checks`]); per-twig validators are constructed per call — they
+/// carry mutable memoisation and cannot be shared across threads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn xjoin_with_plan_body(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    cfg: &XJoinConfig,
+    plan: &JoinPlan,
+    atom_sizes: Vec<(String, usize)>,
+    first_path_atom: usize,
+    root: &ValueRange,
+    ad_checks: &[Vec<AdCheck>],
+) -> Result<QueryOutput> {
+    let start = Instant::now();
+    let order: Vec<Attr> = plan.order().to_vec();
+    validate_output(query, &order)?;
+    let mut stats = JoinStats::default();
+    for (name, size) in atom_sizes.iter().skip(first_path_atom) {
+        stats.record(format!("materialise {name}"), *size);
+    }
+
+    // Per-twig validators (used by partial validation and the final filter).
+    let mut validators: Vec<TwigValidator<'_>> = query
+        .twigs
+        .iter()
+        .map(|t| TwigValidator::new(ctx.doc, ctx.index, t, &order))
+        .collect::<Result<_>>()?;
 
     let schema = Schema::new(order.iter().cloned()).expect("order vars distinct");
     let natoms = plan.tries().len();
@@ -165,11 +237,14 @@ pub fn xjoin_with_plan(
                 cursors.clear();
                 for p in &vp.participants {
                     let trie = &plan.tries()[p.atom];
-                    let range = if p.level == 0 {
+                    let mut range = if p.level == 0 {
                         trie.root_range()
                     } else {
                         trie.children(p.level - 1, tuple_ptrs[p.atom])
                     };
+                    if d == 0 {
+                        range = root.clamp_nodes(trie, p.level, range);
+                    }
                     range_starts.push(range.start);
                     cursors.push(SliceCursor::new(trie.values(p.level, range)));
                 }

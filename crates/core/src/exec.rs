@@ -58,9 +58,10 @@ use crate::baseline::{baseline, BaselineConfig, RelAlg, XmlAlg};
 use crate::engine::{xjoin_with_plan, XJoinConfig};
 use crate::error::{CoreError, Result};
 use crate::mmql::parse_query;
+use crate::morsel::{execute_parallel, Parallelism};
 use crate::order::{compute_order, OrderStrategy};
 use crate::query::{variables_of, DataContext, MultiModelQuery, RelAtom, Term};
-use crate::stream::Rows;
+use crate::stream::{stream_with_plan, Rows};
 use crate::validate::TwigValidator;
 use relational::generic::levelwise_join;
 use relational::hashjoin::multiway_hash_join;
@@ -168,8 +169,22 @@ pub struct ExecOptions {
     /// ([`EngineKind::XJoin`] only).
     pub ad_filter: bool,
     /// Stop after this many result rows. Streaming engines push the limit
-    /// into the trie walk; materialising engines truncate their result.
+    /// into the trie walk; materialising engines truncate their result —
+    /// and under parallel execution, workers observe the emitted-row count
+    /// and abandon their walks once the limit is reached.
     pub limit: Option<usize>,
+    /// Intra-query parallelism of the plan-based engines: the top join
+    /// attribute's value domain is split into morsels executed on a thread
+    /// pool (see [`crate::morsel`]). Ignored by the baseline and the hash
+    /// join, which always run serially. Results are identical to serial
+    /// execution whatever the setting.
+    pub parallelism: Parallelism,
+    /// Allow a parallel [`Rows`] stream to yield tuples in worker arrival
+    /// order instead of the deterministic serial order (morsels concatenated
+    /// in domain order). Only observable with
+    /// [`EngineKind::XJoinStream`]'s streaming path under parallel
+    /// execution; materialised outputs always merge deterministically.
+    pub unordered: bool,
 }
 
 impl ExecOptions {
@@ -301,9 +316,10 @@ fn resolve<'a>(
 
 /// Shared back half for the relational engines: validate twig structure on
 /// the full-width result, project, apply the limit, and assemble the
-/// [`QueryOutput`]. `rel`'s schema must be laid out per `order`.
+/// [`QueryOutput`]. `rel`'s schema must be laid out per `order`. The morsel
+/// scheduler reuses it to merge parallel runs identically to serial ones.
 #[allow(clippy::too_many_arguments)]
-fn finish(
+pub(crate) fn finish(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
     order: Vec<Attr>,
@@ -348,7 +364,7 @@ fn finish(
 
 /// Drains a walk-backed [`Rows`] into a materialised [`QueryOutput`] — the
 /// shared execute path of the streaming engine, plan-assembled or not.
-fn drain_rows(
+pub(crate) fn drain_rows(
     mut rows: Rows<'_>,
     order: Vec<Attr>,
     atom_sizes: Vec<(String, usize)>,
@@ -461,7 +477,7 @@ impl Engine for StreamingXJoin {
     ) -> Result<Rows<'a>> {
         let (atoms, order) = resolve(ctx, query, opts)?;
         let plan = JoinPlan::new(&atoms.rel_refs(), &order)?;
-        Rows::from_walk(ctx, query, plan, opts.limit)
+        stream_with_plan(ctx, query, plan, opts)
     }
 }
 
@@ -643,6 +659,13 @@ pub fn stream<'a>(
 /// they do not consume trie plans. `atom_sizes` / `first_path_atom`
 /// describe the plan's atoms as [`Atoms::sizes`] /
 /// [`Atoms::first_path_atom`] would.
+///
+/// When [`ExecOptions::parallelism`] resolves to more than one worker, the
+/// execution routes through the morsel scheduler (see [`crate::morsel`]):
+/// the first variable's domain is partitioned and each part runs as an
+/// independent sub-join on a thread pool, with per-morsel outputs (and
+/// per-stage stats) merged in domain order — results are identical to a
+/// serial run. Zero-variable plans always run serially.
 pub fn execute_with_plan(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
@@ -652,6 +675,10 @@ pub fn execute_with_plan(
     first_path_atom: usize,
 ) -> Result<QueryOutput> {
     let start = Instant::now();
+    if opts.engine.is_plan_based() && opts.parallelism.workers() > 1 && !plan.var_plans().is_empty()
+    {
+        return execute_parallel(ctx, query, opts, plan, atom_sizes, first_path_atom);
+    }
     match opts.engine {
         EngineKind::XJoin => {
             let mut out = xjoin_with_plan(
@@ -823,6 +850,20 @@ impl QueryBuilder {
         self
     }
 
+    /// Sets the intra-query parallelism of the plan-based engines (see
+    /// [`Parallelism`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.parallelism = parallelism;
+        self
+    }
+
+    /// Allows a parallel stream to yield rows in worker arrival order
+    /// instead of the deterministic serial order.
+    pub fn unordered(mut self, on: bool) -> Self {
+        self.options.unordered = on;
+        self
+    }
+
     /// Replaces the whole option set at once.
     pub fn options(mut self, options: ExecOptions) -> Self {
         self.options = options;
@@ -962,6 +1003,57 @@ mod tests {
         for kind in EngineKind::all() {
             let opts = ExecOptions {
                 engine: kind,
+                limit: Some(2),
+                ..Default::default()
+            };
+            let out = execute(&ctx, &query, &opts).unwrap();
+            assert_eq!(out.results.len(), 2, "engine {kind}");
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_for_every_plan_based_kind() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let query = MultiModelQuery::new(&["R"], &["//line[/orderID][/price]"])
+            .unwrap()
+            .with_output(&["userID", "price"]);
+        for kind in EngineKind::all().into_iter().filter(|k| k.is_plan_based()) {
+            let serial = execute(&ctx, &query, &ExecOptions::for_engine(kind)).unwrap();
+            let parallel = execute(
+                &ctx,
+                &query,
+                &ExecOptions {
+                    engine: kind,
+                    parallelism: Parallelism::Threads(3),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                parallel.results.set_eq(&serial.results),
+                "engine {kind} diverged under parallel execution"
+            );
+            assert_eq!(parallel.results.len(), serial.results.len());
+            assert_eq!(
+                parallel.stats.max_intermediate(),
+                serial.stats.max_intermediate(),
+                "engine {kind}: summed morsel stages must equal serial stages"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_limit_truncates_like_serial() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let query = MultiModelQuery::new(&["R"], &[]).unwrap();
+        for kind in EngineKind::all().into_iter().filter(|k| k.is_plan_based()) {
+            let opts = ExecOptions {
+                engine: kind,
+                parallelism: Parallelism::Threads(2),
                 limit: Some(2),
                 ..Default::default()
             };

@@ -63,6 +63,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod mmql;
+pub mod morsel;
 pub mod order;
 pub mod query;
 pub mod stream;
@@ -71,7 +72,7 @@ pub mod validate;
 pub use atoms::{collect_atoms, AtomRel, Atoms};
 pub use baseline::{baseline, BaselineConfig, RelAlg, XmlAlg};
 pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent};
-pub use engine::{lower, xjoin, xjoin_with_plan, XJoinConfig};
+pub use engine::{lower, xjoin, xjoin_with_plan, xjoin_with_plan_in_range, XJoinConfig};
 pub use error::{CoreError, Result};
 pub use exec::{
     engine_for, execute, execute_with_plan, stream, validate_output, Engine, EngineKind,
@@ -79,9 +80,10 @@ pub use exec::{
 };
 pub use explain::{explain, Explanation};
 pub use mmql::parse_query;
+pub use morsel::{partition_root, Parallelism};
 pub use order::{compute_order, OrderStrategy};
 pub use query::{
     all_variables, variables_of, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term,
 };
-pub use stream::{xjoin_rows, xjoin_rows_with_plan, Rows, RowsStats};
+pub use stream::{stream_with_plan, xjoin_rows, xjoin_rows_with_plan, Rows, RowsStats};
 pub use validate::TwigValidator;

@@ -20,7 +20,7 @@
 
 use crate::error::Result;
 use crate::leapfrog::gallop;
-use crate::plan::JoinPlan;
+use crate::plan::{JoinPlan, ValueRange};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
 use crate::trie::Trie;
@@ -155,6 +155,10 @@ impl LevelState {
 #[derive(Debug)]
 pub struct LftjWalk {
     plan: JoinPlan,
+    /// Restriction of the first variable's domain — the walk only visits
+    /// tuples whose first binding falls in this range (see
+    /// [`LftjWalk::with_root_range`]).
+    root: ValueRange,
     /// Open levels, one [`LevelState`] per currently-entered variable.
     levels: Vec<LevelState>,
     /// Per-atom stack of bound node indices (absolute within each level).
@@ -169,9 +173,19 @@ impl LftjWalk {
     /// Creates a walk over `plan`. No work happens until the first
     /// [`LftjWalk::next_tuple`] call.
     pub fn new(plan: JoinPlan) -> LftjWalk {
+        Self::with_root_range(plan, ValueRange::all())
+    }
+
+    /// Creates a walk restricted to the tuples whose **first** variable
+    /// binding (in the plan's order) falls inside `root`. The sub-walk is an
+    /// independent trie walk: running one walk per range of a disjoint cover
+    /// of the value space enumerates exactly the full result, partitioned by
+    /// first binding — the substrate of morsel-style parallel execution.
+    pub fn with_root_range(plan: JoinPlan, root: ValueRange) -> LftjWalk {
         let natoms = plan.tries().len();
         LftjWalk {
             plan,
+            root,
             levels: Vec::new(),
             nodes: vec![Vec::new(); natoms],
             prefix: Vec::new(),
@@ -212,12 +226,18 @@ impl LftjWalk {
         let mut cursors = Vec::with_capacity(vp.participants.len());
         for part in &vp.participants {
             let trie = &self.plan.tries()[part.atom];
-            let range = if part.level == 0 {
+            let mut range = if part.level == 0 {
                 trie.root_range()
             } else {
                 let parent = *self.nodes[part.atom].last().expect("parent level bound");
                 trie.children(part.level - 1, parent)
             };
+            // The first variable participates at level 0 of every atom that
+            // contains it; narrowing all its cursors to the walk's root
+            // range restricts the whole walk to that morsel.
+            if d == 0 {
+                range = self.root.clamp_nodes(trie, part.level, range);
+            }
             cursors.push(RangeCursor {
                 atom: part.atom,
                 level: part.level,
@@ -291,9 +311,20 @@ impl LftjWalk {
 /// [`ControlFlow::Break`]. Returns `Break(())` iff the callback broke.
 pub fn lftj_foreach_until(
     plan: &JoinPlan,
+    cb: impl FnMut(&[ValueId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    lftj_foreach_until_in_range(plan, &ValueRange::all(), cb)
+}
+
+/// Range-restricted [`lftj_foreach_until`]: streams only the result tuples
+/// whose first variable binding falls inside `root` (an independent
+/// sub-walk, see [`LftjWalk::with_root_range`]).
+pub fn lftj_foreach_until_in_range(
+    plan: &JoinPlan,
+    root: &ValueRange,
     mut cb: impl FnMut(&[ValueId]) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
-    let mut walk = LftjWalk::new(plan.clone());
+    let mut walk = LftjWalk::with_root_range(plan.clone(), root.clone());
     while let Some(t) = walk.next_tuple() {
         cb(t)?;
     }
@@ -313,9 +344,21 @@ pub fn lftj_foreach(plan: &JoinPlan, mut cb: impl FnMut(&[ValueId])) {
 
 /// Materialises the LFTJ result into a relation (schema = variable order).
 pub fn lftj(plan: &JoinPlan) -> Relation {
+    lftj_in_range(plan, &ValueRange::all())
+}
+
+/// Materialises the range-restricted LFTJ result: exactly the tuples whose
+/// first variable binding falls inside `root`. Concatenating the results of
+/// a disjoint cover of the value space (in range order) reproduces
+/// [`lftj`]'s output, order included.
+pub fn lftj_in_range(plan: &JoinPlan, root: &ValueRange) -> Relation {
     let schema = Schema::new(plan.order().iter().cloned()).expect("distinct order");
     let mut out = Relation::new(schema);
-    lftj_foreach(plan, |t| out.push(t).expect("arity matches"));
+    let flow = lftj_foreach_until_in_range(plan, root, |t| {
+        out.push(t).expect("arity matches");
+        ControlFlow::Continue(())
+    });
+    debug_assert!(flow.is_continue());
     out
 }
 
@@ -501,6 +544,66 @@ mod tests {
             full.bindings()
         );
         assert_eq!(full.bindings(), 50 + 50 * 50);
+    }
+
+    #[test]
+    fn range_restricted_walks_partition_the_result() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 1], &[1, 3], &[2, 1]]);
+        let s = rel(&["b", "c"], &[&[2, 3], &[3, 1], &[1, 2], &[1, 1]]);
+        let t = rel(&["a", "c"], &[&[1, 3], &[2, 1], &[3, 2], &[2, 2]]);
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        let full = lftj(&plan);
+        assert!(!full.is_empty());
+
+        // Split the `a` domain at value 2: [0, 2) and [2, ∞).
+        let lo_half = ValueRange {
+            lo: v(0),
+            hi: Some(v(2)),
+        };
+        let hi_half = ValueRange { lo: v(2), hi: None };
+        let lo_part = lftj_in_range(&plan, &lo_half);
+        let hi_part = lftj_in_range(&plan, &hi_half);
+        assert!(lo_part.rows().all(|row| row[0] < v(2)));
+        assert!(hi_part.rows().all(|row| row[0] >= v(2)));
+
+        // Concatenation in range order reproduces the full result exactly.
+        let mut merged = Relation::new(full.schema().clone());
+        for row in lo_part.rows().chain(hi_part.rows()) {
+            merged.push(row).unwrap();
+        }
+        assert_eq!(merged, full);
+
+        // Bindings of the sub-walks sum to the full walk's bindings: every
+        // bound prefix belongs to exactly one morsel (by its root value).
+        let count_bindings = |root: ValueRange| {
+            let mut w = LftjWalk::with_root_range(plan.clone(), root);
+            while w.next_tuple().is_some() {}
+            w.bindings()
+        };
+        let mut full_walk = LftjWalk::new(plan.clone());
+        while full_walk.next_tuple().is_some() {}
+        assert_eq!(
+            count_bindings(lo_half) + count_bindings(hi_half),
+            full_walk.bindings()
+        );
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let r = rel(&["a"], &[&[1], &[2], &[3]]);
+        let plan = JoinPlan::new(&[&r], &attrs(&["a"])).unwrap();
+        let out = lftj_in_range(
+            &plan,
+            &ValueRange {
+                lo: v(10),
+                hi: Some(v(20)),
+            },
+        );
+        assert!(out.is_empty());
+        let flow = lftj_foreach_until_in_range(&plan, &ValueRange { lo: v(2), hi: None }, |_| {
+            ControlFlow::Break(())
+        });
+        assert!(flow.is_break());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod value;
 pub use catalog::Database;
 pub use error::{RelError, Result};
 pub use lftj::LftjWalk;
-pub use plan::JoinPlan;
+pub use plan::{JoinPlan, ValueRange};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
 pub use stats::JoinStats;

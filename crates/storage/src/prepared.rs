@@ -24,8 +24,8 @@ use relational::{Attr, JoinPlan, Trie};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use xjoin_core::{
-    collect_atoms, compute_order, execute_with_plan, validate_output, xjoin_rows_with_plan,
-    CoreError, ExecOptions, MultiModelQuery, QueryOutput, ResolvedAtom, Rows, Term,
+    collect_atoms, compute_order, execute_with_plan, stream_with_plan, validate_output, CoreError,
+    ExecOptions, MultiModelQuery, Parallelism, QueryOutput, ResolvedAtom, Rows, Term,
 };
 use xmldb::{decompose, path_fingerprint, path_relation, PathSpec};
 
@@ -197,9 +197,19 @@ impl PreparedQuery {
     }
 
     /// The pinned execution options (engine kind, order strategy, filters,
-    /// limit).
+    /// limit, parallelism).
     pub fn options(&self) -> &ExecOptions {
         &self.options
+    }
+
+    /// Overrides the pinned parallelism without re-preparing: the same
+    /// prepared query (same order, same trie keys, same cached tries) can be
+    /// served serial or morsel-parallel per call site. Workers of a parallel
+    /// execution share the plan's `Arc<Trie>` registry entries — no trie is
+    /// copied or rebuilt for the fan-out.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.parallelism = parallelism;
+        self
     }
 
     /// The concrete trie keys this query resolves to on `snapshot` (exposed
@@ -328,10 +338,12 @@ impl PreparedQuery {
     /// validation), regardless of which plan-based engine kind is pinned —
     /// the pinned kind and its XJoin-only flags govern
     /// [`PreparedQuery::execute`]; the result *set* is identical either
-    /// way.
+    /// way. A pinned (or [`PreparedQuery::with_parallelism`]-overridden)
+    /// parallel setting walks the cached tries morsel-parallel, with the
+    /// workers sharing the snapshot's `Arc<Trie>` registry entries.
     pub fn rows<'s>(&'s self, snapshot: &'s Snapshot) -> Result<Rows<'s>> {
         let (plan, _) = self.plan_for(snapshot)?;
-        xjoin_rows_with_plan(&snapshot.ctx(), &self.query, plan, self.options.limit)
+        stream_with_plan(&snapshot.ctx(), &self.query, plan, &self.options)
             .map_err(StoreError::from)
     }
 }
@@ -476,6 +488,41 @@ mod tests {
             );
             assert_eq!(out.engine, kind);
         }
+    }
+
+    #[test]
+    fn parallelism_override_serves_identical_results_from_the_same_cache() {
+        use xjoin_core::Parallelism;
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let q = bookstore_query();
+        for kind in EngineKind::all().into_iter().filter(|k| k.is_plan_based()) {
+            let prepared =
+                PreparedQuery::prepare(&snap, &q, ExecOptions::for_engine(kind)).unwrap();
+            let serial = prepared.execute(&snap).unwrap();
+            let misses_after_serial = store.registry().stats().misses;
+            let parallel = prepared
+                .clone()
+                .with_parallelism(Parallelism::Threads(3))
+                .execute(&snap)
+                .unwrap();
+            assert!(
+                parallel.results.set_eq(&serial.results),
+                "prepared engine {kind} diverged under parallel execution"
+            );
+            // The fan-out shares cached Arc<Trie>s: no extra builds.
+            assert_eq!(
+                store.registry().stats().misses,
+                misses_after_serial,
+                "parallel execution of {kind} rebuilt a trie"
+            );
+        }
+        // The streaming path honours the override too.
+        let prepared = PreparedQuery::prepare(&snap, &q, ExecOptions::default())
+            .unwrap()
+            .with_parallelism(Parallelism::Threads(2));
+        let n = prepared.rows(&snap).unwrap().count();
+        assert_eq!(n, prepared.execute(&snap).unwrap().results.len());
     }
 
     #[test]

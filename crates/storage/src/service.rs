@@ -8,6 +8,13 @@
 //! workers can execute against the same (or different) store states
 //! simultaneously, each returning its own [`QueryOutput`] with per-query
 //! [`relational::JoinStats`].
+//!
+//! Inter-query and intra-query parallelism compose: a prepared query pinned
+//! (or overridden via [`PreparedQuery::with_parallelism`]) to a parallel
+//! setting fans each job out across a morsel pool of its own, with all
+//! morsel workers reading the same immutable snapshot and the same cached
+//! `Arc<relational::Trie>`s — snapshot isolation is per job, whatever the
+//! fan-out.
 
 use crate::error::{Result, StoreError};
 use crate::prepared::PreparedQuery;

@@ -5,7 +5,7 @@
 use bench::workloads::{bookstore, bookstore_query, fig3_query, fig3_tight};
 use relational::{Schema, Value};
 use std::sync::Arc;
-use xjoin_core::{execute, ExecOptions, MultiModelQuery};
+use xjoin_core::{execute, EngineKind, ExecOptions, MultiModelQuery, Parallelism};
 use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
 
 fn bookstore_store() -> VersionedStore {
@@ -124,6 +124,92 @@ fn snapshots_isolate_in_flight_queries_from_writes() {
         before.misses,
         "re-running on the new snapshot must be fully warm"
     );
+}
+
+/// Concurrency stress: writers bump the store's epochs in a tight loop
+/// while morsel-parallel queries (service workers × morsel workers) execute
+/// against pinned snapshots. Every result must match the pinned snapshot's
+/// serial answer, and the shared `TrieRegistry` must show zero duplicate
+/// builds across all the fan-out (every worker resolves the same cached
+/// `Arc<Trie>`s).
+#[test]
+fn writers_never_perturb_parallel_queries_on_pinned_snapshots() {
+    let inst = fig3_tight(3);
+    let store = Arc::new(VersionedStore::new(inst.db, inst.doc));
+    let snap = store.snapshot();
+    let q = fig3_query();
+    let prepared = Arc::new(
+        PreparedQuery::prepare(
+            &snap,
+            &q,
+            ExecOptions {
+                engine: EngineKind::XJoinStream,
+                parallelism: Parallelism::Threads(3),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    // The pinned snapshot's serial answer, and a warm cache: after this,
+    // any further miss would be a duplicate build.
+    let expect = execute(&snap.ctx(), &q, &ExecOptions::default()).unwrap();
+    assert!(prepared
+        .execute(&snap)
+        .unwrap()
+        .results
+        .set_eq(&expect.results));
+    let warm = store.registry().stats();
+    assert!(warm.misses > 0);
+
+    let service = QueryService::new(4);
+    std::thread::scope(|s| {
+        // A writer loops epoch bumps (replacing R1 with ever-larger
+        // contents) while the queries below run against the old snapshot.
+        let writer_store = Arc::clone(&store);
+        s.spawn(move || {
+            for i in 0..30i64 {
+                writer_store.update(|db| {
+                    let rows: Vec<Vec<Value>> = (0..=i)
+                        .map(|j| {
+                            vec![
+                                Value::Int(900_000 + j),
+                                Value::Int(910_000 + j),
+                                Value::Int(920_000 + j),
+                                Value::Int(930_000 + j),
+                            ]
+                        })
+                        .collect();
+                    db.load("R1", Schema::of(&["A", "B", "C", "D"]), rows)
+                        .unwrap();
+                });
+            }
+        });
+        let results = service.run_all((0..16).map(|_| (Arc::clone(&prepared), snap.clone())));
+        for (i, r) in results.into_iter().enumerate() {
+            assert!(
+                r.unwrap().results.set_eq(&expect.results),
+                "job {i}: parallel query on the pinned snapshot diverged under writes"
+            );
+        }
+    });
+
+    // Service workers × morsel workers shared the warm cache: not one
+    // duplicate trie build across the whole fan-out.
+    let after = store.registry().stats();
+    assert_eq!(
+        after.misses, warm.misses,
+        "parallel fan-out rebuilt a trie that was already cached"
+    );
+
+    // The store kept moving: a fresh snapshot sees the writer's last state,
+    // while the pinned snapshot still answers identically.
+    let fresh = store.snapshot();
+    assert!(fresh.epoch() > snap.epoch());
+    assert!(prepared
+        .execute(&snap)
+        .unwrap()
+        .results
+        .set_eq(&expect.results));
 }
 
 #[test]
