@@ -1,0 +1,47 @@
+//! Cold trie-construction microbenchmarks: the columnar [`TrieBuilder`]
+//! (with its radix and pre-sorted fast paths) against the original
+//! row-materialising reference builder, across sizes, arities, and input
+//! orders. `experiments build` runs the same comparison end to end and
+//! records it in `BENCH_results.json`; this bench gives the per-case view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relational::generator::{random_relation, random_relation_raw};
+use relational::{Dict, Relation, Schema, Trie, TrieBuilder};
+use std::hint::black_box;
+
+/// `(label, relation)` pairs covering the interesting construction regimes.
+fn workloads() -> Vec<(String, Relation)> {
+    let mut dict = Dict::new();
+    let mut out = Vec::new();
+    for &(rows, arity) in &[(10_000usize, 2usize), (10_000, 3), (100_000, 3)] {
+        let names: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        // A dense domain (~rows/2 distinct ids) keeps the radix path in play.
+        let domain = (rows / 2) as u64;
+        let shuffled =
+            random_relation_raw(&mut dict, Schema::of(&name_refs), rows, domain, rows as u64);
+        let sorted = random_relation(&mut dict, Schema::of(&name_refs), rows, domain, rows as u64);
+        out.push((format!("n={rows}/k={arity}/shuffled"), shuffled));
+        out.push((format!("n={rows}/k={arity}/sorted"), sorted));
+    }
+    out
+}
+
+fn bench_trie_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_build");
+    let mut builder = TrieBuilder::new();
+    for (label, rel) in workloads() {
+        let order = rel.schema().attrs().to_vec();
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(BenchmarkId::new("builder", &label), &rel, |b, rel| {
+            b.iter(|| black_box(builder.build(rel, &order).unwrap().num_tuples()))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &label), &rel, |b, rel| {
+            b.iter(|| black_box(Trie::build_reference(rel, &order).unwrap().num_tuples()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie_build);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|all|quick] \
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|all|quick] \
 //!             [--max-n N] [--json PATH] [--threads 1,2,4]
 //! ```
 //!
@@ -19,12 +19,17 @@
 //!   latency through `xjoin-store`;
 //! * `threads` — morsel-parallel scaling: the triangle and 4-clique
 //!   workloads swept over worker counts (`--threads`), speedups vs serial;
+//! * `build` — cold trie-construction throughput: the columnar
+//!   `TrieBuilder` vs the original row-materialising reference builder on
+//!   shuffled and pre-sorted inputs (the PR-5 acceptance numbers);
 //! * `quick` — a fast subset (bounds, small fig3, bookstore, store,
-//!   threads) for CI.
+//!   threads, build) for CI.
 //!
 //! Every timed run is collected into a JSON report — an array of
-//! `{"name", "wall_ms", "max_intermediate", "output_rows"}` objects — so the
-//! perf trajectory across PRs is recorded and diffable. Only the full `all`
+//! `{"name", "wall_ms", "build_ms", "max_intermediate", "output_rows"}`
+//! objects (`build_ms` = trie-construction share of `wall_ms`, 0 where not
+//! applicable) — so the perf trajectory across PRs is recorded and
+//! diffable. Only the full `all`
 //! suite writes to `BENCH_results.json` in the working directory by
 //! default; `quick` and single experiments record partial trajectories and
 //! therefore only write when `--json PATH` is given, so they never clobber
@@ -47,6 +52,8 @@ use xjoin_store::{PreparedQuery, VersionedStore};
 struct BenchRecord {
     name: String,
     wall_ms: f64,
+    /// Trie-construction share of `wall_ms` (0 where unknown or n/a).
+    build_ms: f64,
     max_intermediate: usize,
     output_rows: usize,
 }
@@ -59,9 +66,21 @@ struct Report {
 
 impl Report {
     fn add(&mut self, name: impl Into<String>, wall_ms: f64, max_int: usize, rows: usize) {
+        self.add_with_build(name, wall_ms, 0.0, max_int, rows);
+    }
+
+    fn add_with_build(
+        &mut self,
+        name: impl Into<String>,
+        wall_ms: f64,
+        build_ms: f64,
+        max_int: usize,
+        rows: usize,
+    ) {
         self.records.push(BenchRecord {
             name: name.into(),
             wall_ms,
+            build_ms,
             max_intermediate: max_int,
             output_rows: rows,
         });
@@ -75,8 +94,8 @@ impl Report {
             let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
             let _ = write!(
                 out,
-                "  {{\"name\": \"{}\", \"wall_ms\": {:.4}, \"max_intermediate\": {}, \"output_rows\": {}}}",
-                name, r.wall_ms, r.max_intermediate, r.output_rows
+                "  {{\"name\": \"{}\", \"wall_ms\": {:.4}, \"build_ms\": {:.4}, \"max_intermediate\": {}, \"output_rows\": {}}}",
+                name, r.wall_ms, r.build_ms, r.max_intermediate, r.output_rows
             );
             out.push_str(if i + 1 < self.records.len() {
                 ",\n"
@@ -137,6 +156,10 @@ fn main() {
     // writes JSON to an explicitly requested path; only the full suite
     // defaults to the committed BENCH_results.json.
     let full_suite = cmd == "all";
+    // The trie-build acceptance gate (>= 2x vs the reference builder).
+    // Checked after the report is written so a regression keeps its
+    // evidence.
+    let mut build_ok = true;
     match cmd.as_str() {
         "bounds" => exp_bounds(),
         "fig3" => exp_fig3(max_n, &mut report),
@@ -145,6 +168,7 @@ fn main() {
         "ablation" => exp_ablation(&mut report),
         "store" => exp_store(&mut report),
         "threads" => exp_threads(&threads, &mut report),
+        "build" => build_ok = exp_build(&mut report),
         "all" => {
             exp_bounds();
             exp_fig3(max_n, &mut report);
@@ -153,6 +177,7 @@ fn main() {
             exp_ablation(&mut report);
             exp_store(&mut report);
             exp_threads(&threads, &mut report);
+            build_ok = exp_build(&mut report);
         }
         "quick" => {
             exp_bounds();
@@ -160,11 +185,12 @@ fn main() {
             exp_bookstore(&mut report);
             exp_store(&mut report);
             exp_threads(&threads, &mut report);
+            build_ok = exp_build(&mut report);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]"
             );
             std::process::exit(2);
         }
@@ -176,6 +202,13 @@ fn main() {
             "\n(partial run; pass --json PATH to record its {} timed runs)",
             report.records.len()
         ),
+    }
+    if !build_ok {
+        eprintln!(
+            "FAIL: columnar trie builder fell below the 2x acceptance bar vs the reference \
+             (see the build/* records above)"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -615,6 +648,7 @@ fn exp_store(report: &mut Report) {
 
     const RUNS: usize = 5;
     let mut cold_ms = 0.0f64;
+    let mut cold_build_ms = 0.0f64;
     let mut warm_ms = 0.0f64;
     let mut out_rows = 0usize;
     let mut max_int = 0usize;
@@ -623,40 +657,153 @@ fn exp_store(report: &mut Report) {
         let t0 = Instant::now();
         let out = prepared.execute(&snap).expect("cold execute");
         cold_ms += t0.elapsed().as_secs_f64() * 1e3;
+        cold_build_ms += out.stats.build_elapsed.as_secs_f64() * 1e3;
         out_rows = out.results.len();
         max_int = out.stats.max_intermediate();
     }
     for _ in 0..RUNS {
         let t0 = Instant::now();
-        prepared.execute(&snap).expect("warm execute");
+        let out = prepared.execute(&snap).expect("warm execute");
         warm_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.stats.tries_built, 0, "warm run rebuilt a trie");
     }
     cold_ms /= RUNS as f64;
+    cold_build_ms /= RUNS as f64;
     warm_ms /= RUNS as f64;
     let stats = store.registry().stats();
     println!(
-        "{:<20} {:>12} {:>12} {:>10}",
-        "mode", "avg ms", "max interm.", "result"
+        "{:<20} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "avg ms", "build ms", "max interm.", "result"
     );
     println!(
-        "{:<20} {:>12.3} {:>12} {:>10}",
-        "cold build", cold_ms, max_int, out_rows
+        "{:<20} {:>12.3} {:>12.3} {:>12} {:>10}",
+        "cold build", cold_ms, cold_build_ms, max_int, out_rows
     );
     println!(
-        "{:<20} {:>12.3} {:>12} {:>10}",
-        "warm cache", warm_ms, max_int, out_rows
+        "{:<20} {:>12.3} {:>12.3} {:>12} {:>10}",
+        "warm cache", warm_ms, 0.0, max_int, out_rows
     );
     println!(
-        "speedup {:.1}x; cache: {} hits / {} misses (hit rate {:.0}%), {} entries, {} bytes",
+        "speedup {:.1}x; cold spent {:.0}% of its time building tries; cache: {} hits / {} \
+         misses ({} builds, {:.3} ms total build, hit rate {:.0}%), {} entries, {} bytes",
         cold_ms / warm_ms.max(1e-9),
+        100.0 * cold_build_ms / cold_ms.max(1e-9),
         stats.hits,
         stats.misses,
+        stats.builds,
+        stats.build_time.as_secs_f64() * 1e3,
         stats.hit_rate() * 100.0,
         stats.entries,
         stats.bytes_in_use
     );
-    report.add("store/cold_build", cold_ms, max_int, out_rows);
-    report.add("store/warm_cache", warm_ms, max_int, out_rows);
+    report.add_with_build(
+        "store/cold_build",
+        cold_ms,
+        cold_build_ms,
+        max_int,
+        out_rows,
+    );
+    report.add_with_build("store/warm_cache", warm_ms, 0.0, max_int, out_rows);
+}
+
+/// Build: cold trie-construction throughput of the columnar `TrieBuilder`
+/// against the original row-materialising reference builder (PR 5's
+/// acceptance measurement). Shuffled input pays the full sort; pre-sorted
+/// input exercises the skip-the-sort fast path. `new/…` vs `ref/…` rows land
+/// in the JSON report so the before/after is diffable across PRs.
+///
+/// Returns whether the ≥2× acceptance bar held on the 100k shuffled ternary
+/// workload; the caller fails the process *after* the JSON report is
+/// written, so a regression never destroys the evidence needed to diagnose
+/// it.
+#[must_use]
+fn exp_build(report: &mut Report) -> bool {
+    use relational::generator::{random_relation, random_relation_raw};
+    use relational::{Dict, Schema, SortPath, TrieBuilder};
+
+    header("Build: cold Trie::build throughput — columnar builder vs reference");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>14} {:>8}  {:<11}",
+        "workload", "rows", "ref ms", "new ms", "new rows/s", "speedup", "path"
+    );
+    const RUNS: usize = 5;
+    let mut dict = Dict::new();
+    let mut builder = TrieBuilder::new();
+    let mut acceptance: Option<f64> = None;
+    for &(rows, arity, sorted) in &[
+        (10_000usize, 3usize, false),
+        (100_000, 3, false),
+        (100_000, 3, true),
+        (100_000, 2, false),
+    ] {
+        let names: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        // A dense integer domain (~rows/2 distinct values) keeps the radix
+        // path in play on shuffled input, as dictionary encoding does in
+        // practice.
+        let domain = (rows / 2) as u64;
+        let rel = if sorted {
+            random_relation(&mut dict, Schema::of(&name_refs), rows, domain, rows as u64)
+        } else {
+            random_relation_raw(&mut dict, Schema::of(&name_refs), rows, domain, rows as u64)
+        };
+        let order = rel.schema().attrs().to_vec();
+        let label = format!("k={arity}/{}", if sorted { "sorted" } else { "shuffled" });
+
+        let mut ref_ms = f64::INFINITY;
+        let mut new_ms = f64::INFINITY;
+        let mut tuples = 0usize;
+        let mut nodes = 0usize;
+        let mut path = SortPath::Comparison;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let t = relational::Trie::build_reference(&rel, &order).expect("reference builds");
+            ref_ms = ref_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            tuples = t.num_tuples();
+
+            let t0 = Instant::now();
+            let t = builder.build(&rel, &order).expect("builder builds");
+            new_ms = new_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            nodes = t.node_count();
+            path = builder.last_stats().expect("stats recorded").path;
+        }
+        let speedup = ref_ms / new_ms.max(1e-9);
+        let throughput = rows as f64 / (new_ms / 1e3).max(1e-12);
+        println!(
+            "{:<28} {:>10} {:>12.3} {:>12.3} {:>14.0} {:>7.1}x  {:<11}",
+            label, rows, ref_ms, new_ms, throughput, speedup, path
+        );
+        // node_count doubles as the size column so the JSON rows are
+        // self-describing; wall == build for a pure construction benchmark.
+        report.add_with_build(
+            format!("build/{label}/n={rows}/reference"),
+            ref_ms,
+            ref_ms,
+            nodes,
+            tuples,
+        );
+        report.add_with_build(
+            format!("build/{label}/n={rows}/new"),
+            new_ms,
+            new_ms,
+            nodes,
+            tuples,
+        );
+        if rows >= 100_000 && arity == 3 && !sorted {
+            acceptance = Some(speedup);
+        }
+    }
+    println!(
+        "dictionary resident bytes after generation: {}",
+        dict.estimated_bytes()
+    );
+    let acceptance = acceptance.expect("the 100k shuffled ternary workload ran");
+    let ok = acceptance >= 2.0;
+    println!(
+        "acceptance (100k shuffled ternary): {acceptance:.1}x (required >= 2x) — {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
 }
 
 /// Threads sweep: morsel-parallel scaling of the plan-based engines on the

@@ -395,8 +395,10 @@ pub(crate) fn drain_rows(
 /// The shared execute body of every plan-based engine: resolve, build a
 /// fresh trie plan, and delegate to [`execute_with_plan`] (so the per-kind
 /// wiring exists exactly once). `stats.elapsed` is restamped to cover the
-/// whole run — lowering and trie construction included — keeping the
-/// engines' timings comparable.
+/// whole run — lowering and trie construction included — and
+/// `stats.build_elapsed` / `stats.tries_built` carry the plan's
+/// trie-construction bill so callers can split cold latency into build vs
+/// probe.
 fn execute_fresh_plan(
     ctx: &DataContext<'_>,
     query: &MultiModelQuery,
@@ -419,6 +421,8 @@ fn execute_fresh_plan(
         atoms.first_path_atom,
     )?;
     out.stats.elapsed = start.elapsed();
+    out.stats.build_elapsed = plan.build_elapsed();
+    out.stats.tries_built = plan.tries_built();
     Ok(out)
 }
 
@@ -1059,6 +1063,25 @@ mod tests {
             };
             let out = execute(&ctx, &query, &opts).unwrap();
             assert_eq!(out.results.len(), 2, "engine {kind}");
+        }
+    }
+
+    #[test]
+    fn plan_based_engines_report_trie_build_cost() {
+        let (db, doc) = bookstore();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let query = MultiModelQuery::new(&["R"], &["//line[/orderID][/price]"]).unwrap();
+        for kind in EngineKind::all() {
+            let out = execute(&ctx, &query, &ExecOptions::for_engine(kind)).unwrap();
+            if kind.is_plan_based() {
+                // One trie per lowered atom, and the build time is part of
+                // (hence bounded by) the total elapsed time.
+                assert_eq!(out.stats.tries_built, out.atom_sizes.len(), "{kind}");
+                assert!(out.stats.build_elapsed <= out.stats.elapsed, "{kind}");
+            } else {
+                assert_eq!(out.stats.tries_built, 0, "{kind}");
+            }
         }
     }
 

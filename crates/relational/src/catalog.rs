@@ -63,6 +63,19 @@ impl Database {
         self.epoch
     }
 
+    /// Approximate heap footprint of the catalog in bytes: the shared
+    /// dictionary plus every relation's tuple store. Serving layers use this
+    /// alongside their trie-cache budgets when reasoning about resident
+    /// memory.
+    pub fn estimated_bytes(&self) -> usize {
+        self.dict.estimated_bytes()
+            + self
+                .relations
+                .values()
+                .map(|r| r.estimated_bytes())
+                .sum::<usize>()
+    }
+
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
         self.relations

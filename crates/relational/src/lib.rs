@@ -41,6 +41,6 @@ pub use lftj::LftjWalk;
 pub use plan::{JoinPlan, ValueRange};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
-pub use stats::JoinStats;
-pub use trie::Trie;
+pub use stats::{BuildStats, JoinStats, SortPath};
+pub use trie::{Trie, TrieBuilder};
 pub use value::{Dict, Value, ValueId};

@@ -14,6 +14,7 @@ use crate::trie::Trie;
 use crate::value::ValueId;
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A half-open value interval `[lo, hi)` over dictionary-encoded values —
 /// the unit of work of morsel-style parallel execution.
@@ -106,6 +107,11 @@ pub struct JoinPlan {
     order: Vec<Attr>,
     tries: Vec<Arc<Trie>>,
     var_plans: Vec<VarPlan>,
+    /// Wall-clock time [`JoinPlan::new`] spent in [`Trie::build`] (zero for
+    /// plans assembled from pre-built tries).
+    build_elapsed: Duration,
+    /// How many tries [`JoinPlan::new`] built (zero for pre-built plans).
+    tries_built: usize,
 }
 
 impl JoinPlan {
@@ -124,12 +130,18 @@ impl JoinPlan {
                 return Err(RelError::InvalidOrder(format!("duplicate variable `{a}`")));
             }
         }
+        let build_start = Instant::now();
         let mut tries = Vec::with_capacity(relations.len());
         for rel in relations {
             let restricted = rel.schema().restrict_order(order)?;
             tries.push(Trie::build(rel, &restricted)?);
         }
-        Self::from_tries(tries, order)
+        let build_elapsed = build_start.elapsed();
+        let tries_built = tries.len();
+        let mut plan = Self::from_tries(tries, order)?;
+        plan.build_elapsed = build_elapsed;
+        plan.tries_built = tries_built;
+        Ok(plan)
     }
 
     /// Builds a plan from pre-leveled owned tries, validating that every
@@ -182,12 +194,27 @@ impl JoinPlan {
             order: order.to_vec(),
             tries,
             var_plans,
+            build_elapsed: Duration::ZERO,
+            tries_built: 0,
         })
     }
 
     /// The global variable order.
     pub fn order(&self) -> &[Attr] {
         &self.order
+    }
+
+    /// Time [`JoinPlan::new`] spent building tries ([`Duration::ZERO`] when
+    /// the plan was assembled from pre-built / cached tries). Engines copy
+    /// it into [`crate::JoinStats::build_elapsed`] so benchmarks can report
+    /// build vs probe time separately.
+    pub fn build_elapsed(&self) -> Duration {
+        self.build_elapsed
+    }
+
+    /// Number of tries [`JoinPlan::new`] built (0 for pre-built plans).
+    pub fn tries_built(&self) -> usize {
+        self.tries_built
     }
 
     /// The atoms' tries (leveled consistently with [`JoinPlan::order`]).
@@ -324,6 +351,16 @@ mod tests {
             hi: Some(v(9)),
         };
         assert_eq!(empty.clamp_nodes(&trie, 0, root), 3..3);
+    }
+
+    #[test]
+    fn fresh_plans_report_build_cost_shared_plans_do_not() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
+        let plan = JoinPlan::new(&[&r], &attrs(&["a", "b"])).unwrap();
+        assert_eq!(plan.tries_built(), 1);
+        let shared = JoinPlan::from_shared(plan.tries().to_vec(), &attrs(&["a", "b"])).unwrap();
+        assert_eq!(shared.tries_built(), 0);
+        assert_eq!(shared.build_elapsed(), Duration::ZERO);
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl Relation {
         self.schema == other.schema && self.row_set() == other.row_set()
     }
 
+    /// Approximate heap footprint of the tuple store in bytes (schema
+    /// excluded). Memory budgeters sum this with
+    /// [`crate::value::Dict::estimated_bytes`].
+    pub fn estimated_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<ValueId>()
+    }
+
     /// Reorders columns into `attrs` order (a permutation of the schema).
     pub fn reorder(&self, attrs: &[Attr]) -> Result<Relation> {
         if attrs.len() != self.arity() {

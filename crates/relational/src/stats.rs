@@ -5,10 +5,64 @@
 //! stage of a level-wise engine (or every operator of a binary plan), how
 //! many tuples were materialised, so benchmarks can report the exact series
 //! behind the paper's bar chart.
+//!
+//! Cold-query latency has a third axis the paper's plots fold into running
+//! time: *index construction*. [`BuildStats`] describes one
+//! [`crate::trie::TrieBuilder`] run (which sort path engaged, how many rows
+//! went in, how long it took), and [`JoinStats::build_elapsed`] /
+//! [`JoinStats::tries_built`] carry the aggregate trie-construction cost of
+//! a query so benchmarks can report build vs probe time separately.
 
 use crate::schema::Attr;
 use std::fmt;
 use std::time::Duration;
+
+/// Which sorting strategy a [`crate::trie::TrieBuilder`] run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortPath {
+    /// The input rows were already sorted under the requested column order;
+    /// sorting was skipped entirely.
+    AlreadySorted,
+    /// LSD counting/radix sort over the dense `ValueId` domain (engages when
+    /// the domain is small relative to the row count).
+    Radix,
+    /// In-place columnar comparison sort of the row permutation.
+    Comparison,
+}
+
+impl fmt::Display for SortPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortPath::AlreadySorted => write!(f, "pre-sorted"),
+            SortPath::Radix => write!(f, "radix"),
+            SortPath::Comparison => write!(f, "comparison"),
+        }
+    }
+}
+
+/// Cost profile of one trie construction (see
+/// [`crate::trie::TrieBuilder::last_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Input rows (duplicates included).
+    pub rows_in: usize,
+    /// Distinct tuples stored in the trie.
+    pub tuples: usize,
+    /// The sort strategy that engaged.
+    pub path: SortPath,
+    /// Wall-clock time of the build.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for BuildStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rows_in={} tuples={} path={} elapsed={:?}",
+            self.rows_in, self.tuples, self.path, self.elapsed
+        )
+    }
+}
 
 /// Tuple count after one stage of a join pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +84,12 @@ pub struct JoinStats {
     /// Wall-clock execution time (excluding input loading, including trie or
     /// hash-table construction when the engine builds them itself).
     pub elapsed: Duration,
+    /// Time spent constructing tries for this run (a subset of `elapsed` on
+    /// cold runs; zero when every trie came from a cache). Benchmarks
+    /// subtract it from `elapsed` to isolate probe time.
+    pub build_elapsed: Duration,
+    /// Number of tries actually built (cache hits excluded).
+    pub tries_built: usize,
 }
 
 impl JoinStats {
@@ -69,6 +129,13 @@ impl fmt::Display for JoinStats {
             self.total_intermediate(),
             self.elapsed
         )?;
+        if self.tries_built > 0 {
+            writeln!(
+                f,
+                "  built {} trie(s) in {:?}",
+                self.tries_built, self.build_elapsed
+            )?;
+        }
         for s in &self.stages {
             writeln!(f, "  {:<24} {:>12}", s.label, s.tuples)?;
         }

@@ -11,16 +11,29 @@
 //! generic join, and XJoin) navigate these tries. XML path relations are
 //! lowered to the same representation (see the `xmldb::transform` module), so
 //! one join kernel serves both data models.
+//!
+//! Construction is the dominant cold-query cost, so it goes through the
+//! allocation-conscious [`TrieBuilder`]: columns are reordered once into a
+//! flat scratch buffer, a `u32` row permutation is sorted by comparing
+//! columns in place (with an LSD radix fast path over dense value domains,
+//! and no sort at all for pre-sorted input), and the levels are emitted by
+//! scanning prefix change-points — no per-row `Vec` is ever allocated. The
+//! original quadratic-allocation builder survives as
+//! [`Trie::build_reference`] for differential tests and benchmarks.
 
 use crate::error::{RelError, Result};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
+use crate::stats::{BuildStats, SortPath};
 use crate::value::ValueId;
+use std::cell::RefCell;
+use std::cmp::Ordering;
 use std::ops::Range;
+use std::time::Instant;
 
 /// One level of a [`Trie`]: the values of all nodes at this depth plus the
 /// child ranges pointing into the next level.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TrieLevel {
     /// Node values at this depth, grouped by parent and sorted within each
     /// group.
@@ -31,29 +44,44 @@ struct TrieLevel {
 }
 
 /// A flat sorted trie over a relation under a fixed attribute order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trie {
     attrs: Vec<Attr>,
     levels: Vec<TrieLevel>,
     tuples: usize,
 }
 
+thread_local! {
+    /// Per-thread scratch builder behind [`Trie::build`], so every build on
+    /// a thread — engine plan assembly, `xjoin-store` registry fills,
+    /// `PreparedQuery` cold paths — reuses the same scratch allocations.
+    static SHARED_BUILDER: RefCell<TrieBuilder> = RefCell::new(TrieBuilder::new());
+}
+
 impl Trie {
     /// Builds a trie over `rel`'s distinct tuples, with levels ordered by
     /// `order` (which must be a permutation of `rel`'s schema).
+    ///
+    /// Routes through a thread-local [`TrieBuilder`], so repeated builds on
+    /// one thread reuse scratch buffers; hold your own builder via
+    /// [`TrieBuilder::new`] when you also want the [`BuildStats`].
     pub fn build(rel: &Relation, order: &[Attr]) -> Result<Trie> {
+        SHARED_BUILDER.with(|b| b.borrow_mut().build(rel, order))
+    }
+
+    /// Builds a trie using the relation's own schema order.
+    pub fn from_relation(rel: &Relation) -> Trie {
+        Trie::build(rel, rel.schema().attrs()).expect("schema order is always valid")
+    }
+
+    /// The original row-materialising builder, kept **only** as the
+    /// reference implementation for differential tests and benchmarks (it
+    /// allocates a fresh key `Vec` per comparison and a `Vec` per row).
+    /// Production code paths must use [`Trie::build`].
+    #[doc(hidden)]
+    pub fn build_reference(rel: &Relation, order: &[Attr]) -> Result<Trie> {
         let arity = rel.arity();
-        if order.len() != arity {
-            return Err(RelError::InvalidOrder(format!(
-                "trie order has {} attributes, relation has arity {}",
-                order.len(),
-                arity
-            )));
-        }
-        let positions: Vec<usize> = order
-            .iter()
-            .map(|a| rel.schema().require(a))
-            .collect::<Result<_>>()?;
+        let positions = check_order(rel, order)?;
 
         if arity == 0 {
             return Ok(Trie {
@@ -118,11 +146,6 @@ impl Trie {
         })
     }
 
-    /// Builds a trie using the relation's own schema order.
-    pub fn from_relation(rel: &Relation) -> Trie {
-        Trie::build(rel, rel.schema().attrs()).expect("schema order is always valid")
-    }
-
     /// The attribute order of the trie's levels (root level first).
     pub fn attrs(&self) -> &[Attr] {
         &self.attrs
@@ -177,6 +200,9 @@ impl Trie {
 
     /// Materialises the trie back into a relation with attributes in trie
     /// order. Mostly used by tests to check the round-trip invariant.
+    ///
+    /// The walk is iterative (an explicit per-level cursor stack), so deep
+    /// tries cannot overflow the call stack.
     pub fn to_relation(&self) -> Relation {
         let schema = Schema::new(self.attrs.iter().cloned()).expect("trie attrs are distinct");
         let mut rel = Relation::with_capacity(schema, self.tuples);
@@ -186,21 +212,28 @@ impl Trie {
             }
             return rel;
         }
-        let mut prefix: Vec<ValueId> = Vec::with_capacity(self.arity());
-        self.emit(0, self.root_range(), &mut prefix, &mut rel);
-        rel
-    }
-
-    fn emit(&self, level: usize, range: Range<u32>, prefix: &mut Vec<ValueId>, out: &mut Relation) {
-        for node in range.clone() {
+        let arity = self.arity();
+        let mut prefix: Vec<ValueId> = Vec::with_capacity(arity);
+        // cursors[d] = the sibling range still to visit at level d.
+        let mut cursors: Vec<Range<u32>> = Vec::with_capacity(arity);
+        cursors.push(self.root_range());
+        while !cursors.is_empty() {
+            let level = cursors.len() - 1;
+            let range = cursors.last_mut().expect("non-empty stack");
+            let Some(node) = range.next() else {
+                cursors.pop();
+                prefix.pop();
+                continue;
+            };
+            prefix.truncate(level);
             prefix.push(self.value(level, node));
-            if level + 1 == self.arity() {
-                out.push(prefix).expect("arity matches");
+            if level + 1 == arity {
+                rel.push(&prefix).expect("arity matches");
             } else {
-                self.emit(level + 1, self.children(level, node), prefix, out);
+                cursors.push(self.children(level, node));
             }
-            prefix.pop();
         }
+        rel
     }
 
     /// Total number of trie nodes across all levels (a size metric used by
@@ -220,6 +253,328 @@ impl Trie {
                     + l.child_start.len() * std::mem::size_of::<u32>()
             })
             .sum()
+    }
+}
+
+/// Validates that `order` is a permutation of `rel`'s schema and resolves
+/// each order attribute to its column position.
+fn check_order(rel: &Relation, order: &[Attr]) -> Result<Vec<usize>> {
+    if order.len() != rel.arity() {
+        return Err(RelError::InvalidOrder(format!(
+            "trie order has {} attributes, relation has arity {}",
+            order.len(),
+            rel.arity()
+        )));
+    }
+    let positions: Vec<usize> = order
+        .iter()
+        .map(|a| rel.schema().require(a))
+        .collect::<Result<_>>()?;
+    // Schema attributes are distinct, so a repeated order attribute maps to
+    // a repeated position — which, with the length check above, would
+    // silently drop some other column.
+    for (i, p) in positions.iter().enumerate() {
+        if positions[..i].contains(p) {
+            return Err(RelError::InvalidOrder(format!(
+                "duplicate attribute `{}` in trie order",
+                order[i]
+            )));
+        }
+    }
+    Ok(positions)
+}
+
+/// An allocation-conscious columnar trie builder with reusable scratch
+/// buffers.
+///
+/// One `build` performs **zero per-row allocations**:
+///
+/// 1. the relation's columns are scattered once, in the requested level
+///    order, into a flat scratch buffer (`cols`, level-major);
+/// 2. a `u32` row permutation is sorted by comparing those columns in
+///    place — no per-key `Vec` is ever materialised. Three sort paths:
+///    * **pre-sorted** — a linear pre-check detects input already sorted
+///      under the requested order and skips sorting entirely (the common
+///      case for tries rebuilt from `sort_dedup`ed relations);
+///    * **radix** — when the value domain is *dense* relative to the row
+///      count (`max_id < max(4·rows, 1024)` and at least 64 rows), an LSD
+///      counting sort runs one stable O(rows + domain) pass per level,
+///      beating comparison sorting by a wide margin on dictionary-encoded
+///      data (ids are dense by construction);
+///    * **comparison** — otherwise, `sort_unstable_by` over the permutation
+///      comparing columns in place;
+/// 3. duplicates are dropped and every level's `vals` / `child_start` arrays
+///    are emitted by scanning prefix change-points over the permuted
+///    columns directly — the sorted rows are never materialised.
+///
+/// The scratch buffers (`cols`, the permutation, the radix histogram, the
+/// change-point array) persist across builds, so a builder that serves many
+/// constructions — a query's plan assembly, an `xjoin-store` registry fill —
+/// stops allocating once warm. [`Trie::build`] routes through a thread-local
+/// instance; hold your own when you want [`TrieBuilder::last_stats`].
+#[derive(Debug, Default)]
+pub struct TrieBuilder {
+    /// Level-major column scratch: level `d` of the current build occupies
+    /// `cols[d*n .. (d+1)*n]`.
+    cols: Vec<ValueId>,
+    /// Row permutation being sorted.
+    perm: Vec<u32>,
+    /// Double buffer for the radix scatter passes.
+    perm_tmp: Vec<u32>,
+    /// Radix histogram / prefix-sum buffer.
+    counts: Vec<u32>,
+    /// `diff[i]` = first level at which deduped rows `i` and `i+1` differ.
+    diff: Vec<u32>,
+    /// Profile of the most recent build.
+    last: Option<BuildStats>,
+}
+
+/// Minimum row count for the radix path; below this the histogram setup
+/// costs more than a comparison sort of the tiny permutation.
+const RADIX_MIN_ROWS: usize = 64;
+/// Scratch buffers are released after a build when their capacity exceeds
+/// this multiple of what the build actually needed (and the floor below):
+/// one huge outlier build must not pin peak-sized scratch in every
+/// long-lived builder (including the thread-local one) forever.
+const SCRATCH_SLACK_FACTOR: usize = 4;
+/// Capacity (in elements) scratch buffers may always keep, whatever the
+/// current input size.
+const SCRATCH_KEEP_FLOOR: usize = 1 << 16;
+/// Domain slack allowed before radix is still considered dense: the
+/// histogram may be up to `4·rows` wide (or 1024 for small inputs).
+const RADIX_DOMAIN_FACTOR: usize = 4;
+const RADIX_DOMAIN_FLOOR: usize = 1024;
+
+impl TrieBuilder {
+    /// A builder with empty scratch buffers.
+    pub fn new() -> TrieBuilder {
+        TrieBuilder::default()
+    }
+
+    /// Cost profile of the most recent [`TrieBuilder::build`] (`None` before
+    /// the first build).
+    pub fn last_stats(&self) -> Option<&BuildStats> {
+        self.last.as_ref()
+    }
+
+    /// Builds a trie over `rel`'s distinct tuples with levels ordered by
+    /// `order` — same contract and output as [`Trie::build`], reusing this
+    /// builder's scratch buffers.
+    pub fn build(&mut self, rel: &Relation, order: &[Attr]) -> Result<Trie> {
+        let start = Instant::now();
+        let arity = rel.arity();
+        let positions = check_order(rel, order)?;
+
+        if arity == 0 {
+            let tuples = usize::from(!rel.is_empty());
+            self.last = Some(BuildStats {
+                rows_in: rel.len(),
+                tuples,
+                path: SortPath::AlreadySorted,
+                elapsed: start.elapsed(),
+            });
+            return Ok(Trie {
+                attrs: Vec::new(),
+                levels: Vec::new(),
+                tuples,
+            });
+        }
+
+        let n = rel.len();
+        let max_id = self.scatter_columns(rel, &positions, n);
+        let path = self.sort_permutation(arity, n, max_id);
+        let tuples = self.dedup_and_diff(arity, n);
+        let levels = self.emit_levels(arity, n, tuples);
+        self.trim_scratch(arity, n);
+
+        self.last = Some(BuildStats {
+            rows_in: n,
+            tuples,
+            path,
+            elapsed: start.elapsed(),
+        });
+        Ok(Trie {
+            attrs: order.to_vec(),
+            levels,
+            tuples,
+        })
+    }
+
+    /// Scatters `rel`'s columns into the level-major scratch buffer and
+    /// returns the largest value id seen (0 for an empty relation).
+    fn scatter_columns(&mut self, rel: &Relation, positions: &[usize], n: usize) -> u32 {
+        let arity = positions.len();
+        self.cols.clear();
+        self.cols.resize(arity * n, ValueId(0));
+        let mut max_id = 0u32;
+        for (i, row) in rel.rows().enumerate() {
+            for (d, &p) in positions.iter().enumerate() {
+                let v = row[p];
+                max_id = max_id.max(v.0);
+                self.cols[d * n + i] = v;
+            }
+        }
+        max_id
+    }
+
+    /// Fills `perm` with a permutation of `0..n` sorted lexicographically by
+    /// the scattered columns, choosing the cheapest applicable sort path.
+    fn sort_permutation(&mut self, arity: usize, n: usize, max_id: u32) -> SortPath {
+        self.perm.clear();
+        self.perm.extend(0..n as u32);
+        if self.input_is_sorted(arity, n) {
+            return SortPath::AlreadySorted;
+        }
+        let domain = max_id as usize + 1;
+        let dense_limit = (RADIX_DOMAIN_FACTOR * n).max(RADIX_DOMAIN_FLOOR);
+        if n >= RADIX_MIN_ROWS && domain <= dense_limit {
+            self.radix_sort(arity, n, domain);
+            SortPath::Radix
+        } else {
+            let cols = &self.cols;
+            self.perm.sort_unstable_by(|&x, &y| {
+                for d in 0..arity {
+                    match cols[d * n + x as usize].cmp(&cols[d * n + y as usize]) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                Ordering::Equal
+            });
+            SortPath::Comparison
+        }
+    }
+
+    /// Linear pre-check: is row `i-1 <= i` lexicographically for all rows
+    /// under the scattered column order?
+    fn input_is_sorted(&self, arity: usize, n: usize) -> bool {
+        'rows: for i in 1..n {
+            for d in 0..arity {
+                let prev = self.cols[d * n + i - 1];
+                let cur = self.cols[d * n + i];
+                match prev.cmp(&cur) {
+                    Ordering::Less => continue 'rows,
+                    Ordering::Greater => return false,
+                    Ordering::Equal => {}
+                }
+            }
+            // Equal rows (duplicates) keep the input sorted.
+        }
+        true
+    }
+
+    /// Stable LSD counting sort of `perm`: one O(n + domain) pass per level,
+    /// least-significant level first, so the final permutation is sorted
+    /// lexicographically.
+    fn radix_sort(&mut self, arity: usize, n: usize, domain: usize) {
+        self.perm_tmp.clear();
+        self.perm_tmp.resize(n, 0);
+        for d in (0..arity).rev() {
+            let col = &self.cols[d * n..(d + 1) * n];
+            self.counts.clear();
+            self.counts.resize(domain + 1, 0);
+            for &r in &self.perm {
+                self.counts[col[r as usize].0 as usize + 1] += 1;
+            }
+            for i in 1..=domain {
+                self.counts[i] += self.counts[i - 1];
+            }
+            for &r in &self.perm {
+                let v = col[r as usize].0 as usize;
+                self.perm_tmp[self.counts[v] as usize] = r;
+                self.counts[v] += 1;
+            }
+            std::mem::swap(&mut self.perm, &mut self.perm_tmp);
+        }
+    }
+
+    /// Compacts `perm` to distinct tuples and records, for each surviving
+    /// adjacent pair, the first level at which they differ. Returns the
+    /// number of distinct tuples.
+    fn dedup_and_diff(&mut self, arity: usize, n: usize) -> usize {
+        self.diff.clear();
+        if n == 0 {
+            return 0;
+        }
+        let mut kept = 1usize;
+        for i in 1..n {
+            let prev = self.perm[kept - 1] as usize;
+            let cur = self.perm[i] as usize;
+            let mut first = arity;
+            for d in 0..arity {
+                if self.cols[d * n + prev] != self.cols[d * n + cur] {
+                    first = d;
+                    break;
+                }
+            }
+            if first == arity {
+                continue; // duplicate tuple
+            }
+            self.diff.push(first as u32);
+            self.perm[kept] = cur as u32;
+            kept += 1;
+        }
+        kept
+    }
+
+    /// Releases scratch capacity far in excess of what the build just done
+    /// needed, so a single outlier build does not pin peak-sized buffers in
+    /// a long-lived (e.g. thread-local) builder indefinitely. Within the
+    /// slack bounds, capacity is kept — steady-state builds stay
+    /// allocation-free.
+    fn trim_scratch(&mut self, arity: usize, n: usize) {
+        fn trim<T>(buf: &mut Vec<T>, needed: usize) {
+            let keep = (needed * SCRATCH_SLACK_FACTOR).max(SCRATCH_KEEP_FLOOR);
+            if buf.capacity() > keep {
+                buf.shrink_to(keep);
+            }
+        }
+        trim(&mut self.cols, arity * n);
+        trim(&mut self.perm, n);
+        trim(&mut self.perm_tmp, n);
+        trim(&mut self.diff, n);
+        // The histogram is sized by the value domain, not the row count; its
+        // own dense-domain bound is already ~4n, so trim it on the same
+        // scale.
+        trim(&mut self.counts, n);
+    }
+
+    /// Emits every level's `vals` and `child_start` by scanning the prefix
+    /// change-points (`diff`) over the deduped permutation — the sorted rows
+    /// are never materialised. `m` is the distinct-tuple count.
+    fn emit_levels(&self, arity: usize, n: usize, m: usize) -> Vec<TrieLevel> {
+        let mut levels: Vec<TrieLevel> = (0..arity)
+            .map(|_| TrieLevel {
+                vals: Vec::new(),
+                child_start: Vec::new(),
+            })
+            .collect();
+        for d in 0..arity {
+            let col = &self.cols[d * n..(d + 1) * n];
+            // A node starts at row i of level d iff the length-(d+1) prefix
+            // changes there; a *parent* node starts iff the length-d prefix
+            // changes, which is exactly where the previous level's
+            // child_start boundaries go.
+            let mut nodes_at_d: u32 = 0;
+            let mut vals: Vec<ValueId> = Vec::new();
+            let mut parent_starts: Vec<u32> = Vec::new();
+            for i in 0..m {
+                let first_diff = if i == 0 { 0 } else { self.diff[i - 1] as usize };
+                if d > 0 && (i == 0 || first_diff < d) {
+                    parent_starts.push(nodes_at_d);
+                }
+                if i == 0 || first_diff <= d {
+                    vals.push(col[self.perm[i] as usize]);
+                    nodes_at_d += 1;
+                }
+            }
+            if d > 0 {
+                parent_starts.push(nodes_at_d);
+                levels[d - 1].child_start = parent_starts;
+            }
+            levels[d].vals = vals;
+        }
+        levels
     }
 }
 
@@ -267,6 +622,99 @@ mod tests {
         let r = sample();
         assert!(Trie::build(&r, &["a".into()]).is_err());
         assert!(Trie::build(&r, &["a".into(), "zz".into()]).is_err());
+        assert!(Trie::build_reference(&r, &["a".into()]).is_err());
+        // A duplicated attribute would silently drop another column.
+        assert!(Trie::build(&r, &["a".into(), "a".into()]).is_err());
+        assert!(Trie::build_reference(&r, &["b".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn builder_matches_reference_on_sample() {
+        let r = sample();
+        for order in [
+            vec![Attr::new("a"), Attr::new("b")],
+            vec![Attr::new("b"), Attr::new("a")],
+        ] {
+            let mut b = TrieBuilder::new();
+            let fast = b.build(&r, &order).unwrap();
+            let reference = Trie::build_reference(&r, &order).unwrap();
+            assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn builder_reports_sort_paths() {
+        let mut b = TrieBuilder::new();
+
+        // Unsorted small input → comparison sort.
+        b.build(&sample(), &[Attr::new("a"), Attr::new("b")])
+            .unwrap();
+        assert_eq!(b.last_stats().unwrap().path, SortPath::Comparison);
+        assert_eq!(b.last_stats().unwrap().rows_in, 4);
+        assert_eq!(b.last_stats().unwrap().tuples, 3);
+
+        // Already sorted input → the sort is skipped.
+        let mut sorted = sample();
+        sorted.sort_dedup();
+        b.build(&sorted, &[Attr::new("a"), Attr::new("b")]).unwrap();
+        assert_eq!(b.last_stats().unwrap().path, SortPath::AlreadySorted);
+
+        // Dense domain with enough rows → radix engages. 128 rows over a
+        // domain of 8 values, written in descending order so the pre-check
+        // fails.
+        let mut dense = Relation::new(Schema::of(&["x", "y"]));
+        for i in (0..128u32).rev() {
+            dense.push(&[v(i % 8), v((i * 3) % 8)]).unwrap();
+        }
+        let t = b.build(&dense, &[Attr::new("x"), Attr::new("y")]).unwrap();
+        assert_eq!(b.last_stats().unwrap().path, SortPath::Radix);
+        assert_eq!(t, Trie::build_reference(&dense, t.attrs()).unwrap());
+    }
+
+    #[test]
+    fn builder_scratch_survives_relation_shape_changes() {
+        // One builder serving growing/shrinking arities and sizes must keep
+        // producing reference-equal tries.
+        let mut b = TrieBuilder::new();
+        let r1 = sample();
+        let r2 = Relation::from_rows(Schema::of(&["x"]), [[v(5)], [v(2)], [v(5)]]).unwrap();
+        let mut r3 = Relation::new(Schema::of(&["p", "q", "r"]));
+        for i in 0..100u32 {
+            r3.push(&[v(i % 5), v(i % 7), v(i % 3)]).unwrap();
+        }
+        for _ in 0..2 {
+            for r in [&r1, &r2, &r3] {
+                let order = r.schema().attrs().to_vec();
+                assert_eq!(
+                    b.build(r, &order).unwrap(),
+                    Trie::build_reference(r, &order).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_builds_do_not_pin_peak_scratch() {
+        let mut b = TrieBuilder::new();
+        // A large build grows the column scratch well past the keep floor…
+        let mut big = Relation::new(Schema::of(&["x", "y", "z"]));
+        for i in 0..40_000u32 {
+            big.push(&[v(i), v(i.wrapping_mul(7) % 1000), v(i % 17)])
+                .unwrap();
+        }
+        b.build(&big, big.schema().attrs()).unwrap();
+        assert!(b.cols.capacity() >= 120_000);
+        // …and a subsequent tiny build releases the excess down to the
+        // allowed slack.
+        b.build(&sample(), &[Attr::new("a"), Attr::new("b")])
+            .unwrap();
+        assert!(b.cols.capacity() <= SCRATCH_KEEP_FLOOR * 2);
+        assert!(b.perm.capacity() <= SCRATCH_KEEP_FLOOR * 2);
+        // Correctness is unaffected after trimming.
+        assert_eq!(
+            b.build(&big, big.schema().attrs()).unwrap(),
+            Trie::build_reference(&big, big.schema().attrs()).unwrap()
+        );
     }
 
     #[test]
@@ -295,6 +743,7 @@ mod tests {
         assert_eq!(t.num_tuples(), 0);
         assert_eq!(t.root_range(), 0..0);
         assert!(t.to_relation().is_empty());
+        assert_eq!(t, Trie::build_reference(&r, r.schema().attrs()).unwrap());
     }
 
     #[test]
@@ -351,5 +800,34 @@ mod tests {
         let c_under_11 = t.children(1, b_under_1.start);
         assert_eq!(t.values(2, c_under_11), &[v(1), v(2)]);
         assert_eq!(t.num_tuples(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "children() on leaf level")]
+    fn children_on_leaf_level_panics() {
+        let t = Trie::from_relation(&sample());
+        // Level 1 is the deepest level of the binary sample; asking for its
+        // children must panic with a clear message, not index garbage.
+        let _ = t.children(1, 0);
+    }
+
+    #[test]
+    fn deep_trie_round_trips_iteratively() {
+        // A 12-level trie with branching; the iterative walk must reproduce
+        // the sorted distinct rows exactly.
+        let names: Vec<String> = (0..12).map(|i| format!("a{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut r = Relation::new(Schema::of(&name_refs));
+        let mut buf = [ValueId(0); 12];
+        for row in 0..40u32 {
+            for (d, slot) in buf.iter_mut().enumerate() {
+                *slot = v((row * 7 + d as u32 * 3) % 4);
+            }
+            r.push(&buf).unwrap();
+        }
+        let t = Trie::from_relation(&r);
+        let mut expect = r;
+        expect.sort_dedup();
+        assert_eq!(t.to_relation(), expect);
     }
 }

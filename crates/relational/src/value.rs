@@ -6,8 +6,10 @@
 //! total order that leapfrog intersection requires across *all* relations and
 //! XML documents sharing the dictionary.
 
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasher;
 
 /// A compact, dictionary-encoded value identifier.
 ///
@@ -93,15 +95,48 @@ impl From<String> for Value {
     }
 }
 
+/// The ids sharing one hash bucket. Sixty-four-bit hash collisions are
+/// vanishingly rare, so almost every bucket is the allocation-free `One`
+/// variant; `Many` exists only for correctness.
+#[derive(Debug, Clone)]
+enum IdSlot {
+    /// The common case: exactly one interned value hashes here.
+    One(ValueId),
+    /// Hash collision: all ids whose values share this hash.
+    Many(Vec<ValueId>),
+}
+
+impl IdSlot {
+    fn ids(&self) -> &[ValueId] {
+        match self {
+            IdSlot::One(id) => std::slice::from_ref(id),
+            IdSlot::Many(ids) => ids,
+        }
+    }
+
+    fn push(&mut self, id: ValueId) {
+        match self {
+            IdSlot::One(first) => *self = IdSlot::Many(vec![*first, id]),
+            IdSlot::Many(ids) => ids.push(id),
+        }
+    }
+}
+
 /// An interning dictionary mapping [`Value`]s to dense [`ValueId`]s.
 ///
 /// One dictionary is shared by every relation and XML document participating
 /// in a multi-model query, so that equal values — whether they came from a
 /// relational column or an XML text node — receive the same id.
+///
+/// Each value is stored **once**, in the id-indexed `values` vec; the hash
+/// index maps a value's hash to the id(s) carrying it and probes back into
+/// `values` for equality. (An earlier revision keyed the map by `Value`,
+/// holding every interned string twice.)
 #[derive(Debug, Default, Clone)]
 pub struct Dict {
     values: Vec<Value>,
-    ids: HashMap<Value, ValueId>,
+    ids: HashMap<u64, IdSlot>,
+    hasher: RandomState,
 }
 
 impl Dict {
@@ -110,14 +145,30 @@ impl Dict {
         Self::default()
     }
 
+    /// The id already interned for `v` under hash `h`, if any.
+    fn probe(&self, h: u64, v: &Value) -> Option<ValueId> {
+        self.ids
+            .get(&h)?
+            .ids()
+            .iter()
+            .copied()
+            .find(|id| &self.values[id.index()] == v)
+    }
+
     /// Interns `v`, returning its id (allocating a fresh id on first sight).
     pub fn intern(&mut self, v: Value) -> ValueId {
-        if let Some(&id) = self.ids.get(&v) {
+        let h = self.hasher.hash_one(&v);
+        if let Some(id) = self.probe(h, &v) {
             return id;
         }
         let id = ValueId(u32::try_from(self.values.len()).expect("dictionary overflow"));
-        self.values.push(v.clone());
-        self.ids.insert(v, id);
+        self.values.push(v);
+        match self.ids.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(id),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(IdSlot::One(id));
+            }
+        }
         id
     }
 
@@ -133,7 +184,7 @@ impl Dict {
 
     /// Looks up the id of `v` without interning it.
     pub fn lookup(&self, v: &Value) -> Option<ValueId> {
-        self.ids.get(v).copied()
+        self.probe(self.hasher.hash_one(v), v)
     }
 
     /// Decodes an id back into its value.
@@ -160,6 +211,38 @@ impl Dict {
             .iter()
             .enumerate()
             .map(|(i, v)| (ValueId(i as u32), v))
+    }
+
+    /// Approximate heap footprint in bytes: the value storage (string
+    /// payloads included) plus the hash index. Memory budgeters (cache
+    /// sizing, the `experiments` binary's reports) use this estimate; it
+    /// deliberately ignores allocator slack and `HashMap` load-factor
+    /// headroom.
+    pub fn estimated_bytes(&self) -> usize {
+        let values: usize = self
+            .values
+            .iter()
+            .map(|v| {
+                std::mem::size_of::<Value>()
+                    + match v {
+                        Value::Int(_) => 0,
+                        Value::Str(s) => s.capacity(),
+                    }
+            })
+            .sum();
+        let index: usize = self
+            .ids
+            .values()
+            .map(|slot| {
+                std::mem::size_of::<u64>()
+                    + std::mem::size_of::<IdSlot>()
+                    + match slot {
+                        IdSlot::One(_) => 0,
+                        IdSlot::Many(ids) => ids.capacity() * std::mem::size_of::<ValueId>(),
+                    }
+            })
+            .sum();
+        values + index
     }
 }
 
@@ -214,6 +297,67 @@ mod tests {
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].0, ValueId(0));
         assert_eq!(pairs[1].1, &Value::Int(5));
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_interned_strings() {
+        let mut d = Dict::new();
+        let empty = d.estimated_bytes();
+        d.int(1);
+        let after_int = d.estimated_bytes();
+        assert!(after_int > empty);
+        d.str("a rather long string payload that must be charged");
+        let after_str = d.estimated_bytes();
+        // The string's heap payload is charged once (values vec), not twice.
+        assert!(after_str >= after_int + 50);
+        assert!(after_str < after_int + 2 * 50 + std::mem::size_of::<Value>() * 2);
+        // Re-interning changes nothing.
+        d.str("a rather long string payload that must be charged");
+        assert_eq!(d.estimated_bytes(), after_str);
+    }
+
+    #[test]
+    fn dense_interning_survives_many_values() {
+        // Exercises the hash-bucket index (including any collisions) over a
+        // larger id space, plus decode round-trips.
+        let mut d = Dict::new();
+        let ids: Vec<ValueId> = (0..2000i64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    d.int(i)
+                } else {
+                    d.str(format!("s{i}"))
+                }
+            })
+            .collect();
+        assert_eq!(d.len(), 2000);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            let v = d.decode(*id).clone();
+            assert_eq!(d.lookup(&v), Some(*id));
+            assert_eq!(d.intern(v), *id);
+        }
+        assert_eq!(d.len(), 2000);
+    }
+
+    #[test]
+    fn id_slot_collision_bucket_holds_all_ids() {
+        let mut slot = IdSlot::One(ValueId(1));
+        slot.push(ValueId(2));
+        slot.push(ValueId(3));
+        assert_eq!(slot.ids(), &[ValueId(1), ValueId(2), ValueId(3)]);
+    }
+
+    #[test]
+    fn cloned_dict_is_independent() {
+        let mut d = Dict::new();
+        d.str("shared");
+        let mut c = d.clone();
+        let id = c.str("only in clone");
+        assert_eq!(c.len(), 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup(&Value::str("only in clone")), None);
+        assert_eq!(c.decode(id), &Value::str("only in clone"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::StoreError;
 use relational::{Attr, Trie};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Identity of a cached trie: owning store, source, version, and level
 /// order.
@@ -50,6 +51,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that had to build a trie.
     pub misses: u64,
+    /// Trie builds actually executed. Usually equals `misses`; it can exceed
+    /// them when concurrent misses on one key race (the losing build is
+    /// dropped but its cost was still paid, so it is still counted here).
+    pub builds: u64,
+    /// Total wall-clock time spent inside build closures — the cold
+    /// trie-construction cost this cache has absorbed. Together with
+    /// `hits`/`misses` this lets serving layers report build vs probe time.
+    pub build_time: Duration,
     /// Entries dropped to respect the byte budget.
     pub evictions: u64,
     /// Entries currently resident.
@@ -86,6 +95,8 @@ struct Inner {
     budget: Option<usize>,
     hits: u64,
     misses: u64,
+    builds: u64,
+    build_time: Duration,
     evictions: u64,
 }
 
@@ -135,6 +146,8 @@ impl TrieRegistry {
                 budget,
                 hits: 0,
                 misses: 0,
+                builds: 0,
+                build_time: Duration::ZERO,
                 evictions: 0,
             }),
         }
@@ -182,7 +195,17 @@ impl TrieRegistry {
             }
             g.misses += 1;
         }
-        let trie = Arc::new(build()?);
+        let build_start = Instant::now();
+        let built = build();
+        let build_elapsed = build_start.elapsed();
+        {
+            // The build ran (even if it errored or loses the insert race
+            // below); its cost was paid, so it is accounted either way.
+            let mut g = self.lock();
+            g.builds += 1;
+            g.build_time += build_elapsed;
+        }
+        let trie = Arc::new(built?);
         let bytes = trie.estimated_bytes();
         let mut g = self.lock();
         g.tick += 1;
@@ -224,6 +247,8 @@ impl TrieRegistry {
         CacheStats {
             hits: g.hits,
             misses: g.misses,
+            builds: g.builds,
+            build_time: g.build_time,
             evictions: g.evictions,
             entries: g.map.len(),
             bytes_in_use: g.bytes_in_use,
@@ -348,6 +373,24 @@ mod tests {
         let s = reg.stats();
         assert_eq!((s.entries, s.bytes_in_use), (0, 0));
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn build_counters_track_cold_construction_cost() {
+        let reg = TrieRegistry::new();
+        reg.get_or_build(&key("R", 1), || build(64)).unwrap();
+        reg.get_or_build(&key("S", 1), || build(64)).unwrap();
+        // A warm hit must not move the build counters.
+        reg.get_or_build(&key("R", 1), || panic!("must not rebuild"))
+            .unwrap();
+        let s = reg.stats();
+        assert_eq!((s.builds, s.misses, s.hits), (2, 2, 1));
+        assert!(s.build_time > Duration::ZERO);
+        // A failed build is still charged: the cost was paid.
+        let _ = reg.get_or_build(&key("T", 1), || Err(relational::RelError::EmptyQuery));
+        let s2 = reg.stats();
+        assert_eq!(s2.builds, 3);
+        assert!(s2.build_time >= s.build_time);
     }
 
     #[test]

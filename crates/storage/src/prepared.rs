@@ -23,6 +23,7 @@ use crate::store::Snapshot;
 use relational::{Attr, JoinPlan, Trie};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 use xjoin_core::{
     collect_atoms, compute_order, execute_with_plan, stream_with_plan, validate_output, CoreError,
     ExecOptions, MultiModelQuery, Parallelism, QueryOutput, ResolvedAtom, Rows, Term,
@@ -253,8 +254,15 @@ impl PreparedQuery {
     /// relation — an update to one relation never re-derives the other
     /// atoms (in particular, it never re-walks the document for path
     /// relations whose tries are still cached).
+    ///
+    /// The returned [`PlanBuildCost`] covers exactly the misses *this* call
+    /// paid for (relation materialisation + trie build, lock waits
+    /// included); a fully warm assembly reports zero.
     #[allow(clippy::type_complexity)]
-    fn plan_for(&self, snapshot: &Snapshot) -> Result<(JoinPlan, Vec<(String, usize)>)> {
+    fn plan_for(
+        &self,
+        snapshot: &Snapshot,
+    ) -> Result<(JoinPlan, Vec<(String, usize)>, PlanBuildCost)> {
         let keys = self.trie_keys(snapshot)?;
         let registry = snapshot.registry();
         let ctx = snapshot.ctx();
@@ -264,11 +272,13 @@ impl PreparedQuery {
         // `self.query.relations`.
         let mut resolved: Option<Vec<ResolvedAtom<'_>>> = None;
         let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(keys.len());
+        let mut cost = PlanBuildCost::default();
         for (i, (spec, key)) in self.atoms.iter().zip(&keys).enumerate() {
             if let Some(trie) = registry.lookup(key) {
                 tries.push(trie);
                 continue;
             }
+            let build_start = Instant::now();
             let trie = match &spec.source {
                 AtomSource::Relation(name) => {
                     let rel = ctx.db.relation(name).map_err(CoreError::from)?;
@@ -293,6 +303,8 @@ impl PreparedQuery {
                     })?
                 }
             };
+            cost.elapsed += build_start.elapsed();
+            cost.tries_built += 1;
             tries.push(trie);
         }
 
@@ -307,17 +319,24 @@ impl PreparedQuery {
             .collect();
 
         let plan = JoinPlan::from_shared(tries, &self.order).map_err(CoreError::from)?;
-        Ok((plan, atom_sizes))
+        Ok((plan, atom_sizes, cost))
     }
 
     /// Executes the prepared query against `snapshot` on the pinned engine,
     /// reusing cached tries. Results are identical to running
     /// [`xjoin_core::execute`] with the same options on the same snapshot
     /// (modulo the pinned order).
+    ///
+    /// The output's [`relational::JoinStats::build_elapsed`] /
+    /// [`relational::JoinStats::tries_built`] report the trie-construction
+    /// cost this execution actually paid: zero on a warm cache, the full
+    /// build bill on a cold one — so serving benchmarks can split cold
+    /// latency into build vs probe.
     pub fn execute(&self, snapshot: &Snapshot) -> Result<QueryOutput> {
-        let (plan, atom_sizes) = self.plan_for(snapshot)?;
+        let start = Instant::now();
+        let (plan, atom_sizes, cost) = self.plan_for(snapshot)?;
         let ctx = snapshot.ctx();
-        execute_with_plan(
+        let mut out = execute_with_plan(
             &ctx,
             &self.query,
             &self.options,
@@ -325,7 +344,14 @@ impl PreparedQuery {
             atom_sizes,
             self.first_path_atom,
         )
-        .map_err(StoreError::from)
+        .map_err(StoreError::from)?;
+        // Restamp elapsed to cover plan assembly too, so `build_elapsed`
+        // stays a subset of `elapsed` (same convention as the fresh-plan
+        // engines) and `elapsed - build_elapsed` is a valid probe time.
+        out.stats.elapsed = start.elapsed();
+        out.stats.build_elapsed = cost.elapsed;
+        out.stats.tries_built = cost.tries_built;
+        Ok(out)
     }
 
     /// Streams the prepared query's results as a pull-based
@@ -342,10 +368,19 @@ impl PreparedQuery {
     /// parallel setting walks the cached tries morsel-parallel, with the
     /// workers sharing the snapshot's `Arc<Trie>` registry entries.
     pub fn rows<'s>(&'s self, snapshot: &'s Snapshot) -> Result<Rows<'s>> {
-        let (plan, _) = self.plan_for(snapshot)?;
+        let (plan, _, _) = self.plan_for(snapshot)?;
         stream_with_plan(&snapshot.ctx(), &self.query, plan, &self.options)
             .map_err(StoreError::from)
     }
+}
+
+/// The trie-construction cost one plan assembly paid (cache misses only).
+#[derive(Debug, Clone, Copy, Default)]
+struct PlanBuildCost {
+    /// Wall-clock time spent materialising relations and building tries.
+    elapsed: std::time::Duration,
+    /// Number of tries built (i.e. cache misses served by this call).
+    tries_built: usize,
 }
 
 #[cfg(test)]
@@ -421,6 +456,27 @@ mod tests {
             after_cold.hits + prepared.atoms.len() as u64
         );
         assert!(warm.results.set_eq(&cold.results));
+    }
+
+    #[test]
+    fn cold_runs_report_build_cost_warm_runs_report_zero() {
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &bookstore_query(), ExecOptions::default()).unwrap();
+        let cold = prepared.execute(&snap).unwrap();
+        assert_eq!(cold.stats.tries_built, prepared.atoms.len());
+        assert!(cold.stats.build_elapsed > std::time::Duration::ZERO);
+        // Build time is a subset of the total: probe = elapsed - build is
+        // always a valid Duration.
+        assert!(cold.stats.build_elapsed <= cold.stats.elapsed);
+        let warm = prepared.execute(&snap).unwrap();
+        assert_eq!(warm.stats.tries_built, 0);
+        assert_eq!(warm.stats.build_elapsed, std::time::Duration::ZERO);
+        // The registry's own accounting agrees: builds happened once.
+        let reg = store.registry().stats();
+        assert_eq!(reg.builds, prepared.atoms.len() as u64);
+        assert!(reg.build_time > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Differential proptest suite for the columnar [`TrieBuilder`]: every sort
+//! path (comparison, radix, pre-sorted) must produce a trie identical — level
+//! arrays, node counts, byte estimates — to the original row-materialising
+//! builder, kept as [`Trie::build_reference`], over random relations,
+//! attribute orders, and duplicate densities.
+
+use proptest::prelude::*;
+use relational::{Attr, Relation, Schema, SortPath, Trie, TrieBuilder, ValueId};
+
+/// Builds a ternary relation from raw value triples.
+fn ternary(rows: &[(u32, u32, u32)]) -> Relation {
+    let mut r = Relation::new(Schema::of(&["a", "b", "c"]));
+    for &(x, y, z) in rows {
+        r.push(&[ValueId(x), ValueId(y), ValueId(z)]).unwrap();
+    }
+    r
+}
+
+/// The six attribute orders of a ternary schema.
+fn order_perm(perm: usize) -> Vec<Attr> {
+    const ORDERS: [[&str; 3]; 6] = [
+        ["a", "b", "c"],
+        ["a", "c", "b"],
+        ["b", "a", "c"],
+        ["b", "c", "a"],
+        ["c", "a", "b"],
+        ["c", "b", "a"],
+    ];
+    ORDERS[perm % 6].iter().map(|&n| Attr::new(n)).collect()
+}
+
+/// Asserts the builder's output is indistinguishable from the reference —
+/// structurally equal levels plus agreeing size metrics — and returns the
+/// sort path that engaged.
+fn assert_differential(rel: &Relation, order: &[Attr]) -> SortPath {
+    let mut builder = TrieBuilder::new();
+    let fast = builder.build(rel, order).expect("builder accepts order");
+    let reference = Trie::build_reference(rel, order).expect("reference accepts order");
+    assert_eq!(fast, reference, "trie levels diverged");
+    assert_eq!(fast.num_tuples(), reference.num_tuples());
+    assert_eq!(fast.node_count(), reference.node_count());
+    assert_eq!(fast.estimated_bytes(), reference.estimated_bytes());
+    assert!(fast.to_relation().set_eq(&reference.to_relation()));
+    let stats = builder.last_stats().expect("stats recorded").clone();
+    assert_eq!(stats.rows_in, rel.len());
+    assert_eq!(stats.tuples, fast.num_tuples());
+    stats.path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Duplicate-heavy small-domain relations under every attribute order:
+    // exercises grouping, dedup, and (for n >= 64) the radix path.
+    #[test]
+    fn builder_matches_reference_on_dense_relations(
+        rows in prop::collection::vec((0u32..6, 0u32..6, 0u32..6), 0..120),
+        perm in 0usize..6,
+    ) {
+        let rel = ternary(&rows);
+        let path = assert_differential(&rel, &order_perm(perm));
+        // A dense domain (max id < 1024) never takes the comparison sort
+        // once the radix row threshold is met.
+        if rel.len() >= 64 {
+            prop_assert_ne!(path, SortPath::Comparison);
+        }
+    }
+
+    // Sparse domains below the radix row threshold: the comparison sort must
+    // engage (unless the random input happens to arrive sorted) and still
+    // agree with the reference.
+    #[test]
+    fn builder_matches_reference_on_sparse_relations(
+        rows in prop::collection::vec((0u32..2000, 0u32..50_000, 0u32..9), 1..48),
+        perm in 0usize..6,
+    ) {
+        let rel = ternary(&rows);
+        let path = assert_differential(&rel, &order_perm(perm));
+        prop_assert_ne!(path, SortPath::Radix);
+    }
+
+    // Pre-sorted input (the schema order after sort_dedup) must skip the
+    // sort entirely; permuted orders on the same relation must not.
+    #[test]
+    fn presorted_input_skips_the_sort(
+        rows in prop::collection::vec((0u32..10, 0u32..10, 0u32..10), 1..80),
+    ) {
+        let mut rel = ternary(&rows);
+        rel.sort_dedup();
+        let path = assert_differential(&rel, &order_perm(0));
+        prop_assert_eq!(path, SortPath::AlreadySorted);
+    }
+
+    // One builder reused across differently-shaped builds (the registry-fill
+    // pattern) stays correct build after build.
+    #[test]
+    fn scratch_reuse_is_stateless_across_builds(
+        rows1 in prop::collection::vec((0u32..5, 0u32..5, 0u32..5), 0..90),
+        rows2 in prop::collection::vec((0u32..400, 0u32..400, 0u32..400), 0..40),
+        perm in 0usize..6,
+    ) {
+        let (r1, r2) = (ternary(&rows1), ternary(&rows2));
+        let order = order_perm(perm);
+        let mut shared = TrieBuilder::new();
+        for rel in [&r1, &r2, &r1] {
+            let got = shared.build(rel, &order).unwrap();
+            prop_assert_eq!(got, Trie::build_reference(rel, &order).unwrap());
+        }
+    }
+
+    // Binary and unary arities (different column strides) round-trip too.
+    #[test]
+    fn builder_matches_reference_on_lower_arities(
+        pairs in prop::collection::vec((0u32..12, 0u32..12), 0..70),
+        singles in prop::collection::vec(0u32..2000, 0..70),
+        flip in any::<bool>(),
+    ) {
+        let mut r2 = Relation::new(Schema::of(&["a", "b"]));
+        for &(x, y) in &pairs {
+            r2.push(&[ValueId(x), ValueId(y)]).unwrap();
+        }
+        let order: Vec<Attr> = if flip {
+            vec!["b".into(), "a".into()]
+        } else {
+            vec!["a".into(), "b".into()]
+        };
+        assert_differential(&r2, &order);
+
+        let mut r1 = Relation::new(Schema::of(&["x"]));
+        for &x in &singles {
+            r1.push(&[ValueId(x)]).unwrap();
+        }
+        assert_differential(&r1, &["x".into()]);
+    }
+}
+
+#[test]
+fn radix_path_engages_on_dense_unsorted_input() {
+    // 256 rows over an 8-value domain, descending so the pre-check fails:
+    // exactly the regime the radix fast path exists for.
+    let rows: Vec<(u32, u32, u32)> = (0..256u32)
+        .rev()
+        .map(|i| (i % 8, (i / 8) % 8, (i * 5) % 8))
+        .collect();
+    let rel = ternary(&rows);
+    for perm in 0..6 {
+        let path = assert_differential(&rel, &order_perm(perm));
+        assert_eq!(path, SortPath::Radix, "order perm {perm}");
+    }
+}
+
+#[test]
+fn nullary_and_empty_relations_agree_with_reference() {
+    let empty = Relation::new(Schema::of(&["a", "b", "c"]));
+    assert_differential(&empty, &order_perm(3));
+
+    let mut nullary = Relation::new(Schema::new(Vec::<&str>::new()).unwrap());
+    assert_differential(&nullary, &[]);
+    nullary.push(&[]).unwrap();
+    assert_differential(&nullary, &[]);
+}
