@@ -1,5 +1,7 @@
 //! Microbenchmarks of the join kernel: trie construction, leapfrog
-//! intersection (vs a hash-set intersection reference), and the full
+//! intersection (vs a hash-set intersection reference), sorted-seek
+//! primitives (scalar gallop vs block-wise search), probe kernels
+//! (scalar vs batched-block, plain vs bitset-indexed levels), and the full
 //! triangle join (LFTJ vs level-wise generic vs binary hash joins) — the
 //! relational substrate the multi-model engine stands on.
 
@@ -10,9 +12,13 @@ use relational::hashjoin::multiway_hash_join;
 use relational::leapfrog::intersect;
 use relational::lftj::{lftj_count, lftj_join};
 use relational::plan::JoinPlan;
-use relational::{Attr, Dict, Schema, Trie, ValueId};
+use relational::{
+    block_seek, gallop, Attr, Dict, LftjWalk, ProbeKernel, Schema, Trie, TrieBuilder, ValueId,
+    ValueRange,
+};
 use std::collections::HashSet;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_trie_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("trie_build");
@@ -41,6 +47,80 @@ fn bench_leapfrog_intersect(c: &mut Criterion) {
                 black_box(b.iter().filter(|v| set.contains(v)).count())
             })
         });
+    }
+    group.finish();
+}
+
+fn bench_sorted_seek(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted_seek");
+    for size in [1_000usize, 100_000] {
+        // Seek every 7th value of a dense sorted level — the probe pattern of
+        // a cursor marching through an intersection.
+        let level: Vec<ValueId> = (0..size as u32).map(|i| ValueId(2 * i)).collect();
+        let targets: Vec<ValueId> = (0..size as u32)
+            .step_by(7)
+            .map(|i| ValueId(2 * i))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("gallop", size), &size, |bch, _| {
+            bch.iter(|| {
+                let mut pos = 0usize;
+                for &t in &targets {
+                    pos = gallop(&level, pos, t);
+                }
+                black_box(pos)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("block_seek", size), &size, |bch, _| {
+            bch.iter(|| {
+                let mut pos = 0usize;
+                for &t in &targets {
+                    pos = block_seek(&level, pos, t);
+                }
+                black_box(pos)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_kernels");
+    for rows in [2_000usize, 20_000] {
+        let domain = (rows as f64).sqrt() as u64 * 4;
+        let mut dict = Dict::new();
+        let r = random_relation(&mut dict, Schema::of(&["a", "b"]), rows, domain, 1);
+        let s = random_relation(&mut dict, Schema::of(&["b", "c"]), rows, domain, 2);
+        let t = random_relation(&mut dict, Schema::of(&["a", "c"]), rows, domain, 3);
+        let order: Vec<Attr> = vec!["a".into(), "b".into(), "c".into()];
+        let build = |bitsets: bool| -> Vec<Arc<Trie>> {
+            let mut b = TrieBuilder::new().with_bitset_levels(bitsets);
+            [&r, &s, &t]
+                .iter()
+                .map(|rel| {
+                    let restricted = rel.schema().restrict_order(&order).expect("order covers");
+                    Arc::new(b.build(rel, &restricted).expect("trie builds"))
+                })
+                .collect()
+        };
+        let plain = build(false);
+        let indexed = build(true);
+        for (label, kernel, tries) in [
+            ("scalar", ProbeKernel::Scalar, &plain),
+            ("block", ProbeKernel::Block, &plain),
+            ("bitset", ProbeKernel::Block, &indexed),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| {
+                    let plan = JoinPlan::from_shared(tries.clone(), &order).expect("plan builds");
+                    let mut walk = LftjWalk::with_kernel(plan, ValueRange::all(), kernel);
+                    let mut n = 0usize;
+                    while walk.next_tuple().is_some() {
+                        n += 1;
+                    }
+                    black_box(n)
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -87,6 +167,8 @@ criterion_group!(
     benches,
     bench_trie_build,
     bench_leapfrog_intersect,
+    bench_sorted_seek,
+    bench_probe_kernels,
     bench_triangle
 );
 criterion_main!(benches);

@@ -2,8 +2,10 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|all|quick] \
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|all|quick] \
 //!             [--max-n N] [--json PATH] [--threads 1,2,4]
+//! experiments diff --baseline BENCH_results.json --current BENCH_quick.json \
+//!             [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]
 //! ```
 //!
 //! * `bounds` — E3/E4: LP-computed size-bound exponents of Examples 3.3
@@ -22,18 +24,27 @@
 //! * `build` — cold trie-construction throughput: the columnar
 //!   `TrieBuilder` vs the original row-materialising reference builder on
 //!   shuffled and pre-sorted inputs (the PR-5 acceptance numbers);
+//! * `probe` — LFTJ probe-kernel throughput on million-tuple random graphs:
+//!   the scalar gallop kernel vs the batched block kernel, with and without
+//!   per-level bitset indexes (the PR-6 acceptance numbers);
+//! * `diff` — the CI regression gate: compares the tracked row families
+//!   (`build/*`, `fig3/*`, `probe/*`) of two JSON reports by exact name and
+//!   exits nonzero when a current `wall_ms` exceeds `--tolerance` (default
+//!   1.5×) times its baseline; `--skip PREFIX` (repeatable) waives noisy
+//!   families such as `threads/`, and rows whose baseline is under
+//!   `--min-ms` (default 1 ms) are ignored as timer noise;
 //! * `quick` — a fast subset (bounds, small fig3, bookstore, store,
-//!   threads, build) for CI.
+//!   threads, build, probe) for CI.
 //!
 //! Every timed run is collected into a JSON report — an array of
 //! `{"name", "wall_ms", "build_ms", "max_intermediate", "output_rows"}`
 //! objects (`build_ms` = trie-construction share of `wall_ms`, 0 where not
 //! applicable) — so the perf trajectory across PRs is recorded and
-//! diffable. Only the full `all`
-//! suite writes to `BENCH_results.json` in the working directory by
-//! default; `quick` and single experiments record partial trajectories and
-//! therefore only write when `--json PATH` is given, so they never clobber
-//! the committed full record.
+//! diffable. Only the full `all` suite writes to `BENCH_results.json` in
+//! the working directory by default; `quick` defaults to a separate
+//! `BENCH_quick.json` and single experiments only write when `--json PATH`
+//! is given, so no partial trajectory ever clobbers the committed full
+//! record.
 
 use agm::{agm_exponent, vertex_packing, Hypergraph};
 use bench::workloads::{
@@ -121,6 +132,11 @@ fn main() {
     let mut max_n = 12usize;
     let mut json_path: Option<String> = None;
     let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut baseline = "BENCH_results.json".to_string();
+    let mut current: Option<String> = None;
+    let mut tolerance = 1.5f64;
+    let mut skips: Vec<String> = Vec::new();
+    let mut min_ms = 1.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -146,20 +162,52 @@ fn main() {
                     .collect();
                 assert!(!threads.is_empty(), "--threads needs at least one count");
             }
+            "--baseline" => {
+                i += 1;
+                baseline = args.get(i).expect("--baseline needs a path").clone();
+            }
+            "--current" => {
+                i += 1;
+                current = Some(args.get(i).expect("--current needs a path").clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a number, e.g. 1.5");
+                assert!(tolerance >= 1.0, "--tolerance must be >= 1.0");
+            }
+            "--skip" => {
+                i += 1;
+                skips.push(args.get(i).expect("--skip needs a name prefix").clone());
+            }
+            "--min-ms" => {
+                i += 1;
+                min_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-ms needs a number, e.g. 1.0");
+            }
             other => cmd = other.to_string(),
         }
         i += 1;
     }
 
+    if cmd == "diff" {
+        let current = current.unwrap_or_else(|| {
+            eprintln!("diff needs --current PATH (the freshly measured report)");
+            std::process::exit(2);
+        });
+        std::process::exit(run_diff(&baseline, &current, tolerance, &skips, min_ms));
+    }
+
     let mut report = Report::default();
-    // Anything short of `all` records a partial trajectory, so it only
-    // writes JSON to an explicitly requested path; only the full suite
-    // defaults to the committed BENCH_results.json.
-    let full_suite = cmd == "all";
-    // The trie-build acceptance gate (>= 2x vs the reference builder).
-    // Checked after the report is written so a regression keeps its
-    // evidence.
+    // The acceptance gates (build >= 2x vs the reference builder, probe
+    // >= 1.5x vs the scalar kernel). Checked after the report is written so
+    // a regression keeps its evidence.
     let mut build_ok = true;
+    let mut probe_ok = true;
     match cmd.as_str() {
         "bounds" => exp_bounds(),
         "fig3" => exp_fig3(max_n, &mut report),
@@ -169,6 +217,7 @@ fn main() {
         "store" => exp_store(&mut report),
         "threads" => exp_threads(&threads, &mut report),
         "build" => build_ok = exp_build(&mut report),
+        "probe" => probe_ok = exp_probe(&mut report, false),
         "all" => {
             exp_bounds();
             exp_fig3(max_n, &mut report);
@@ -178,6 +227,7 @@ fn main() {
             exp_store(&mut report);
             exp_threads(&threads, &mut report);
             build_ok = exp_build(&mut report);
+            probe_ok = exp_probe(&mut report, false);
         }
         "quick" => {
             exp_bounds();
@@ -186,19 +236,24 @@ fn main() {
             exp_store(&mut report);
             exp_threads(&threads, &mut report);
             build_ok = exp_build(&mut report);
+            probe_ok = exp_probe(&mut report, true);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
             );
             std::process::exit(2);
         }
     }
-    match (json_path, full_suite) {
+    // `quick` gets its own default output file: CI uploads it as a fresh
+    // measurement to diff against the committed BENCH_results.json, and the
+    // partial trajectory never overwrites the full committed record.
+    match (json_path, cmd.as_str()) {
         (Some(path), _) => report.write(&path),
-        (None, true) => report.write("BENCH_results.json"),
-        (None, false) => println!(
+        (None, "all") => report.write("BENCH_results.json"),
+        (None, "quick") => report.write("BENCH_quick.json"),
+        (None, _) => println!(
             "\n(partial run; pass --json PATH to record its {} timed runs)",
             report.records.len()
         ),
@@ -208,6 +263,14 @@ fn main() {
             "FAIL: columnar trie builder fell below the 2x acceptance bar vs the reference \
              (see the build/* records above)"
         );
+    }
+    if !probe_ok {
+        eprintln!(
+            "FAIL: probe kernels fell below the 1.5x acceptance bar vs the scalar kernel \
+             (see the probe/* records above)"
+        );
+    }
+    if !build_ok || !probe_ok {
         std::process::exit(1);
     }
 }
@@ -804,6 +867,291 @@ fn exp_build(report: &mut Report) -> bool {
         if ok { "PASS" } else { "FAIL" }
     );
     ok
+}
+
+/// Probe: LFTJ probe-kernel throughput on million-tuple random graphs (the
+/// PR-6 acceptance measurement). Three rows per workload isolate the two
+/// probe-side changes:
+///
+/// * `scalar` — the pre-existing gallop kernel on plain sorted levels (the
+///   honest baseline: byte-for-byte the old seek path);
+/// * `block`  — the batched kernel with block-wise branch-reduced search,
+///   still on plain sorted levels;
+/// * `bitset` — the batched kernel on default-built tries, where dense
+///   levels carry per-sibling-group bitset indexes.
+///
+/// Tries are prebuilt outside the timed region, so `wall_ms` is pure probe
+/// time; all kernels must agree on the result count. Returns whether the
+/// best kernel beat `scalar` by >= 1.5x on at least one workload (always
+/// `true` in quick mode, where the single noisy run is informational only);
+/// the caller exits nonzero *after* the JSON report is written.
+#[must_use]
+fn exp_probe(report: &mut Report, quick: bool) -> bool {
+    use relational::{
+        JoinPlan, LftjWalk, ProbeKernel, Relation, Schema, Trie, TrieBuilder, ValueId, ValueRange,
+    };
+    use std::sync::Arc;
+
+    header("Probe: LFTJ probe kernels on large random graphs (scalar vs block vs bitset)");
+    let runs = if quick { 1 } else { 3 };
+    println!("(best of {runs} run(s) per row; tries prebuilt — rows time the probe only)");
+    println!(
+        "{:<30} {:>10} {:>12} {:>10} {:>14} {:>14}",
+        "workload/kernel", "tuples", "probe ms", "result", "tuples/s", "bitset levels"
+    );
+
+    struct Workload {
+        name: &'static str,
+        vertices: u32,
+        undirected_edges: usize,
+        atoms: &'static [[&'static str; 2]],
+        order: &'static [&'static str],
+    }
+    let workloads = [
+        Workload {
+            name: "triangle",
+            vertices: 65_536,
+            undirected_edges: 1_048_576,
+            atoms: &[["a", "b"], ["b", "c"], ["a", "c"]],
+            order: &["a", "b", "c"],
+        },
+        Workload {
+            name: "clique4",
+            vertices: 16_384,
+            undirected_edges: 524_288,
+            atoms: &[
+                ["a", "b"],
+                ["a", "c"],
+                ["a", "d"],
+                ["b", "c"],
+                ["b", "d"],
+                ["c", "d"],
+            ],
+            order: &["a", "b", "c", "d"],
+        },
+    ];
+
+    let mut best_ratio = 0.0f64;
+    for wl in &workloads {
+        // A deterministic uniform random graph, stored in both directions so
+        // every atom can level the same edge set under its own two
+        // attributes. Raw `ValueId`s skip the dictionary: the probe path
+        // never consults it.
+        let mut state = 0xc1e4_5eed_0000_0000u64 ^ u64::from(wl.vertices);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(2 * wl.undirected_edges);
+        while pairs.len() < 2 * wl.undirected_edges {
+            let r = splitmix64(&mut state);
+            let u = (r as u32) % wl.vertices;
+            let v = ((r >> 32) as u32) % wl.vertices;
+            if u != v {
+                pairs.push((u, v));
+                pairs.push((v, u));
+            }
+        }
+        let order: Vec<relational::Attr> = wl.order.iter().map(|&a| a.into()).collect();
+        let relations: Vec<Relation> = wl
+            .atoms
+            .iter()
+            .map(|names| {
+                let mut rel = Relation::new(Schema::of(names.as_slice()));
+                for &(u, v) in &pairs {
+                    rel.push(&[ValueId(u), ValueId(v)]).expect("arity matches");
+                }
+                rel.sort_dedup();
+                rel
+            })
+            .collect();
+        let tuples = relations[0].len();
+
+        let build = |bitsets: bool| -> Vec<Arc<Trie>> {
+            let mut b = TrieBuilder::new().with_bitset_levels(bitsets);
+            relations
+                .iter()
+                .map(|rel| Arc::new(b.build(rel, rel.schema().attrs()).expect("trie builds")))
+                .collect()
+        };
+        let plain = build(false);
+        let indexed = build(true);
+        let bitset_levels: usize = indexed.iter().map(|t| t.bitset_level_count()).sum();
+        assert!(
+            bitset_levels > 0,
+            "{}: dense root levels must take the bitset layout",
+            wl.name
+        );
+
+        let kernels: [(&str, ProbeKernel, &[Arc<Trie>], usize); 3] = [
+            ("scalar", ProbeKernel::Scalar, &plain, 0),
+            ("block", ProbeKernel::Block, &plain, 0),
+            ("bitset", ProbeKernel::Block, &indexed, bitset_levels),
+        ];
+        let mut rows_seen: Option<usize> = None;
+        let mut ms = [0.0f64; 3];
+        for (slot, (label, kernel, tries, nbits)) in kernels.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut rows = 0usize;
+            for _ in 0..runs {
+                let plan = JoinPlan::from_shared(tries.to_vec(), &order).expect("plan builds");
+                let mut walk = LftjWalk::with_kernel(plan, ValueRange::all(), *kernel);
+                let t0 = Instant::now();
+                let mut n = 0usize;
+                while walk.next_tuple().is_some() {
+                    n += 1;
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                rows = n;
+            }
+            assert_eq!(
+                *rows_seen.get_or_insert(rows),
+                rows,
+                "{}/{label}: probe kernels disagree on the result count",
+                wl.name
+            );
+            ms[slot] = best;
+            report.add(
+                format!("probe/{}/n={tuples}/{label}", wl.name),
+                best,
+                0,
+                rows,
+            );
+            println!(
+                "{:<30} {:>10} {:>12.3} {:>10} {:>14.0} {:>14}",
+                format!("{}/{label}", wl.name),
+                tuples,
+                best,
+                rows,
+                tuples as f64 / (best / 1e3).max(1e-12),
+                nbits
+            );
+        }
+        let ratio = ms[0] / ms[1].min(ms[2]).max(1e-9);
+        println!("{}: scalar vs best kernel = {ratio:.2}x", wl.name);
+        best_ratio = best_ratio.max(ratio);
+    }
+    let ok = best_ratio >= 1.5;
+    println!(
+        "acceptance (best workload): {best_ratio:.2}x (required >= 1.5x) — {}",
+        if ok {
+            "PASS"
+        } else if quick {
+            "below bar, informational in quick mode"
+        } else {
+            "FAIL"
+        }
+    );
+    ok || quick
+}
+
+/// The deterministic 64-bit mixer behind the probe workload generator
+/// (SplitMix64): full-period, seedable, and dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Row families `experiments diff` gates on. `threads/*` is deliberately
+/// absent (scheduling noise on shared CI runners); waive further families at
+/// the command line with `--skip PREFIX`.
+const DIFF_PREFIXES: [&str; 3] = ["build/", "fig3/", "probe/"];
+
+/// Extracts `(name, wall_ms)` pairs from a report written by
+/// [`Report::to_json`] (one record per line; names are ASCII identifiers,
+/// so a plain substring scan is exact).
+fn parse_report(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract_after(line, "\"name\": \"")
+            .and_then(|rest| rest.find('"').map(|end| rest[..end].to_string()))
+        else {
+            continue;
+        };
+        let Some(wall) = extract_after(line, "\"wall_ms\": ").and_then(|rest| {
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse::<f64>().ok()
+        }) else {
+            continue;
+        };
+        rows.push((name, wall));
+    }
+    rows
+}
+
+fn extract_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|at| &line[at + key.len()..])
+}
+
+/// The CI bench-regression gate: compares tracked rows of `current` against
+/// `baseline` by exact name and returns the process exit code (0 = pass,
+/// 1 = regression). A row regresses when its current `wall_ms` exceeds
+/// `tolerance` times the baseline; baselines under `min_ms` are skipped as
+/// timer noise, and any name starting with a `skips` prefix is waived.
+fn run_diff(
+    baseline_path: &str,
+    current_path: &str,
+    tolerance: f64,
+    skips: &[String],
+    min_ms: f64,
+) -> i32 {
+    use std::collections::HashMap;
+
+    header("Diff: bench-regression gate");
+    println!("baseline: {baseline_path}\ncurrent:  {current_path}");
+    let baseline: HashMap<String, f64> = parse_report(baseline_path).into_iter().collect();
+    let current = parse_report(current_path);
+    let tracked = |name: &str| {
+        DIFF_PREFIXES.iter().any(|p| name.starts_with(p))
+            && !skips.iter().any(|s| name.starts_with(s.as_str()))
+    };
+    let mut compared = 0usize;
+    let mut too_fast = 0usize;
+    let mut missing = 0usize;
+    let mut improved = 0usize;
+    let mut regressions: Vec<(&str, f64, f64)> = Vec::new();
+    for (name, cur) in current.iter().filter(|(n, _)| tracked(n)) {
+        let Some(&base) = baseline.get(name) else {
+            missing += 1;
+            continue;
+        };
+        if base < min_ms {
+            too_fast += 1;
+            continue;
+        }
+        compared += 1;
+        if *cur > tolerance * base {
+            regressions.push((name, base, *cur));
+        } else if *cur * tolerance < base {
+            improved += 1;
+        }
+    }
+    if !skips.is_empty() {
+        println!("waived prefixes: {}", skips.join(", "));
+    }
+    println!(
+        "compared {compared} tracked row(s) across {} (tolerance {tolerance:.2}x; skipped {too_fast} with baseline < {min_ms} ms, {missing} absent from baseline); {improved} improved beyond the same factor",
+        DIFF_PREFIXES.join(", ")
+    );
+    if regressions.is_empty() {
+        println!("no wall-ms regressions beyond {tolerance:.2}x — PASS");
+        return 0;
+    }
+    println!(
+        "\n{:<44} {:>12} {:>12} {:>8}",
+        "REGRESSED row", "baseline ms", "current ms", "ratio"
+    );
+    for (name, base, cur) in &regressions {
+        println!("{name:<44} {base:>12.3} {cur:>12.3} {:>7.2}x", cur / base);
+    }
+    eprintln!(
+        "\nFAIL: {} row(s) regressed beyond {tolerance:.2}x vs {baseline_path} (waive known-noisy families with --skip PREFIX)",
+        regressions.len()
+    );
+    1
 }
 
 /// Threads sweep: morsel-parallel scaling of the plan-based engines on the

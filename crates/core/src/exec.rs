@@ -423,6 +423,7 @@ fn execute_fresh_plan(
     out.stats.elapsed = start.elapsed();
     out.stats.build_elapsed = plan.build_elapsed();
     out.stats.tries_built = plan.tries_built();
+    out.stats.bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
     Ok(out)
 }
 

@@ -135,15 +135,17 @@ impl Explanation {
         }
         let _ = writeln!(out, "trie construction (cold-start cost per atom):");
         for p in &self.trie_builds {
+            let layouts: Vec<String> = p.stats.layouts.iter().map(|l| l.to_string()).collect();
             let _ = writeln!(
                 out,
-                "  {:<16} {:>8} rows -> {:>8} tuples  path={:<11} {:>10.3} ms  {:>8} bytes",
+                "  {:<16} {:>8} rows -> {:>8} tuples  path={:<11} {:>10.3} ms  {:>8} bytes  layouts=[{}]",
                 p.atom,
                 p.stats.rows_in,
                 p.stats.tuples,
                 p.stats.path.to_string(),
                 p.stats.elapsed.as_secs_f64() * 1e3,
-                p.bytes
+                p.bytes,
+                layouts.join(",")
             );
         }
         let _ = writeln!(out, "dictionary resident bytes: {}", self.dict_bytes);
@@ -199,7 +201,9 @@ mod tests {
             assert_eq!(&p.atom, name);
             assert_eq!(p.stats.rows_in, *size);
             assert!(p.stats.tuples <= p.stats.rows_in);
+            assert!(!p.stats.layouts.is_empty(), "layouts reported per level");
         }
+        assert!(text.contains("layouts=[sorted"), "{text}");
         assert!(e.dict_bytes > 0);
         assert!(text.contains("trie construction"));
         assert!(text.contains("dictionary resident bytes"));

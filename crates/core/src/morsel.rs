@@ -493,8 +493,12 @@ impl fmt::Debug for ParallelTuples {
 /// One worker: claim morsels from the shared counter, walk each with a
 /// range-restricted [`LftjWalk`], and stream tuple batches to the consumer
 /// (batching amortises channel synchronisation off the per-tuple path).
-/// Exits when morsels run out, when the consumer's emitted count reaches
-/// the limit, or when the consumer hangs up (send error).
+/// Each walk runs the default block probe kernel
+/// ([`relational::ProbeKernel`]) — batch refills and bitset seeks work
+/// unchanged under clamped root ranges, which the kernel-differential probe
+/// suite exercises per morsel — so parallel and serial execution stay
+/// bit-identical. Exits when morsels run out, when the consumer's emitted
+/// count reaches the limit, or when the consumer hangs up (send error).
 fn worker_loop(plan: &Arc<JoinPlan>, shared: &Arc<MorselShared>, tx: &SyncSender<WorkerMsg>) {
     loop {
         let i = shared.next.fetch_add(1, Ordering::Relaxed);

@@ -7,6 +7,22 @@
 use crate::value::ValueId;
 use std::ops::ControlFlow;
 
+/// Stride of the branch-reduced block search: [`block_seek`] resolves the
+/// final position inside a window of at most this many elements with a
+/// branchless `count_lt` scan instead of a binary search.
+pub const SEEK_BLOCK: usize = 32;
+
+/// Counts elements of `window` strictly below `target`.
+///
+/// Branch-free (`(v < target) as usize` summed), so LLVM autovectorizes it;
+/// on a sorted window the count equals the rank of the first element
+/// `>= target`, which is how [`block_seek`] finishes without a data-dependent
+/// branch per comparison.
+#[inline]
+fn count_lt(window: &[ValueId], target: ValueId) -> usize {
+    window.iter().map(|&v| usize::from(v < target)).sum()
+}
+
 /// Returns the first index `i` in `lo..slice.len()` with `slice[i] >= target`
 /// (or `slice.len()` when no such index exists), using exponential probing
 /// followed by binary search. `slice` must be sorted ascending.
@@ -31,6 +47,50 @@ pub fn gallop(slice: &[ValueId], mut lo: usize, target: ValueId) -> usize {
         }
     }
     hi
+}
+
+/// Block-wise, branch-reduced variant of [`gallop`]: identical contract
+/// (first index in `lo..slice.len()` with `slice[i] >= target`, `slice`
+/// sorted ascending), different search shape.
+///
+/// Most leapfrog seeks land within a few elements of the cursor, so the fast
+/// path scans one [`SEEK_BLOCK`]-wide window with the branchless
+/// `count_lt` kernel. Longer seeks gallop at block granularity (keeping
+/// the exponential worst case of [`gallop`]), binary-search down to a single
+/// block, and finish with the same branchless scan — replacing the last
+/// `log2(SEEK_BLOCK)` unpredictable branches of a plain binary search with
+/// one vectorizable pass.
+pub fn block_seek(slice: &[ValueId], lo: usize, target: ValueId) -> usize {
+    let n = slice.len();
+    if lo >= n || slice[lo] >= target {
+        return lo;
+    }
+    // Fast path: the answer lies within the first block after the cursor.
+    let b_end = (lo + SEEK_BLOCK).min(n);
+    if slice[b_end - 1] >= target {
+        return lo + count_lt(&slice[lo..b_end], target);
+    }
+    if b_end == n {
+        return n;
+    }
+    // Invariant below: slice[cur] < target.
+    let mut cur = b_end - 1;
+    let mut step = SEEK_BLOCK;
+    while cur + step < n && slice[cur + step] < target {
+        cur += step;
+        step <<= 1;
+    }
+    let mut hi = (cur + step).min(n);
+    // Invariant: slice[cur] < target, and slice[hi..] >= target (or hi == n).
+    while hi - cur > SEEK_BLOCK {
+        let mid = cur + (hi - cur) / 2;
+        if slice[mid] < target {
+            cur = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    cur + 1 + count_lt(&slice[cur + 1..hi], target)
 }
 
 /// A cursor over a sorted slice, supporting the leapfrog `key / next / seek`
@@ -68,10 +128,10 @@ impl<'a> SliceCursor<'a> {
         self.pos += 1;
     }
 
-    /// Seeks forward to the first element `>= target`.
+    /// Seeks forward to the first element `>= target` via [`block_seek`].
     #[inline]
     pub fn seek(&mut self, target: ValueId) {
-        self.pos = gallop(self.slice, self.pos, target);
+        self.pos = block_seek(self.slice, self.pos, target);
     }
 
     /// The cursor's current index within its slice.
@@ -194,6 +254,44 @@ mod tests {
                 .position(|&v| v >= ValueId(probe))
                 .unwrap_or(s.len());
             assert_eq!(gallop(&s, 0, ValueId(probe)), want, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn block_seek_finds_first_geq() {
+        let s = ids(&[1, 3, 5, 7, 9, 11]);
+        assert_eq!(block_seek(&s, 0, ValueId(0)), 0);
+        assert_eq!(block_seek(&s, 0, ValueId(1)), 0);
+        assert_eq!(block_seek(&s, 0, ValueId(2)), 1);
+        assert_eq!(block_seek(&s, 0, ValueId(7)), 3);
+        assert_eq!(block_seek(&s, 0, ValueId(8)), 4);
+        assert_eq!(block_seek(&s, 0, ValueId(11)), 5);
+        assert_eq!(block_seek(&s, 0, ValueId(12)), 6);
+    }
+
+    #[test]
+    fn block_seek_respects_lower_bound() {
+        let s = ids(&[1, 3, 5, 7]);
+        assert_eq!(block_seek(&s, 2, ValueId(2)), 2);
+        assert_eq!(block_seek(&s, 2, ValueId(6)), 3);
+        assert_eq!(block_seek(&s, 4, ValueId(0)), 4);
+        assert_eq!(block_seek(&s, 9, ValueId(0)), 9);
+        assert_eq!(block_seek(&[], 0, ValueId(5)), 0);
+    }
+
+    #[test]
+    fn block_seek_matches_gallop_on_long_runs() {
+        // Spans several blocks so the block-gallop + binary-search + residual
+        // count_lt path is exercised, not just the first-block fast path.
+        let s: Vec<ValueId> = (0..4096).map(|i| ValueId(3 * i)).collect();
+        for lo in [0usize, 1, 31, 32, 33, 1000, 4095, 4096, 5000] {
+            for probe in [0u32, 1, 95, 96, 97, 3000, 6143, 6144, 12285, 12288, 20000] {
+                assert_eq!(
+                    block_seek(&s, lo, ValueId(probe)),
+                    gallop(&s, lo, ValueId(probe)),
+                    "lo {lo} probe {probe}"
+                );
+            }
         }
     }
 

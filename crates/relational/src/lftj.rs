@@ -19,14 +19,59 @@
 //!   never-stopping wrapper).
 
 use crate::error::Result;
-use crate::leapfrog::gallop;
+use crate::leapfrog::{block_seek, gallop};
 use crate::plan::{JoinPlan, ValueRange};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
-use crate::trie::Trie;
+use crate::trie::{LevelBits, Trie};
 use crate::value::ValueId;
 use std::ops::ControlFlow;
 use std::sync::Arc;
+
+/// Which probe kernel drives a [`LftjWalk`]'s per-variable intersections.
+///
+/// Both kernels produce identical results (the differential probe suites
+/// prove it); they differ in how much work each `advance` amortises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeKernel {
+    /// One value per advance; every key access resolves through the tries
+    /// and seeks are scalar gallops. Kept verbatim as the reference
+    /// implementation and the benchmark baseline.
+    Scalar,
+    /// Batch-at-a-time (MonetDB/X100 style): each refill resolves every
+    /// participant's level slice once, then runs the leapfrog rotation over
+    /// raw slices — with [`crate::leapfrog::block_seek`] or the level's
+    /// bitmap index for seeks — buffering a small vector of matched values
+    /// and their per-atom node positions. The default.
+    #[default]
+    Block,
+}
+
+/// Matches buffered per [`LevelState`] refill under [`ProbeKernel::Block`].
+const PROBE_BATCH: usize = 32;
+/// Participant count up to which the per-refill level views live on the
+/// stack (joins rarely exceed a handful of atoms per variable).
+const MAX_INLINE_VIEWS: usize = 8;
+
+/// A per-refill snapshot of one cursor's trie level: the full value array
+/// plus the optional bitmap index, resolved once instead of per key access.
+#[derive(Clone, Copy)]
+struct LevelView<'a> {
+    vals: &'a [ValueId],
+    bits: Option<&'a LevelBits>,
+}
+
+const EMPTY_VIEW: LevelView<'static> = LevelView {
+    vals: &[],
+    bits: None,
+};
+
+impl<'a> LevelView<'a> {
+    fn of(trie: &'a Trie, level: usize) -> LevelView<'a> {
+        let (vals, bits) = trie.level_view(level);
+        LevelView { vals, bits }
+    }
+}
 
 /// An owned cursor over one contiguous sibling range of a trie level.
 ///
@@ -40,6 +85,12 @@ struct RangeCursor {
     level: usize,
     hi: u32,
     pos: u32,
+    /// Sibling-group id for the level's bitmap index: the parent node index
+    /// at `level - 1`, or 0 at level 0 (one group spans the root level).
+    group: u32,
+    /// Absolute node index where the group begins (pre any root-range
+    /// clamping), anchoring bitmap ranks to node positions.
+    group_start: u32,
 }
 
 impl RangeCursor {
@@ -58,10 +109,24 @@ impl RangeCursor {
         self.pos += 1;
     }
 
-    /// Seeks forward to the first node with value `>= target`.
+    /// Seeks forward to the first node with value `>= target` — the scalar
+    /// reference path, kept on plain galloping.
     fn seek(&mut self, tries: &[Arc<Trie>], target: ValueId) {
         let slice = tries[self.atom].values(self.level, self.pos..self.hi);
         self.pos += gallop(slice, 0, target) as u32;
+    }
+
+    /// Seek against a resolved [`LevelView`]: the level's bitmap index when
+    /// it has one, block-wise galloping over the sibling slice otherwise.
+    #[inline]
+    fn seek_view(&mut self, view: &LevelView<'_>, target: ValueId) {
+        self.pos = match view.bits {
+            Some(bits) => bits.seek(self.group, self.group_start, self.pos, self.hi, target),
+            None => {
+                let slice = &view.vals[self.pos as usize..self.hi as usize];
+                self.pos + block_seek(slice, 0, target) as u32
+            }
+        };
     }
 }
 
@@ -85,6 +150,13 @@ struct LevelState {
     exhausted: bool,
     /// Whether this level's current match is bound onto the walk's prefix.
     bound: bool,
+    /// Matched values buffered by the block kernel, drained in order.
+    batch: Vec<ValueId>,
+    /// Per match, the `k` cursor node positions at the agreement —
+    /// `batch_pos[m*k .. (m+1)*k]` belongs to `batch[m]`.
+    batch_pos: Vec<u32>,
+    /// Index of the batch entry currently served.
+    batch_idx: usize,
 }
 
 impl LevelState {
@@ -98,12 +170,36 @@ impl LevelState {
             primed: false,
             exhausted,
             bound: false,
+            batch: Vec::new(),
+            batch_pos: Vec::new(),
+            batch_idx: 0,
         }
     }
 
-    /// Yields the next value present in every cursor; on `Some(v)` every
-    /// cursor is parked exactly at `v` (so node indices can be read off).
-    fn advance(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
+    /// Yields the next value present in every cursor; on `Some(v)` the
+    /// per-cursor match positions are readable via [`LevelState::match_pos`].
+    fn advance(&mut self, tries: &[Arc<Trie>], kernel: ProbeKernel) -> Option<ValueId> {
+        match kernel {
+            ProbeKernel::Scalar => self.advance_scalar(tries),
+            ProbeKernel::Block => self.advance_block(tries),
+        }
+    }
+
+    /// Node position of cursor `c` at the currently served match: the
+    /// buffered positions under the block kernel, the parked cursor itself
+    /// under the scalar one (whose batch is always empty).
+    #[inline]
+    fn match_pos(&self, c: usize) -> u32 {
+        if self.batch_idx < self.batch.len() {
+            self.batch_pos[self.batch_idx * self.cursors.len() + c]
+        } else {
+            self.cursors[c].pos
+        }
+    }
+
+    /// The scalar reference kernel: one match per call, cursors parked at
+    /// the agreement, `p` staying put so the next call steps the emitter.
+    fn advance_scalar(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
         if self.exhausted {
             return None;
         }
@@ -142,6 +238,105 @@ impl LevelState {
             self.p = (self.p + 1) % k;
         }
     }
+
+    /// The batch-at-a-time kernel: serves buffered matches until the batch
+    /// runs dry, then refills up to [`PROBE_BATCH`] matches in one rotation
+    /// run over per-level views resolved once.
+    fn advance_block(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
+        if self.batch_idx + 1 < self.batch.len() {
+            self.batch_idx += 1;
+            return Some(self.batch[self.batch_idx]);
+        }
+        if self.exhausted {
+            return None;
+        }
+        self.refill(tries);
+        self.batch_idx = 0;
+        self.batch.first().copied()
+    }
+
+    /// Runs the leapfrog rotation over resolved [`LevelView`]s, buffering
+    /// matched values and their cursor positions. Stops when the batch is
+    /// full or some cursor exhausts its range (which ends the level: the
+    /// batch may still hold matches to serve, but no refill will follow).
+    fn refill(&mut self, tries: &[Arc<Trie>]) {
+        self.batch.clear();
+        self.batch_pos.clear();
+        let k = self.cursors.len();
+        let mut inline = [EMPTY_VIEW; MAX_INLINE_VIEWS];
+        let heap: Vec<LevelView<'_>>;
+        let views: &[LevelView<'_>] = if k <= MAX_INLINE_VIEWS {
+            for (slot, c) in inline.iter_mut().zip(&self.cursors) {
+                *slot = LevelView::of(&tries[c.atom], c.level);
+            }
+            &inline[..k]
+        } else {
+            heap = self
+                .cursors
+                .iter()
+                .map(|c| LevelView::of(&tries[c.atom], c.level))
+                .collect();
+            &heap
+        };
+        if k == 1 {
+            // Single participant: the intersection is the range itself —
+            // bulk-copy a batch of values and positions.
+            let c = &mut self.cursors[0];
+            let take = (c.hi - c.pos).min(PROBE_BATCH as u32);
+            if take == 0 {
+                self.exhausted = true;
+                return;
+            }
+            self.batch
+                .extend_from_slice(&views[0].vals[c.pos as usize..(c.pos + take) as usize]);
+            self.batch_pos.extend(c.pos..c.pos + take);
+            c.pos += take;
+            return;
+        }
+        if !self.primed {
+            self.primed = true;
+            self.rot.clear();
+            self.rot.extend(0..k);
+            let cursors = &self.cursors;
+            self.rot
+                .sort_by_key(|&i| views[i].vals[cursors[i].pos as usize]);
+            self.p = 0;
+            let last = self.rot[k - 1];
+            self.max = views[last].vals[self.cursors[last].pos as usize];
+        }
+        loop {
+            let i = self.rot[self.p];
+            let x = views[i].vals[self.cursors[i].pos as usize];
+            if x == self.max {
+                // All k cursors agree on x (the rotation invariant): record
+                // the match and immediately step the emitter past it — the
+                // bound positions live in `batch_pos`, not the cursors.
+                self.batch.push(x);
+                for c in &self.cursors {
+                    self.batch_pos.push(c.pos);
+                }
+                let pos = self.cursors[i].pos + 1;
+                self.cursors[i].pos = pos;
+                if pos >= self.cursors[i].hi {
+                    self.exhausted = true;
+                    return;
+                }
+                self.max = views[i].vals[pos as usize];
+                self.p = (self.p + 1) % k;
+                if self.batch.len() >= PROBE_BATCH {
+                    return;
+                }
+            } else {
+                self.cursors[i].seek_view(&views[i], self.max);
+                if self.cursors[i].at_end() {
+                    self.exhausted = true;
+                    return;
+                }
+                self.max = views[i].vals[self.cursors[i].pos as usize];
+                self.p = (self.p + 1) % k;
+            }
+        }
+    }
 }
 
 /// A pull-based depth-first LFTJ walk over a join plan.
@@ -159,6 +354,8 @@ pub struct LftjWalk {
     /// tuples whose first binding falls in this range (see
     /// [`LftjWalk::with_root_range`]).
     root: ValueRange,
+    /// The probe kernel driving every level's intersection.
+    kernel: ProbeKernel,
     /// Open levels, one [`LevelState`] per currently-entered variable.
     levels: Vec<LevelState>,
     /// Per-atom stack of bound node indices (absolute within each level).
@@ -170,8 +367,8 @@ pub struct LftjWalk {
 }
 
 impl LftjWalk {
-    /// Creates a walk over `plan`. No work happens until the first
-    /// [`LftjWalk::next_tuple`] call.
+    /// Creates a walk over `plan` with the default (block) probe kernel. No
+    /// work happens until the first [`LftjWalk::next_tuple`] call.
     pub fn new(plan: JoinPlan) -> LftjWalk {
         Self::with_root_range(plan, ValueRange::all())
     }
@@ -182,10 +379,18 @@ impl LftjWalk {
     /// of the value space enumerates exactly the full result, partitioned by
     /// first binding — the substrate of morsel-style parallel execution.
     pub fn with_root_range(plan: JoinPlan, root: ValueRange) -> LftjWalk {
+        Self::with_kernel(plan, root, ProbeKernel::default())
+    }
+
+    /// Creates a range-restricted walk driven by an explicit
+    /// [`ProbeKernel`]. Benchmarks and differential suites pin the kernel;
+    /// everything else takes the default.
+    pub fn with_kernel(plan: JoinPlan, root: ValueRange, kernel: ProbeKernel) -> LftjWalk {
         let natoms = plan.tries().len();
         LftjWalk {
             plan,
             root,
+            kernel,
             levels: Vec::new(),
             nodes: vec![Vec::new(); natoms],
             prefix: Vec::new(),
@@ -193,6 +398,11 @@ impl LftjWalk {
             done: false,
             bindings: 0,
         }
+    }
+
+    /// The probe kernel driving this walk.
+    pub fn kernel(&self) -> ProbeKernel {
+        self.kernel
     }
 
     /// The plan's global variable order (= the layout of yielded tuples).
@@ -226,12 +436,17 @@ impl LftjWalk {
         let mut cursors = Vec::with_capacity(vp.participants.len());
         for part in &vp.participants {
             let trie = &self.plan.tries()[part.atom];
-            let mut range = if part.level == 0 {
-                trie.root_range()
+            let (mut range, group) = if part.level == 0 {
+                // Level 0 is one sibling group (group id 0) spanning the
+                // whole level.
+                (trie.root_range(), 0)
             } else {
                 let parent = *self.nodes[part.atom].last().expect("parent level bound");
-                trie.children(part.level - 1, parent)
+                (trie.children(part.level - 1, parent), parent)
             };
+            // The bitmap index anchors ranks to the group's true first node,
+            // so record it before any root-range clamping narrows `range`.
+            let group_start = range.start;
             // The first variable participates at level 0 of every atom that
             // contains it; narrowing all its cursors to the walk's root
             // range restricts the whole walk to that morsel.
@@ -243,6 +458,8 @@ impl LftjWalk {
                 level: part.level,
                 hi: range.end,
                 pos: range.start,
+                group,
+                group_start,
             });
         }
         self.levels.push(LevelState::new(cursors));
@@ -281,11 +498,11 @@ impl LftjWalk {
                 }
             }
             // …and pull its next one.
-            match self.levels[d].advance(self.plan.tries()) {
+            match self.levels[d].advance(self.plan.tries(), self.kernel) {
                 Some(v) => {
                     self.prefix.push(v);
                     for (c, part) in self.plan.var_plans()[d].participants.iter().enumerate() {
-                        self.nodes[part.atom].push(self.levels[d].cursors[c].pos);
+                        self.nodes[part.atom].push(self.levels[d].match_pos(c));
                     }
                     self.levels[d].bound = true;
                     self.bindings += 1;
@@ -614,5 +831,84 @@ mod tests {
         assert_eq!(walk.order(), &attrs(&["a", "b"])[..]);
         assert_eq!(walk.plan().tries().len(), 1);
         assert_eq!(walk.bindings(), 0);
+        assert_eq!(walk.kernel(), ProbeKernel::Block);
+    }
+
+    /// Runs `plan` to exhaustion under `kernel`, returning (tuples, bindings).
+    fn drain(plan: &JoinPlan, root: ValueRange, kernel: ProbeKernel) -> (Vec<Vec<ValueId>>, u64) {
+        let mut walk = LftjWalk::with_kernel(plan.clone(), root, kernel);
+        let mut out = Vec::new();
+        while let Some(t) = walk.next_tuple() {
+            out.push(t.to_vec());
+        }
+        (out, walk.bindings())
+    }
+
+    #[test]
+    fn scalar_and_block_kernels_agree_on_triangle() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 1], &[1, 3], &[2, 1]]);
+        let s = rel(&["b", "c"], &[&[2, 3], &[3, 1], &[1, 2], &[1, 1]]);
+        let t = rel(&["a", "c"], &[&[1, 3], &[2, 1], &[3, 2], &[2, 2]]);
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        let (scalar, scalar_b) = drain(&plan, ValueRange::all(), ProbeKernel::Scalar);
+        let (block, block_b) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
+        assert_eq!(scalar, block);
+        assert_eq!(scalar_b, block_b, "kernels must bind identically");
+    }
+
+    #[test]
+    fn kernels_agree_across_batch_boundaries() {
+        // A single-atom walk over > PROBE_BATCH keys exercises the bulk-copy
+        // refill path across several batch refills.
+        let rows: Vec<Vec<ValueId>> = (0..100u32).map(|i| vec![v(i), v(i % 7)]).collect();
+        let r = Relation::from_rows(Schema::of(&["a", "b"]), rows).unwrap();
+        let plan = JoinPlan::new(&[&r], &attrs(&["a", "b"])).unwrap();
+        let (scalar, scalar_b) = drain(&plan, ValueRange::all(), ProbeKernel::Scalar);
+        let (block, block_b) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
+        assert_eq!(scalar.len(), 100);
+        assert_eq!(scalar, block);
+        assert_eq!(scalar_b, block_b);
+    }
+
+    #[test]
+    fn kernels_agree_under_root_ranges() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 1], &[1, 3], &[2, 1]]);
+        let s = rel(&["b", "c"], &[&[2, 3], &[3, 1], &[1, 2], &[1, 1]]);
+        let t = rel(&["a", "c"], &[&[1, 3], &[2, 1], &[3, 2], &[2, 2]]);
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        for (lo, hi) in [(0, Some(2)), (2, None), (1, Some(3)), (5, Some(9))] {
+            let root = ValueRange {
+                lo: v(lo),
+                hi: hi.map(v),
+            };
+            let (scalar, _) = drain(&plan, root.clone(), ProbeKernel::Scalar);
+            let (block, _) = drain(&plan, root, ProbeKernel::Block);
+            assert_eq!(scalar, block, "root [{lo}, {hi:?})");
+        }
+    }
+
+    #[test]
+    fn block_kernel_uses_bitset_levels() {
+        // Dense symmetric edge set large enough that levels cross
+        // BITSET_MIN_NODES: both kernels, and both layouts, must agree.
+        let mut edges: Vec<Vec<ValueId>> = Vec::new();
+        for i in 0..90u32 {
+            let j = (i * 37 + 11) % 90;
+            if i != j {
+                edges.push(vec![v(i), v(j)]);
+                edges.push(vec![v(j), v(i)]);
+            }
+        }
+        let make =
+            |names: [&str; 2]| Relation::from_rows(Schema::of(&names), edges.clone()).unwrap();
+        let (r, s, t) = (make(["a", "b"]), make(["b", "c"]), make(["a", "c"]));
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        assert!(
+            plan.tries().iter().any(|t| t.bitset_level_count() > 0),
+            "test instance too small to trigger bitset layouts"
+        );
+        let (scalar, _) = drain(&plan, ValueRange::all(), ProbeKernel::Scalar);
+        let (block, _) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
+        assert_eq!(scalar, block);
     }
 }

@@ -7,7 +7,7 @@
 //! the list of atoms containing it and at which trie level.
 
 use crate::error::{RelError, Result};
-use crate::leapfrog::gallop;
+use crate::leapfrog::block_seek;
 use crate::relation::Relation;
 use crate::schema::Attr;
 use crate::trie::Trie;
@@ -57,15 +57,15 @@ impl ValueRange {
     }
 
     /// Narrows a sibling node range of `trie` at `level` to the nodes whose
-    /// values fall inside this value range (galloping on the sorted level).
+    /// values fall inside this value range (block-searching the sorted level).
     pub fn clamp_nodes(&self, trie: &Trie, level: usize, range: Range<u32>) -> Range<u32> {
         if self.is_all() {
             return range;
         }
         let vals = trie.values(level, range.clone());
-        let lo_off = gallop(vals, 0, self.lo);
+        let lo_off = block_seek(vals, 0, self.lo);
         let hi_off = match self.hi {
-            Some(h) => gallop(vals, lo_off, h),
+            Some(h) => block_seek(vals, lo_off, h),
             None => vals.len(),
         };
         range.start + lo_off as u32..range.start + hi_off as u32

@@ -14,6 +14,7 @@
 //! a query so benchmarks can report build vs probe time separately.
 
 use crate::schema::Attr;
+use crate::trie::LevelLayout;
 use std::fmt;
 use std::time::Duration;
 
@@ -50,6 +51,9 @@ pub struct BuildStats {
     pub tuples: usize,
     /// The sort strategy that engaged.
     pub path: SortPath,
+    /// Physical layout chosen for each trie level, root level first (empty
+    /// for nullary builds).
+    pub layouts: Vec<LevelLayout>,
     /// Wall-clock time of the build.
     pub elapsed: Duration,
 }
@@ -58,9 +62,16 @@ impl fmt::Display for BuildStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rows_in={} tuples={} path={} elapsed={:?}",
-            self.rows_in, self.tuples, self.path, self.elapsed
-        )
+            "rows_in={} tuples={} path={} layouts=[",
+            self.rows_in, self.tuples, self.path
+        )?;
+        for (i, l) in self.layouts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "] elapsed={:?}", self.elapsed)
     }
 }
 
@@ -90,6 +101,9 @@ pub struct JoinStats {
     pub build_elapsed: Duration,
     /// Number of tries actually built (cache hits excluded).
     pub tries_built: usize,
+    /// Number of trie levels across the plan's tries carrying the
+    /// [`LevelLayout::Bitset`] layout (0 for non-trie engines).
+    pub bitset_levels: usize,
 }
 
 impl JoinStats {
@@ -136,6 +150,9 @@ impl fmt::Display for JoinStats {
                 self.tries_built, self.build_elapsed
             )?;
         }
+        if self.bitset_levels > 0 {
+            writeln!(f, "  {} bitset level(s)", self.bitset_levels)?;
+        }
         for s in &self.stages {
             writeln!(f, "  {:<24} {:>12}", s.label, s.tuples)?;
         }
@@ -179,5 +196,27 @@ mod tests {
         let text = st.to_string();
         assert!(text.contains("output=4"));
         assert!(text.contains("expand a"));
+    }
+
+    #[test]
+    fn build_stats_display_lists_layouts() {
+        let st = BuildStats {
+            rows_in: 10,
+            tuples: 8,
+            path: SortPath::Radix,
+            layouts: vec![LevelLayout::Bitset, LevelLayout::SortedVec],
+            elapsed: Duration::from_millis(1),
+        };
+        let text = st.to_string();
+        assert!(text.contains("layouts=[bitset,sorted]"), "{text}");
+    }
+
+    #[test]
+    fn join_stats_display_reports_bitset_levels() {
+        let st = JoinStats {
+            bitset_levels: 3,
+            ..JoinStats::default()
+        };
+        assert!(st.to_string().contains("3 bitset level(s)"));
     }
 }

@@ -41,6 +41,192 @@ struct TrieLevel {
     /// `child_start[i]..child_start[i+1]` is node `i`'s child range in the
     /// next level. Empty for the deepest level.
     child_start: Vec<u32>,
+    /// Bitmap seek accelerator, present iff the level's layout is
+    /// [`LevelLayout::Bitset`]. `vals` is always kept, so slice-consuming
+    /// engines are unaffected by the layout choice.
+    bits: Option<LevelBits>,
+}
+
+impl TrieLevel {
+    fn layout(&self) -> LevelLayout {
+        if self.bits.is_some() {
+            LevelLayout::Bitset
+        } else {
+            LevelLayout::SortedVec
+        }
+    }
+}
+
+/// The physical layout backing one trie level's seek path.
+///
+/// Chosen per level by [`TrieBuilder`] (and the reference builder) from the
+/// level's density: dense levels get a bitmap index on top of the sorted
+/// value array. The choice is **transparent to all engines** — `vals` is
+/// always retained, slice accessors like [`Trie::values`] are unchanged, and
+/// seeks consult the layout behind the cursor API. The selection is
+/// reported through `BuildStats::layouts`, `explain()`, and
+/// `JoinStats::bitset_levels`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelLayout {
+    /// Plain sorted value array; seeks run block-wise branch-reduced
+    /// galloping ([`crate::leapfrog::block_seek`]).
+    SortedVec,
+    /// The sorted array is augmented with per-sibling-group bitmaps and a
+    /// rank directory, so a seek is a word scan plus popcount instead of a
+    /// search. Selected for levels with at least `BITSET_MIN_NODES` nodes
+    /// whose total value span is at most `BITSET_SPAN_FACTOR`× the node
+    /// count (dense dictionary ids — the common case for generated and
+    /// dictionary-encoded data).
+    Bitset,
+}
+
+impl std::fmt::Display for LevelLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LevelLayout::SortedVec => "sorted",
+            LevelLayout::Bitset => "bitset",
+        })
+    }
+}
+
+/// Per-sibling-group bitmap index accelerating seeks on a dense level.
+///
+/// Group `g` — the children of node `g` of the previous level; the whole
+/// level for depth 0 — owns words `word_start[g]..word_start[g+1]`. Bit `b`
+/// of the group's `w`-th word is set iff value `base[g] + 64·w + b` occurs
+/// among the group's siblings. `rank[w]` counts the set bits in the group's
+/// words strictly before `w` (group-relative), so a hit converts to an
+/// absolute node index with a single popcount.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LevelBits {
+    /// Per group: first owned word index; `groups + 1` entries.
+    word_start: Vec<u32>,
+    /// Per group: the value bit 0 of its first word represents.
+    base: Vec<ValueId>,
+    /// The bitmap words of all groups, concatenated.
+    words: Vec<u64>,
+    /// Per word: set-bit count of the owning group's earlier words.
+    rank: Vec<u32>,
+}
+
+impl LevelBits {
+    /// First node index in `pos..hi` of `group` (whose nodes start at
+    /// absolute index `group_start`) with value `>= target` — the bitmap
+    /// counterpart of [`crate::leapfrog::block_seek`] over the group's
+    /// sibling slice. Returns `hi` when no such node exists.
+    pub(crate) fn seek(
+        &self,
+        group: u32,
+        group_start: u32,
+        pos: u32,
+        hi: u32,
+        target: ValueId,
+    ) -> u32 {
+        let g = group as usize;
+        let base = self.base[g];
+        if target <= base {
+            return pos;
+        }
+        let off = (target.0 - base.0) as usize;
+        let w_end = self.word_start[g + 1] as usize;
+        let mut w = self.word_start[g] as usize + off / 64;
+        if w >= w_end {
+            return hi;
+        }
+        let mut word = self.words[w] & (!0u64 << (off % 64));
+        while word == 0 {
+            w += 1;
+            if w >= w_end {
+                return hi;
+            }
+            word = self.words[w];
+        }
+        let bit = word.trailing_zeros();
+        let below = (self.words[w] & ((1u64 << bit) - 1)).count_ones();
+        // Values ascend within a group, so clamping into the cursor's
+        // window is exact — it only matters for root ranges restricted by
+        // morsel partitioning.
+        (group_start + self.rank[w] + below).clamp(pos, hi)
+    }
+
+    fn bytes(&self) -> usize {
+        self.word_start.len() * std::mem::size_of::<u32>()
+            + self.base.len() * std::mem::size_of::<ValueId>()
+            + self.words.len() * std::mem::size_of::<u64>()
+            + self.rank.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Minimum node count for a level to be considered for [`LevelLayout::Bitset`];
+/// tiny levels seek fast enough through the sorted array alone.
+const BITSET_MIN_NODES: usize = 64;
+/// Maximum total value span (summed over sibling groups: `last − first + 1`)
+/// relative to the node count for a level to qualify as dense.
+const BITSET_SPAN_FACTOR: usize = 8;
+
+/// Deterministic post-pass choosing each level's [`LevelLayout`] from the
+/// emitted `vals`/`child_start` arrays and attaching bitmap indexes to the
+/// dense levels. Invoked by **both** [`TrieBuilder::build`] and
+/// [`Trie::build_reference`] with the same threshold, so differential suites
+/// comparing whole tries (derived `PartialEq`, `estimated_bytes`) hold.
+fn attach_bitsets(levels: &mut [TrieLevel], min_nodes: usize) {
+    for d in 0..levels.len() {
+        let (parents, rest) = levels.split_at_mut(d);
+        let level = &mut rest[0];
+        level.bits = None;
+        let n = level.vals.len();
+        if n < min_nodes {
+            continue;
+        }
+        // Sibling-group boundaries: the previous level's child ranges, or a
+        // single group spanning the whole level at the root.
+        let root_bounds = [0u32, n as u32];
+        let bounds: &[u32] = if d == 0 {
+            &root_bounds
+        } else {
+            &parents[d - 1].child_start
+        };
+        let mut span_total = 0u64;
+        for g in bounds.windows(2) {
+            let (s, e) = (g[0] as usize, g[1] as usize);
+            if e > s {
+                span_total += u64::from(level.vals[e - 1].0 - level.vals[s].0) + 1;
+            }
+        }
+        if span_total > (BITSET_SPAN_FACTOR * n) as u64 {
+            continue;
+        }
+        let groups = bounds.len() - 1;
+        let mut bits = LevelBits {
+            word_start: Vec::with_capacity(groups + 1),
+            base: Vec::with_capacity(groups),
+            words: Vec::with_capacity(span_total.div_ceil(64) as usize),
+            rank: Vec::new(),
+        };
+        bits.word_start.push(0);
+        for g in bounds.windows(2) {
+            let (s, e) = (g[0] as usize, g[1] as usize);
+            let base = if e > s { level.vals[s] } else { ValueId(0) };
+            bits.base.push(base);
+            let w0 = bits.words.len();
+            if e > s {
+                let span = (level.vals[e - 1].0 - base.0) as usize + 1;
+                bits.words.resize(w0 + span.div_ceil(64), 0);
+                for &v in &level.vals[s..e] {
+                    let off = (v.0 - base.0) as usize;
+                    bits.words[w0 + off / 64] |= 1u64 << (off % 64);
+                }
+            }
+            let mut running = 0u32;
+            for w in w0..bits.words.len() {
+                bits.rank.push(running);
+                running += bits.words[w].count_ones();
+            }
+            bits.word_start.push(bits.words.len() as u32);
+        }
+        bits.rank.shrink_to_fit();
+        level.bits = Some(bits);
+    }
 }
 
 /// A flat sorted trie over a relation under a fixed attribute order.
@@ -135,9 +321,11 @@ impl Trie {
             levels.push(TrieLevel {
                 vals,
                 child_start: Vec::new(),
+                bits: None,
             });
             groups = next_groups;
         }
+        attach_bitsets(&mut levels, BITSET_MIN_NODES);
 
         Ok(Trie {
             attrs: order.to_vec(),
@@ -198,6 +386,28 @@ impl Trie {
         self.levels[level].vals[node as usize]
     }
 
+    /// The physical [`LevelLayout`] of `level`.
+    pub fn level_layout(&self, level: usize) -> LevelLayout {
+        self.levels[level].layout()
+    }
+
+    /// The layout of every level, root level first.
+    pub fn level_layouts(&self) -> Vec<LevelLayout> {
+        self.levels.iter().map(TrieLevel::layout).collect()
+    }
+
+    /// Number of levels carrying the [`LevelLayout::Bitset`] layout.
+    pub fn bitset_level_count(&self) -> usize {
+        self.levels.iter().filter(|l| l.bits.is_some()).count()
+    }
+
+    /// The full value array and optional bitmap index of `level` — the raw
+    /// view the batched probe kernel caches once per batch refill.
+    pub(crate) fn level_view(&self, level: usize) -> (&[ValueId], Option<&LevelBits>) {
+        let l = &self.levels[level];
+        (&l.vals, l.bits.as_ref())
+    }
+
     /// Materialises the trie back into a relation with attributes in trie
     /// order. Mostly used by tests to check the round-trip invariant.
     ///
@@ -242,15 +452,17 @@ impl Trie {
         self.levels.iter().map(|l| l.vals.len()).sum()
     }
 
-    /// Approximate heap footprint in bytes (value and child-range arrays;
-    /// attribute names excluded). Trie caches charge entries against their
-    /// byte budget using this estimate.
+    /// Approximate heap footprint in bytes (value, child-range, and bitmap
+    /// index arrays; attribute names excluded). Trie caches charge entries
+    /// against their byte budget using this estimate, so bitset layouts pay
+    /// for their index space there too.
     pub fn estimated_bytes(&self) -> usize {
         self.levels
             .iter()
             .map(|l| {
                 l.vals.len() * std::mem::size_of::<ValueId>()
                     + l.child_start.len() * std::mem::size_of::<u32>()
+                    + l.bits.as_ref().map_or(0, LevelBits::bytes)
             })
             .sum()
     }
@@ -312,7 +524,7 @@ fn check_order(rel: &Relation, order: &[Attr]) -> Result<Vec<usize>> {
 /// constructions — a query's plan assembly, an `xjoin-store` registry fill —
 /// stops allocating once warm. [`Trie::build`] routes through a thread-local
 /// instance; hold your own when you want [`TrieBuilder::last_stats`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TrieBuilder {
     /// Level-major column scratch: level `d` of the current build occupies
     /// `cols[d*n .. (d+1)*n]`.
@@ -327,6 +539,27 @@ pub struct TrieBuilder {
     diff: Vec<u32>,
     /// Profile of the most recent build.
     last: Option<BuildStats>,
+    /// Whether dense levels get the [`LevelLayout::Bitset`] layout
+    /// (default `true`; benchmarks disable it to measure plain layouts).
+    bitset_enabled: bool,
+    /// Node-count threshold for the bitset layout; overridable (hidden) so
+    /// small-input tests can force bitsets on.
+    bitset_min_nodes: usize,
+}
+
+impl Default for TrieBuilder {
+    fn default() -> TrieBuilder {
+        TrieBuilder {
+            cols: Vec::new(),
+            perm: Vec::new(),
+            perm_tmp: Vec::new(),
+            counts: Vec::new(),
+            diff: Vec::new(),
+            last: None,
+            bitset_enabled: true,
+            bitset_min_nodes: BITSET_MIN_NODES,
+        }
+    }
 }
 
 /// Minimum row count for the radix path; below this the histogram setup
@@ -357,6 +590,23 @@ impl TrieBuilder {
         self.last.as_ref()
     }
 
+    /// Enables or disables the per-level [`LevelLayout::Bitset`] selection
+    /// (on by default). Probe benchmarks build with it off to measure the
+    /// plain sorted layout under identical data.
+    pub fn with_bitset_levels(mut self, enabled: bool) -> TrieBuilder {
+        self.bitset_enabled = enabled;
+        self
+    }
+
+    /// Overrides the node-count threshold above which dense levels get the
+    /// bitset layout. Test-only: differential suites use a threshold of 1 to
+    /// force bitsets onto small random inputs. Tries built with a
+    /// non-default threshold compare unequal to reference-built ones.
+    #[doc(hidden)]
+    pub fn set_bitset_min_nodes(&mut self, min_nodes: usize) {
+        self.bitset_min_nodes = min_nodes.max(1);
+    }
+
     /// Builds a trie over `rel`'s distinct tuples with levels ordered by
     /// `order` — same contract and output as [`Trie::build`], reusing this
     /// builder's scratch buffers.
@@ -371,6 +621,7 @@ impl TrieBuilder {
                 rows_in: rel.len(),
                 tuples,
                 path: SortPath::AlreadySorted,
+                layouts: Vec::new(),
                 elapsed: start.elapsed(),
             });
             return Ok(Trie {
@@ -384,13 +635,17 @@ impl TrieBuilder {
         let max_id = self.scatter_columns(rel, &positions, n);
         let path = self.sort_permutation(arity, n, max_id);
         let tuples = self.dedup_and_diff(arity, n);
-        let levels = self.emit_levels(arity, n, tuples);
+        let mut levels = self.emit_levels(arity, n, tuples);
+        if self.bitset_enabled {
+            attach_bitsets(&mut levels, self.bitset_min_nodes);
+        }
         self.trim_scratch(arity, n);
 
         self.last = Some(BuildStats {
             rows_in: n,
             tuples,
             path,
+            layouts: levels.iter().map(TrieLevel::layout).collect(),
             elapsed: start.elapsed(),
         });
         Ok(Trie {
@@ -547,6 +802,7 @@ impl TrieBuilder {
             .map(|_| TrieLevel {
                 vals: Vec::new(),
                 child_start: Vec::new(),
+                bits: None,
             })
             .collect();
         for d in 0..arity {
@@ -779,6 +1035,97 @@ mod tests {
         assert_eq!(t.estimated_bytes(), (2 + 3 + 3) * 4);
         let empty = Trie::from_relation(&Relation::new(Schema::of(&["a"])));
         assert_eq!(empty.estimated_bytes(), 0);
+    }
+
+    #[test]
+    fn dense_level_gets_bitset_layout() {
+        // 200 consecutive unary values: 200 nodes spanning exactly 200 ids —
+        // maximally dense, comfortably past BITSET_MIN_NODES.
+        let mut r = Relation::new(Schema::of(&["x"]));
+        for i in 0..200u32 {
+            r.push(&[v(i)]).unwrap();
+        }
+        let t = Trie::from_relation(&r);
+        assert_eq!(t.level_layout(0), LevelLayout::Bitset);
+        assert_eq!(t.level_layouts(), vec![LevelLayout::Bitset]);
+        assert_eq!(t.bitset_level_count(), 1);
+        // The index is extra footprint on top of the value array.
+        assert!(t.estimated_bytes() > 200 * 4);
+        // Reference builder must attach the identical index.
+        assert_eq!(t, Trie::build_reference(&r, r.schema().attrs()).unwrap());
+    }
+
+    #[test]
+    fn sparse_level_stays_sorted_vec() {
+        // 200 values spaced 100 apart: span 19901 > 8×200 — too sparse.
+        let mut r = Relation::new(Schema::of(&["x"]));
+        for i in 0..200u32 {
+            r.push(&[v(i * 100)]).unwrap();
+        }
+        let t = Trie::from_relation(&r);
+        assert_eq!(t.level_layout(0), LevelLayout::SortedVec);
+        assert_eq!(t.bitset_level_count(), 0);
+        assert_eq!(t.estimated_bytes(), 200 * 4);
+    }
+
+    #[test]
+    fn small_level_stays_sorted_vec() {
+        let t = Trie::from_relation(&sample());
+        assert_eq!(
+            t.level_layouts(),
+            vec![LevelLayout::SortedVec, LevelLayout::SortedVec]
+        );
+    }
+
+    #[test]
+    fn builder_bitset_toggle_strips_index() {
+        let mut r = Relation::new(Schema::of(&["x"]));
+        for i in 0..200u32 {
+            r.push(&[v(i)]).unwrap();
+        }
+        let mut b = TrieBuilder::new().with_bitset_levels(false);
+        let t = b.build(&r, r.schema().attrs()).unwrap();
+        assert_eq!(t.level_layout(0), LevelLayout::SortedVec);
+        assert_eq!(t.estimated_bytes(), 200 * 4);
+        assert_eq!(
+            b.last_stats().unwrap().layouts,
+            vec![LevelLayout::SortedVec]
+        );
+    }
+
+    #[test]
+    fn bitset_seek_matches_block_seek_on_every_group() {
+        use crate::leapfrog::block_seek;
+        // Two-level trie with bitsets forced on tiny sibling groups, so the
+        // per-group base/rank arithmetic is exercised on non-root levels.
+        let mut r = Relation::new(Schema::of(&["a", "b"]));
+        for a in 0..12u32 {
+            for b in 0..6u32 {
+                r.push(&[v(a * 2), v(a + b * 3)]).unwrap();
+            }
+        }
+        let mut builder = TrieBuilder::new();
+        builder.set_bitset_min_nodes(1);
+        let t = builder.build(&r, r.schema().attrs()).unwrap();
+        assert_eq!(t.bitset_level_count(), 2);
+        for level in 0..2usize {
+            let bits = t.level_view(level).1.expect("forced bitset");
+            let groups: Vec<std::ops::Range<u32>> = if level == 0 {
+                vec![t.root_range()]
+            } else {
+                (0..t.level_len(0) as u32)
+                    .map(|n| t.children(0, n))
+                    .collect()
+            };
+            for (g, range) in groups.iter().enumerate() {
+                let slice = t.values(level, range.clone());
+                for target in 0..40u32 {
+                    let want = range.start + block_seek(slice, 0, v(target)) as u32;
+                    let got = bits.seek(g as u32, range.start, range.start, range.end, v(target));
+                    assert_eq!(got, want, "level {level} group {g} target {target}");
+                }
+            }
+        }
     }
 
     #[test]

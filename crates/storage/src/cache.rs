@@ -357,6 +357,31 @@ mod tests {
     }
 
     #[test]
+    fn bitset_index_bytes_count_against_budget() {
+        // A dense first column (200 consecutive values) makes the builder
+        // attach a per-level bitset index; the cache must charge those extra
+        // bytes, not just the raw value/offset arrays.
+        let mut r = Relation::new(Schema::of(&["a", "b"]));
+        for i in 0..200u32 {
+            r.push(&[ValueId(i), ValueId(i)]).unwrap();
+        }
+        let order = r.schema().attrs().to_vec();
+        let plain = relational::TrieBuilder::new()
+            .with_bitset_levels(false)
+            .build(&r, &order)
+            .unwrap();
+        let indexed = relational::TrieBuilder::new().build(&r, &order).unwrap();
+        assert!(indexed.bitset_level_count() > 0, "workload must be dense");
+        assert!(indexed.estimated_bytes() > plain.estimated_bytes());
+
+        let reg = TrieRegistry::new();
+        let bytes = indexed.estimated_bytes();
+        reg.get_or_build(&key("dense", 1), move || Ok(indexed))
+            .unwrap();
+        assert_eq!(reg.stats().bytes_in_use, bytes);
+    }
+
+    #[test]
     fn oversized_single_entry_is_kept() {
         let reg = TrieRegistry::with_budget(Some(1));
         reg.get_or_build(&key("R", 1), || build(8)).unwrap();

@@ -351,6 +351,7 @@ impl PreparedQuery {
         out.stats.elapsed = start.elapsed();
         out.stats.build_elapsed = cost.elapsed;
         out.stats.tries_built = cost.tries_built;
+        out.stats.bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
         Ok(out)
     }
 

@@ -48,7 +48,9 @@ fn assert_differential(rel: &Relation, order: &[Attr]) -> SortPath {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Full case count natively; reduced under Miri, which interprets every
+    // build at ~1000x native cost (the CI miri job runs this suite).
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 8 } else { 64 }))]
 
     // Duplicate-heavy small-domain relations under every attribute order:
     // exercises grouping, dedup, and (for n >= 64) the radix path.
