@@ -308,8 +308,16 @@ fn resolve<'a>(
     query: &MultiModelQuery,
     opts: &ExecOptions,
 ) -> Result<(Atoms<'a>, Vec<Attr>)> {
-    let atoms = collect_atoms(ctx, query)?;
-    let order = compute_order(&atoms, &opts.order)?;
+    let atoms = {
+        let _span = xjoin_obs::span("resolve");
+        collect_atoms(ctx, query)?
+    };
+    let order = {
+        let mut span = xjoin_obs::span("order");
+        let order = compute_order(&atoms, &opts.order)?;
+        span.set_attr(|| order.iter().map(|a| a.name()).collect::<Vec<_>>().join(","));
+        order
+    };
     validate_output(query, &order)?;
     Ok((atoms, order))
 }
@@ -411,7 +419,12 @@ fn execute_fresh_plan(
         ..opts.clone()
     };
     let (atoms, order) = resolve(ctx, query, &opts)?;
-    let plan = JoinPlan::new(&atoms.rel_refs(), &order)?;
+    let plan = {
+        let mut span = xjoin_obs::span("plan-build");
+        let plan = JoinPlan::new(&atoms.rel_refs(), &order)?;
+        span.set_attr(|| format!("tries_built={}", plan.tries_built()));
+        plan
+    };
     let mut out = execute_with_plan(
         ctx,
         query,
@@ -481,7 +494,10 @@ impl Engine for StreamingXJoin {
         opts: &ExecOptions,
     ) -> Result<Rows<'a>> {
         let (atoms, order) = resolve(ctx, query, opts)?;
-        let plan = JoinPlan::new(&atoms.rel_refs(), &order)?;
+        let plan = {
+            let _span = xjoin_obs::span("plan-build");
+            JoinPlan::new(&atoms.rel_refs(), &order)?
+        };
         stream_with_plan(ctx, query, plan, opts)
     }
 }
@@ -680,6 +696,8 @@ pub fn execute_with_plan(
     first_path_atom: usize,
 ) -> Result<QueryOutput> {
     let start = Instant::now();
+    let mut exec_span = xjoin_obs::span("execute");
+    exec_span.set_attr(|| opts.engine.to_string());
     if opts.engine.is_plan_based() && opts.parallelism.workers() > 1 && !plan.var_plans().is_empty()
     {
         return execute_parallel(ctx, query, opts, plan, atom_sizes, first_path_atom);

@@ -8,8 +8,10 @@ use crate::bounds::{mixed_hypergraph, prefix_bounds, query_bound};
 use crate::error::Result;
 use crate::order::{compute_order, OrderStrategy};
 use crate::query::{DataContext, MultiModelQuery};
-use relational::{BuildStats, TrieBuilder};
+use relational::{BuildStats, JoinPlan, LevelProbeStats, LftjWalk, TrieBuilder};
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cold-start build profile of one atom's trie (see
 /// [`Explanation::trie_builds`]).
@@ -153,6 +155,223 @@ impl Explanation {
     }
 }
 
+/// One attribute level of an [`AnalyzeReport`]: the Lemma 3.5 prefix bound
+/// next to what the instrumented walk actually did there.
+#[derive(Debug, Clone)]
+pub struct LevelAnalysis {
+    /// The variable bound at this level.
+    pub var: String,
+    /// The AGM bound on distinct matching prefixes through this level
+    /// (Lemma 3.5).
+    pub bound: f64,
+    /// Distinct matching prefixes the walk actually bound at this level.
+    pub actual: u64,
+    /// The level's raw probe counters (seeks, gallop steps, batch refills,
+    /// bitmap words).
+    pub probe: LevelProbeStats,
+}
+
+impl LevelAnalysis {
+    /// `actual / bound` — how much of the worst-case budget this level
+    /// consumed (1.0 = the bound is tight; 0 when both are zero).
+    pub fn tightness(&self) -> f64 {
+        if self.bound > 0.0 {
+            self.actual as f64 / self.bound
+        } else if self.actual == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// What [`explain_analyze`] returns: the static [`Explanation`] plus
+/// measured per-level actuals, probe counters, and stage wall times from an
+/// instrumented serial run.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The static explanation (atoms, order, bounds, build profiles).
+    pub explanation: Explanation,
+    /// Per attribute level: bound vs actual vs probe counters, in order.
+    pub levels: Vec<LevelAnalysis>,
+    /// Join result rows enumerated by the walk (full-width, before twig
+    /// structure validation and projection).
+    pub output_rows: u64,
+    /// Wall time of resolution: atom lowering, order selection, bounds.
+    pub resolve_elapsed: Duration,
+    /// Wall time of trie construction (the cold-start build bill).
+    pub build_elapsed: Duration,
+    /// Wall time of the instrumented LFTJ walk.
+    pub probe_elapsed: Duration,
+    /// End-to-end wall time of the analyze run.
+    pub total_elapsed: Duration,
+}
+
+/// `EXPLAIN ANALYZE`: resolves the query, builds its tries, and **runs** a
+/// probe-counting serial [`LftjWalk`] (block kernel) over the plan, so the
+/// report can put *measured* per-level bindings and probe work next to the
+/// Lemma 3.5 bounds [`explain`] only predicts. Spans land in the
+/// `xjoin-obs` tracer when it is enabled.
+///
+/// The walk enumerates the raw join — twig structure validation and
+/// projection are downstream of the per-level quantities Lemma 3.5 bounds,
+/// so they are intentionally not part of the run.
+pub fn explain_analyze(
+    ctx: &DataContext<'_>,
+    query: &MultiModelQuery,
+    strategy: &OrderStrategy,
+) -> Result<AnalyzeReport> {
+    let total_start = Instant::now();
+    let _qspan = xjoin_obs::span("explain-analyze");
+
+    let resolve_start = Instant::now();
+    let atoms = {
+        let _span = xjoin_obs::span("resolve");
+        collect_atoms(ctx, query)?
+    };
+    let order = {
+        let _span = xjoin_obs::span("order");
+        compute_order(&atoms, strategy)?
+    };
+    let bound = query_bound(&atoms)?;
+    let prefixes = prefix_bounds(&atoms, &order)?;
+    let resolve_elapsed = resolve_start.elapsed();
+
+    let build_start = Instant::now();
+    let mut builder = TrieBuilder::new();
+    let mut trie_builds = Vec::with_capacity(atoms.rels.len());
+    let mut tries = Vec::with_capacity(atoms.rels.len());
+    for (name, resolved) in atoms.names.iter().zip(&atoms.rels) {
+        let mut span = xjoin_obs::span("trie-build");
+        let rel = resolved.rel();
+        let restricted = rel.schema().restrict_order(&order)?;
+        let trie = builder.build(rel, &restricted)?;
+        let stats = builder.last_stats().expect("just built").clone();
+        span.set_attr(|| {
+            let layouts: Vec<String> = stats.layouts.iter().map(|l| l.to_string()).collect();
+            format!("{name} path={} layouts=[{}]", stats.path, layouts.join(","))
+        });
+        trie_builds.push(TrieBuildProfile {
+            atom: name.clone(),
+            stats,
+            bytes: trie.estimated_bytes(),
+        });
+        tries.push(Arc::new(trie));
+    }
+    let plan = JoinPlan::from_shared(tries, &order)?;
+    let build_elapsed = build_start.elapsed();
+
+    let probe_start = Instant::now();
+    let mut walk = LftjWalk::new(plan).with_probe_counters();
+    let mut output_rows = 0u64;
+    {
+        let _span = xjoin_obs::span("probe");
+        while walk.next_tuple().is_some() {
+            output_rows += 1;
+        }
+    }
+    let probe_elapsed = probe_start.elapsed();
+
+    let levels = order
+        .iter()
+        .zip(&prefixes)
+        .zip(walk.probe_stats())
+        .map(|((var, &b), probe)| LevelAnalysis {
+            var: var.name().to_owned(),
+            bound: b,
+            actual: probe.bindings,
+            probe: *probe,
+        })
+        .collect();
+
+    let mut ad_edges = Vec::new();
+    for (twig, dec) in query.twigs.iter().zip(&atoms.decompositions) {
+        for &(a, d) in &dec.ad_edges {
+            ad_edges.push((
+                twig.node(a).var.name().to_owned(),
+                twig.node(d).var.name().to_owned(),
+            ));
+        }
+    }
+    let explanation = Explanation {
+        atoms: atoms
+            .names
+            .iter()
+            .zip(&atoms.rels)
+            .map(|(n, r)| (n.clone(), r.rel().schema().to_string(), r.rel().len()))
+            .collect(),
+        order: order.iter().map(|a| a.name().to_owned()).collect(),
+        bound,
+        prefix_bounds: prefixes,
+        ad_edges,
+        trie_builds,
+        dict_bytes: ctx.db.dict().estimated_bytes(),
+    };
+    Ok(AnalyzeReport {
+        explanation,
+        levels,
+        output_rows,
+        resolve_elapsed,
+        build_elapsed,
+        probe_elapsed,
+        total_elapsed: total_start.elapsed(),
+    })
+}
+
+impl AnalyzeReport {
+    /// Renders the report: the static explanation followed by the measured
+    /// per-level table and the stage wall-time split.
+    pub fn render(&self) -> String {
+        let mut out = self.explanation.render();
+        let _ = writeln!(out, "measured per level (serial lftj, block kernel):");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} {:>12} {:>10} {:>10} {:>12} {:>9} {:>13}",
+            "level",
+            "bound",
+            "actual",
+            "tightness",
+            "seeks",
+            "seek_steps",
+            "refills",
+            "bitset_words"
+        );
+        for l in &self.levels {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>14.1} {:>12} {:>10.4} {:>10} {:>12} {:>9} {:>13}",
+                l.var,
+                l.bound,
+                l.actual,
+                l.tightness(),
+                l.probe.seeks,
+                l.probe.seek_steps,
+                l.probe.refills,
+                l.probe.bitset_words
+            );
+        }
+        let _ = writeln!(out, "join rows (pre-validation): {}", self.output_rows);
+        let build_ms = self.build_elapsed.as_secs_f64() * 1e3;
+        let probe_ms = self.probe_elapsed.as_secs_f64() * 1e3;
+        let split = build_ms + probe_ms;
+        let _ = writeln!(
+            out,
+            "stage wall times: resolve {:.3} ms, build {build_ms:.3} ms, probe {probe_ms:.3} ms, total {:.3} ms",
+            self.resolve_elapsed.as_secs_f64() * 1e3,
+            self.total_elapsed.as_secs_f64() * 1e3,
+        );
+        if split > 0.0 {
+            let _ = writeln!(
+                out,
+                "build/probe split: {:.0}% / {:.0}%",
+                100.0 * build_ms / split,
+                100.0 * probe_ms / split
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +426,34 @@ mod tests {
         assert!(e.dict_bytes > 0);
         assert!(text.contains("trie construction"));
         assert!(text.contains("dictionary resident bytes"));
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals_against_bounds() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &["//A[/B][/D]"]).unwrap();
+        let a = explain_analyze(&ctx, &q, &OrderStrategy::Appearance).unwrap();
+        assert_eq!(a.levels.len(), a.explanation.order.len());
+        for (l, b) in a.levels.iter().zip(&a.explanation.prefix_bounds) {
+            assert_eq!(l.bound, *b);
+            assert!(
+                l.tightness() <= 1.0 + 1e-9,
+                "actuals may not exceed the Lemma 3.5 bound: {} > {}",
+                l.actual,
+                l.bound
+            );
+        }
+        // The tiny instance joins to one row; every level binds it.
+        assert_eq!(a.output_rows, 1);
+        assert!(a.levels.iter().all(|l| l.actual > 0));
+        // Too small an instance to force seeks, but the block kernel must
+        // have refilled each level's batch at least once.
+        assert!(a.levels.iter().all(|l| l.probe.refills > 0));
+        let text = a.render();
+        assert!(text.contains("tightness"), "{text}");
+        assert!(text.contains("build/probe split"), "{text}");
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub use exec::{
     engine_for, execute, execute_with_plan, stream, validate_output, Engine, EngineKind,
     ExecOptions, ExecPlan, Query, QueryBuilder, QueryOutput,
 };
-pub use explain::{explain, Explanation};
+pub use explain::{
+    explain, explain_analyze, AnalyzeReport, Explanation, LevelAnalysis, TrieBuildProfile,
+};
 pub use mmql::parse_query;
 pub use morsel::{partition_root, Parallelism};
 pub use order::{compute_order, OrderStrategy};

@@ -26,6 +26,7 @@ use xmldb::TwigPattern;
 
 /// Parses an MMQL query string.
 pub fn parse_query(input: &str) -> Result<MultiModelQuery> {
+    let _span = xjoin_obs::span("parse");
     let (head, body) = match input.split_once(":-") {
         Some((h, b)) => (Some(h.trim()), b.trim()),
         None => (None, input.trim()),

@@ -175,20 +175,37 @@ where
 {
     let n = morsels.len();
     if n <= 1 || workers <= 1 {
-        return morsels.iter().map(&job).collect();
+        return morsels
+            .iter()
+            .map(|range| {
+                let _span = xjoin_obs::span("morsel");
+                job(range)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers.min(n) {
+            let worker = || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut span = xjoin_obs::span("morsel");
+                    span.set_attr(|| format!("morsel={i}"));
+                    let out = job(&morsels[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 }
-                let out = job(&morsels[i]);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
-            });
+                // Scoped threads end with the scope, not the process: hand
+                // this worker's span ring to the global collector now.
+                xjoin_obs::flush_thread();
+            };
+            std::thread::Builder::new()
+                .name(format!("xjoin-morsel-{w}"))
+                .spawn_scoped(s, worker)
+                .expect("spawn morsel worker");
         }
     });
     slots
@@ -233,6 +250,8 @@ pub(crate) fn execute_parallel(
     validate_output(query, plan.order())?;
     let workers = opts.parallelism.workers();
     let morsels = partition_root(plan, workers.saturating_mul(MORSELS_PER_WORKER));
+    let mut dispatch_span = xjoin_obs::span("morsel-dispatch");
+    dispatch_span.set_attr(|| format!("morsels={} workers={workers}", morsels.len()));
     let schema = Schema::new(plan.order().iter().cloned()).expect("order vars distinct");
     match opts.engine {
         EngineKind::XJoin => {
@@ -505,6 +524,8 @@ fn worker_loop(plan: &Arc<JoinPlan>, shared: &Arc<MorselShared>, tx: &SyncSender
         let Some(range) = shared.morsels.get(i) else {
             return;
         };
+        let mut span = xjoin_obs::span("morsel");
+        span.set_attr(|| format!("morsel={i}"));
         let mut walk = LftjWalk::with_root_range(plan.as_ref().clone(), range.clone());
         let mut batch: Vec<Vec<ValueId>> = Vec::with_capacity(BATCH_SIZE);
         loop {

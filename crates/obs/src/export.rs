@@ -1,0 +1,204 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! collapsed-stack text (flamegraph input).
+//!
+//! Both formats are derived purely from a collected [`Trace`]: complete
+//! spans carry start/end timestamps and a nesting depth, which is enough to
+//! rebuild the per-thread span tree without enter/exit event pairs.
+
+use crate::trace::{SpanEvent, ThreadLog, Trace};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a trace as Chrome trace-event JSON (the `traceEvents` array
+/// format). Load it at <https://ui.perfetto.dev> or `chrome://tracing`;
+/// every contributing thread appears as its own named lane, spans as
+/// complete (`"ph":"X"`) events and instants as `"ph":"i"`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for log in &trace.threads {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                log.tid,
+                json_escape(&log.thread)
+            ),
+            &mut first,
+        );
+        for ev in &log.events {
+            let ts_us = ev.start_ns as f64 / 1000.0;
+            let args = match &ev.attr {
+                Some(a) => format!(",\"args\":{{\"detail\":\"{}\"}}", json_escape(a)),
+                None => String::new(),
+            };
+            let line = if ev.is_instant() {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\
+                     \"pid\":1,\"tid\":{}{args}}}",
+                    json_escape(ev.name),
+                    log.tid
+                )
+            } else {
+                let dur_us = (ev.end_ns - ev.start_ns) as f64 / 1000.0;
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\
+                     \"pid\":1,\"tid\":{}{args}}}",
+                    json_escape(ev.name),
+                    log.tid
+                )
+            };
+            push(line, &mut first);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One thread's spans as (event, self-time) pairs with full stack paths.
+fn thread_stacks(log: &ThreadLog) -> Vec<(String, u64)> {
+    // Parents before children: earlier start first; at equal starts the
+    // shallower (longer) span first.
+    let mut spans: Vec<&SpanEvent> = log.events.iter().filter(|e| !e.is_instant()).collect();
+    spans.sort_by_key(|e| (e.start_ns, e.depth));
+    let mut out: Vec<(String, u64)> = Vec::with_capacity(spans.len());
+    // Stack of (path, end_ns, depth, children_ns, out index).
+    let mut stack: Vec<(String, u64, u32, u64, usize)> = Vec::new();
+    let pop = |stack: &mut Vec<(String, u64, u32, u64, usize)>, out: &mut Vec<(String, u64)>| {
+        let (_, end, _, children, idx) = stack.pop().expect("non-empty stack");
+        let dur = out[idx].1;
+        out[idx].1 = dur.saturating_sub(children);
+        if let Some(parent) = stack.last_mut() {
+            parent.3 += dur;
+        }
+        end
+    };
+    for ev in spans {
+        while let Some(&(_, end, depth, _, _)) = stack.last() {
+            if end <= ev.start_ns || depth >= ev.depth {
+                pop(&mut stack, &mut out);
+            } else {
+                break;
+            }
+        }
+        let path = match stack.last() {
+            Some((parent, _, _, _, _)) => format!("{parent};{}", ev.name),
+            None => format!("{};{}", log.thread, ev.name),
+        };
+        out.push((path.clone(), ev.end_ns - ev.start_ns));
+        stack.push((path, ev.end_ns, ev.depth, 0, out.len() - 1));
+    }
+    while !stack.is_empty() {
+        pop(&mut stack, &mut out);
+    }
+    out
+}
+
+/// Renders a trace in collapsed-stack format (`stack;frames count` lines,
+/// one per unique stack, weights in nanoseconds of *self* time), the input
+/// format of `flamegraph.pl` / `inferno` and speedscope.
+pub fn collapsed_stacks(trace: &Trace) -> String {
+    let mut weights: HashMap<String, u64> = HashMap::new();
+    for log in &trace.threads {
+        for (path, self_ns) in thread_stacks(log) {
+            if self_ns > 0 {
+                *weights.entry(path).or_insert(0) += self_ns;
+            }
+        }
+    }
+    let mut lines: Vec<(String, u64)> = weights.into_iter().collect();
+    lines.sort();
+    let mut out = String::new();
+    for (path, w) in lines {
+        let _ = writeln!(out, "{path} {w}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanEvent, ThreadLog, Trace};
+
+    fn ev(name: &'static str, start: u64, end: u64, depth: u32) -> SpanEvent {
+        SpanEvent {
+            name,
+            attr: None,
+            start_ns: start,
+            end_ns: end,
+            depth,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            threads: vec![ThreadLog {
+                thread: "main".into(),
+                tid: 0,
+                // Record order = end order: children end before parents.
+                events: vec![
+                    ev("build", 100, 400, 1),
+                    ev("probe", 400, 1_400, 1),
+                    ev("tick", 500, 500, 2),
+                    ev("query", 0, 1_500, 0),
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"query\",\"ph\":\"X\",\"ts\":0.000,\"dur\":1.500"));
+        assert!(json.contains("\"name\":\"tick\",\"ph\":\"i\""));
+        // Loadable = at least structurally balanced.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_nest_and_self_time() {
+        let txt = collapsed_stacks(&sample());
+        // query self time = 1500 - (300 + 1000) = 200.
+        assert!(txt.contains("main;query 200\n"), "got:\n{txt}");
+        assert!(txt.contains("main;query;build 300\n"), "got:\n{txt}");
+        assert!(txt.contains("main;query;probe 1000\n"), "got:\n{txt}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

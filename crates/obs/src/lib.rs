@@ -1,0 +1,45 @@
+//! **xjoin-obs** — zero-dependency observability for the XJoin workspace.
+//!
+//! Three pieces, all std-only:
+//!
+//! * [`trace`] — a runtime-toggleable span tracer. RAII [`SpanGuard`]s
+//!   record complete spans (monotonic start/end, nesting depth, optional
+//!   attribute) into per-thread ring buffers with no locks on the record
+//!   path; the disabled path is a single relaxed atomic load. Collected
+//!   [`Trace`]s keep one lane per thread.
+//! * [`export`] — renders a [`Trace`] as Chrome trace-event JSON (load at
+//!   <https://ui.perfetto.dev>) or as collapsed-stack text (flamegraph
+//!   input).
+//! * [`metrics`] — a registry of counters, gauges, and log-linear
+//!   histograms (p50/p90/p99 within 6.25%), snapshotted as text or JSON.
+//!
+//! ```
+//! xjoin_obs::enable();
+//! {
+//!     let _q = xjoin_obs::span("query");
+//!     let mut build = xjoin_obs::span("trie-build");
+//!     build.set_attr(|| "path=radix".to_owned());
+//!     drop(build);
+//!     xjoin_obs::instant("cache-hit");
+//! }
+//! xjoin_obs::disable();
+//! let trace = xjoin_obs::take_trace();
+//! assert_eq!(trace.total_events(), 3);
+//! let json = xjoin_obs::chrome_trace_json(&trace);
+//! assert!(json.contains("\"trie-build\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{chrome_trace_json, collapsed_stacks};
+pub use metrics::{
+    global_metrics, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{
+    disable, enable, enabled, flush_thread, instant, now_ns, span, span_with, take_trace,
+    SpanEvent, SpanGuard, ThreadLog, Trace,
+};

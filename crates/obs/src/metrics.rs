@@ -1,0 +1,441 @@
+//! The metrics registry: counters, gauges, and log-linear latency
+//! histograms, snapshotted as text or JSON.
+//!
+//! All instruments are lock-free on the record path (plain atomics);
+//! registration and snapshotting take a registry mutex. Histograms use a
+//! log-linear bucket layout — 16 linear sub-buckets per power of two — so
+//! any reported quantile is within ~6.25% of the true value while one
+//! histogram costs a fixed ~8 KiB regardless of range.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Linear sub-buckets per power of two: 2^4 = 16, giving a worst-case
+/// relative quantile error of 1/16 = 6.25%.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range under the layout below.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize) * (SUB as usize) + (SUB as usize);
+
+/// Index of the log-linear bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let mantissa = (v >> (exp - SUB_BITS)) - SUB; // in [0, SUB)
+    ((exp - SUB_BITS) as u64 * SUB + SUB + mantissa) as usize
+}
+
+/// Smallest value mapping to bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let group = (idx - SUB) / SUB;
+    let mantissa = (idx - SUB) % SUB;
+    (SUB + mantissa) << group
+}
+
+/// Largest value mapping to bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(idx + 1) - 1
+}
+
+/// A fixed-footprint log-linear histogram over `u64` samples (typically
+/// microseconds). Recording is two relaxed atomic adds; quantiles are read
+/// from bucket counts and are upper bounds within 6.25% of the true value.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("BUCKETS-sized vec"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket in
+    /// which it falls: within 6.25% above the true value. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Instrument name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample (0 when empty).
+    pub mean: u64,
+    /// Median (upper-bound estimate).
+    pub p50: u64,
+    /// 90th percentile (upper-bound estimate).
+    pub p90: u64,
+    /// 99th percentile (upper-bound estimate).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A point-in-time view of every instrument in a registry, renderable as
+/// text ([`fmt::Display`]) or JSON ([`MetricsSnapshot::to_json`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics snapshot")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  counter    {name:<40} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "  gauge      {name:<40} {v}")?;
+        }
+        for h in &self.histograms {
+            writeln!(
+                f,
+                "  histogram  {:<40} count={} mean={} p50={} p90={} p99={} max={}",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \
+                 \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// A named registry of metrics instruments. Instruments are created on
+/// first use and shared via [`Arc`]; record paths never touch the registry
+/// lock again.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshots every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(k, h)| {
+                let count = h.count();
+                HistogramSummary {
+                    name: k.clone(),
+                    count,
+                    mean: h.sum().checked_div(count).unwrap_or(0),
+                    p50: h.quantile(0.5),
+                    p90: h.quantile(0.9),
+                    p99: h.quantile(0.99),
+                    max: h.max(),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// The process-wide registry used by the engine's built-in instrumentation
+/// (the query service's queue/latency metrics).
+pub fn global_metrics() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_a_partition() {
+        // Round-trip: every bucket's bounds map back to that bucket, and
+        // consecutive buckets tile the line.
+        for idx in 0..200 {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            if idx > 0 {
+                assert_eq!(bucket_upper(idx - 1) + 1, lo);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        for (q, truth) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            // Upper bound within one log-linear bucket: 6.25% relative.
+            assert!(
+                (est as f64) <= truth as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "q={q}: {est} too far above {truth}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.quantile(0.5), 2);
+    }
+
+    #[test]
+    fn registry_snapshot_renders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req.total").add(3);
+        reg.counter("req.total").inc(); // same instrument
+        reg.gauge("queue.depth").set(2);
+        reg.gauge("queue.depth").dec();
+        reg.histogram("latency_us").record(100);
+        reg.histogram("latency_us").record(200);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("req.total".into(), 4)]);
+        assert_eq!(snap.gauges, vec![("queue.depth".into(), 1)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!((h.count, h.mean, h.max), (2, 150, 200));
+        let text = snap.to_string();
+        assert!(text.contains("req.total"));
+        assert!(text.contains("queue.depth"));
+        let json = snap.to_json();
+        assert!(json.contains("\"req.total\": 4"));
+        assert!(json.contains("\"latency_us\": {\"count\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -93,6 +93,71 @@ pub fn block_seek(slice: &[ValueId], lo: usize, target: ValueId) -> usize {
     cur + 1 + count_lt(&slice[cur + 1..hi], target)
 }
 
+/// [`gallop`] with a probe-step count: returns `(position, steps)` where
+/// `steps` tallies each exponential probe and each binary-search halving.
+/// The position is always identical to `gallop`'s.
+pub fn gallop_counted(slice: &[ValueId], mut lo: usize, target: ValueId) -> (usize, u64) {
+    if lo >= slice.len() || slice[lo] >= target {
+        return (lo, 1);
+    }
+    let mut steps = 1u64;
+    let mut step = 1usize;
+    while lo + step < slice.len() && slice[lo + step] < target {
+        lo += step;
+        step <<= 1;
+        steps += 1;
+    }
+    let mut hi = (lo + step).min(slice.len());
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if slice[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        steps += 1;
+    }
+    (hi, steps)
+}
+
+/// [`block_seek`] with a probe-step count: returns `(position, steps)` where
+/// `steps` tallies scanned blocks, block-gallop probes, and binary-search
+/// halvings. The position is always identical to `block_seek`'s.
+pub fn block_seek_counted(slice: &[ValueId], lo: usize, target: ValueId) -> (usize, u64) {
+    let n = slice.len();
+    if lo >= n || slice[lo] >= target {
+        return (lo, 1);
+    }
+    let b_end = (lo + SEEK_BLOCK).min(n);
+    if slice[b_end - 1] >= target {
+        return (lo + count_lt(&slice[lo..b_end], target), 1);
+    }
+    if b_end == n {
+        return (n, 1);
+    }
+    let mut steps = 1u64;
+    let mut cur = b_end - 1;
+    let mut step = SEEK_BLOCK;
+    while cur + step < n && slice[cur + step] < target {
+        cur += step;
+        step <<= 1;
+        steps += 1;
+    }
+    let mut hi = (cur + step).min(n);
+    while hi - cur > SEEK_BLOCK {
+        let mid = cur + (hi - cur) / 2;
+        if slice[mid] < target {
+            cur = mid;
+        } else {
+            hi = mid;
+        }
+        steps += 1;
+    }
+    // Final branchless block scan.
+    steps += 1;
+    (cur + 1 + count_lt(&slice[cur + 1..hi], target), steps)
+}
+
 /// A cursor over a sorted slice, supporting the leapfrog `key / next / seek`
 /// interface.
 #[derive(Debug, Clone)]
@@ -293,6 +358,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn counted_seeks_agree_with_uncounted_and_count_work() {
+        let s: Vec<ValueId> = (0..4096).map(|i| ValueId(3 * i)).collect();
+        for lo in [0usize, 1, 31, 32, 33, 1000, 4095, 4096, 5000] {
+            for probe in [0u32, 1, 95, 96, 97, 3000, 6143, 6144, 12285, 12288, 20000] {
+                let t = ValueId(probe);
+                let (gp, gs) = gallop_counted(&s, lo, t);
+                assert_eq!(gp, gallop(&s, lo, t), "gallop lo {lo} probe {probe}");
+                assert!(gs >= 1, "gallop steps lo {lo} probe {probe}");
+                let (bp, bs) = block_seek_counted(&s, lo, t);
+                assert_eq!(bp, block_seek(&s, lo, t), "block lo {lo} probe {probe}");
+                assert!(bs >= 1, "block steps lo {lo} probe {probe}");
+            }
+        }
+        // A long seek costs more steps than a no-op seek.
+        let (_, near) = block_seek_counted(&s, 0, ValueId(0));
+        let (_, far) = block_seek_counted(&s, 0, ValueId(12285));
+        assert!(far > near, "far {far} near {near}");
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //!   never-stopping wrapper).
 
 use crate::error::Result;
-use crate::leapfrog::{block_seek, gallop};
+use crate::leapfrog::{block_seek, block_seek_counted, gallop, gallop_counted};
 use crate::plan::{JoinPlan, ValueRange};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
+use crate::stats::LevelProbeStats;
 use crate::trie::{LevelBits, Trie};
 use crate::value::ValueId;
 use std::ops::ControlFlow;
@@ -110,21 +111,57 @@ impl RangeCursor {
     }
 
     /// Seeks forward to the first node with value `>= target` — the scalar
-    /// reference path, kept on plain galloping.
-    fn seek(&mut self, tries: &[Arc<Trie>], target: ValueId) {
+    /// reference path, kept on plain galloping. With `TRACK` the gallop's
+    /// probe steps land in `stats`; the `TRACK = false` instantiation
+    /// compiles down to the untracked seek.
+    fn seek<const TRACK: bool>(
+        &mut self,
+        tries: &[Arc<Trie>],
+        target: ValueId,
+        stats: &mut LevelProbeStats,
+    ) {
         let slice = tries[self.atom].values(self.level, self.pos..self.hi);
-        self.pos += gallop(slice, 0, target) as u32;
+        if TRACK {
+            let (pos, steps) = gallop_counted(slice, 0, target);
+            self.pos += pos as u32;
+            stats.seeks += 1;
+            stats.seek_steps += steps;
+        } else {
+            self.pos += gallop(slice, 0, target) as u32;
+        }
     }
 
     /// Seek against a resolved [`LevelView`]: the level's bitmap index when
     /// it has one, block-wise galloping over the sibling slice otherwise.
     #[inline]
-    fn seek_view(&mut self, view: &LevelView<'_>, target: ValueId) {
+    fn seek_view<const TRACK: bool>(
+        &mut self,
+        view: &LevelView<'_>,
+        target: ValueId,
+        stats: &mut LevelProbeStats,
+    ) {
         self.pos = match view.bits {
-            Some(bits) => bits.seek(self.group, self.group_start, self.pos, self.hi, target),
+            Some(bits) => {
+                if TRACK {
+                    let (pos, words) =
+                        bits.seek_counted(self.group, self.group_start, self.pos, self.hi, target);
+                    stats.seeks += 1;
+                    stats.bitset_words += words;
+                    pos
+                } else {
+                    bits.seek(self.group, self.group_start, self.pos, self.hi, target)
+                }
+            }
             None => {
                 let slice = &view.vals[self.pos as usize..self.hi as usize];
-                self.pos + block_seek(slice, 0, target) as u32
+                if TRACK {
+                    let (pos, steps) = block_seek_counted(slice, 0, target);
+                    stats.seeks += 1;
+                    stats.seek_steps += steps;
+                    self.pos + pos as u32
+                } else {
+                    self.pos + block_seek(slice, 0, target) as u32
+                }
             }
         };
     }
@@ -178,10 +215,17 @@ impl LevelState {
 
     /// Yields the next value present in every cursor; on `Some(v)` the
     /// per-cursor match positions are readable via [`LevelState::match_pos`].
-    fn advance(&mut self, tries: &[Arc<Trie>], kernel: ProbeKernel) -> Option<ValueId> {
+    /// `TRACK` selects the probe-counting instantiation; with `TRACK =
+    /// false` every counter touch compiles away and `stats` is untouched.
+    fn advance<const TRACK: bool>(
+        &mut self,
+        tries: &[Arc<Trie>],
+        kernel: ProbeKernel,
+        stats: &mut LevelProbeStats,
+    ) -> Option<ValueId> {
         match kernel {
-            ProbeKernel::Scalar => self.advance_scalar(tries),
-            ProbeKernel::Block => self.advance_block(tries),
+            ProbeKernel::Scalar => self.advance_scalar::<TRACK>(tries, stats),
+            ProbeKernel::Block => self.advance_block::<TRACK>(tries, stats),
         }
     }
 
@@ -199,7 +243,11 @@ impl LevelState {
 
     /// The scalar reference kernel: one match per call, cursors parked at
     /// the agreement, `p` staying put so the next call steps the emitter.
-    fn advance_scalar(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
+    fn advance_scalar<const TRACK: bool>(
+        &mut self,
+        tries: &[Arc<Trie>],
+        stats: &mut LevelProbeStats,
+    ) -> Option<ValueId> {
         if self.exhausted {
             return None;
         }
@@ -229,7 +277,7 @@ impl LevelState {
                 // `advance` steps this cursor past the match.
                 return Some(x);
             }
-            self.cursors[i].seek(tries, self.max);
+            self.cursors[i].seek::<TRACK>(tries, self.max, stats);
             if self.cursors[i].at_end() {
                 self.exhausted = true;
                 return None;
@@ -242,7 +290,11 @@ impl LevelState {
     /// The batch-at-a-time kernel: serves buffered matches until the batch
     /// runs dry, then refills up to [`PROBE_BATCH`] matches in one rotation
     /// run over per-level views resolved once.
-    fn advance_block(&mut self, tries: &[Arc<Trie>]) -> Option<ValueId> {
+    fn advance_block<const TRACK: bool>(
+        &mut self,
+        tries: &[Arc<Trie>],
+        stats: &mut LevelProbeStats,
+    ) -> Option<ValueId> {
         if self.batch_idx + 1 < self.batch.len() {
             self.batch_idx += 1;
             return Some(self.batch[self.batch_idx]);
@@ -250,7 +302,7 @@ impl LevelState {
         if self.exhausted {
             return None;
         }
-        self.refill(tries);
+        self.refill::<TRACK>(tries, stats);
         self.batch_idx = 0;
         self.batch.first().copied()
     }
@@ -259,7 +311,10 @@ impl LevelState {
     /// matched values and their cursor positions. Stops when the batch is
     /// full or some cursor exhausts its range (which ends the level: the
     /// batch may still hold matches to serve, but no refill will follow).
-    fn refill(&mut self, tries: &[Arc<Trie>]) {
+    fn refill<const TRACK: bool>(&mut self, tries: &[Arc<Trie>], stats: &mut LevelProbeStats) {
+        if TRACK {
+            stats.refills += 1;
+        }
         self.batch.clear();
         self.batch_pos.clear();
         let k = self.cursors.len();
@@ -327,7 +382,7 @@ impl LevelState {
                     return;
                 }
             } else {
-                self.cursors[i].seek_view(&views[i], self.max);
+                self.cursors[i].seek_view::<TRACK>(&views[i], self.max, stats);
                 if self.cursors[i].at_end() {
                     self.exhausted = true;
                     return;
@@ -364,6 +419,11 @@ pub struct LftjWalk {
     started: bool,
     done: bool,
     bindings: u64,
+    /// Whether the walk runs the probe-counting instantiation.
+    track: bool,
+    /// Per-level probe counters, one slot per plan variable (all zero unless
+    /// [`LftjWalk::with_probe_counters`] opted in).
+    probe: Vec<LevelProbeStats>,
 }
 
 impl LftjWalk {
@@ -387,6 +447,7 @@ impl LftjWalk {
     /// everything else takes the default.
     pub fn with_kernel(plan: JoinPlan, root: ValueRange, kernel: ProbeKernel) -> LftjWalk {
         let natoms = plan.tries().len();
+        let nvars = plan.var_plans().len();
         LftjWalk {
             plan,
             root,
@@ -397,7 +458,18 @@ impl LftjWalk {
             started: false,
             done: false,
             bindings: 0,
+            track: false,
+            probe: vec![LevelProbeStats::default(); nvars],
         }
+    }
+
+    /// Opts the walk into per-level probe counting (see
+    /// [`LftjWalk::probe_stats`]). Counting runs a separately-monomorphised
+    /// probe path; untracked walks pay nothing for the feature's existence.
+    #[must_use]
+    pub fn with_probe_counters(mut self) -> LftjWalk {
+        self.track = true;
+        self
     }
 
     /// The probe kernel driving this walk.
@@ -426,6 +498,12 @@ impl LftjWalk {
     /// Whether the walk has been exhausted.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Per-level probe counters, one entry per plan variable in order. All
+    /// zeros unless the walk was built via [`LftjWalk::with_probe_counters`].
+    pub fn probe_stats(&self) -> &[LevelProbeStats] {
+        &self.probe
     }
 
     /// Opens the leapfrog state for the next unentered variable, scoping
@@ -469,6 +547,14 @@ impl LftjWalk {
     /// `None` when the join is exhausted. The returned slice is only valid
     /// until the next call.
     pub fn next_tuple(&mut self) -> Option<&[ValueId]> {
+        if self.track {
+            self.next_tuple_impl::<true>()
+        } else {
+            self.next_tuple_impl::<false>()
+        }
+    }
+
+    fn next_tuple_impl<const TRACK: bool>(&mut self) -> Option<&[ValueId]> {
         if self.done {
             return None;
         }
@@ -498,7 +584,10 @@ impl LftjWalk {
                 }
             }
             // …and pull its next one.
-            match self.levels[d].advance(self.plan.tries(), self.kernel) {
+            let tries = self.plan.tries();
+            let kernel = self.kernel;
+            let step = self.levels[d].advance::<TRACK>(tries, kernel, &mut self.probe[d]);
+            match step {
                 Some(v) => {
                     self.prefix.push(v);
                     for (c, part) in self.plan.var_plans()[d].participants.iter().enumerate() {
@@ -506,6 +595,9 @@ impl LftjWalk {
                     }
                     self.levels[d].bound = true;
                     self.bindings += 1;
+                    if TRACK {
+                        self.probe[d].bindings += 1;
+                    }
                     if d + 1 == nlevels {
                         return Some(&self.prefix);
                     }
@@ -910,5 +1002,75 @@ mod tests {
         let (scalar, _) = drain(&plan, ValueRange::all(), ProbeKernel::Scalar);
         let (block, _) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
         assert_eq!(scalar, block);
+    }
+
+    fn drain_counted(
+        plan: &JoinPlan,
+        kernel: ProbeKernel,
+    ) -> (Vec<Vec<ValueId>>, u64, Vec<LevelProbeStats>) {
+        let mut walk =
+            LftjWalk::with_kernel(plan.clone(), ValueRange::all(), kernel).with_probe_counters();
+        let mut out = Vec::new();
+        while let Some(t) = walk.next_tuple() {
+            out.push(t.to_vec());
+        }
+        (out, walk.bindings(), walk.probe_stats().to_vec())
+    }
+
+    #[test]
+    fn probe_counters_observe_without_perturbing() {
+        // Same dense instance as `block_kernel_uses_bitset_levels`, so the
+        // counted path crosses sorted, blocked, and bitset seeks alike.
+        let mut edges: Vec<Vec<ValueId>> = Vec::new();
+        for i in 0..90u32 {
+            let j = (i * 37 + 11) % 90;
+            if i != j {
+                edges.push(vec![v(i), v(j)]);
+                edges.push(vec![v(j), v(i)]);
+            }
+        }
+        // Plant a triangle so the last level binds at least once.
+        for (x, y) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            edges.push(vec![v(x), v(y)]);
+            edges.push(vec![v(y), v(x)]);
+        }
+        let make =
+            |names: [&str; 2]| Relation::from_rows(Schema::of(&names), edges.clone()).unwrap();
+        let (r, s, t) = (make(["a", "b"]), make(["b", "c"]), make(["a", "c"]));
+        let plan = JoinPlan::new(&[&r, &s, &t], &attrs(&["a", "b", "c"])).unwrap();
+        let has_bitset = plan.tries().iter().any(|t| t.bitset_level_count() > 0);
+        for kernel in [ProbeKernel::Scalar, ProbeKernel::Block] {
+            let (plain, plain_b) = drain(&plan, ValueRange::all(), kernel);
+            let (counted, counted_b, probe) = drain_counted(&plan, kernel);
+            assert_eq!(plain, counted, "{kernel:?}: counting changed the result");
+            assert_eq!(plain_b, counted_b, "{kernel:?}: counting changed bindings");
+            assert_eq!(probe.len(), 3);
+            let per_level: u64 = probe.iter().map(|p| p.bindings).sum();
+            assert_eq!(per_level, counted_b, "per-level bindings sum to the total");
+            assert!(
+                probe.iter().all(|p| p.bindings > 0),
+                "{kernel:?}: every level bound something: {probe:?}"
+            );
+            assert!(
+                probe.iter().any(|p| p.seeks > 0 && p.seek_steps > 0),
+                "{kernel:?}: seeks went uncounted: {probe:?}"
+            );
+            if kernel == ProbeKernel::Block {
+                assert!(probe.iter().any(|p| p.refills > 0), "refills uncounted");
+                if has_bitset {
+                    assert!(
+                        probe.iter().any(|p| p.bitset_words > 0),
+                        "bitset words uncounted: {probe:?}"
+                    );
+                }
+            }
+        }
+        // Untracked walks leave the counters untouched.
+        let mut untracked = LftjWalk::new(plan);
+        while untracked.next_tuple().is_some() {}
+        assert!(untracked
+            .probe_stats()
+            .iter()
+            .all(|p| *p == LevelProbeStats::default()));
     }
 }

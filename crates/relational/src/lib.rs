@@ -37,11 +37,11 @@ pub mod value;
 
 pub use catalog::Database;
 pub use error::{RelError, Result};
-pub use leapfrog::{block_seek, gallop};
+pub use leapfrog::{block_seek, block_seek_counted, gallop, gallop_counted};
 pub use lftj::{LftjWalk, ProbeKernel};
 pub use plan::{JoinPlan, ValueRange};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
-pub use stats::{BuildStats, JoinStats, SortPath};
+pub use stats::{BuildStats, JoinStats, LevelProbeStats, SortPath};
 pub use trie::{LevelLayout, Trie, TrieBuilder};
 pub use value::{Dict, Value, ValueId};

@@ -75,6 +75,51 @@ impl fmt::Display for BuildStats {
     }
 }
 
+/// Cheap per-level probe counters for one attribute level of an LFTJ walk.
+///
+/// Collected only when [`crate::lftj::LftjWalk::with_probe_counters`] opts
+/// in; the counting path is monomorphised separately so the default walk
+/// pays nothing. These are the raw signals behind `explain_analyze`'s
+/// actual-vs-Lemma-3.5 tightness report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelProbeStats {
+    /// Values bound at this level — distinct matching prefixes of length
+    /// `level + 1`, the quantity Lemma 3.5 bounds per prefix.
+    pub bindings: u64,
+    /// Seek operations issued against cursors at this level (gallop,
+    /// block-seek, or bitset seeks alike).
+    pub seeks: u64,
+    /// Probe steps spent inside sorted-array seeks: exponential-gallop
+    /// probes, binary-search halvings, and scanned blocks combined.
+    pub seek_steps: u64,
+    /// Batch refills performed by the block kernel (0 under the scalar
+    /// kernel).
+    pub refills: u64,
+    /// Bitmap words examined by bitset-level seeks.
+    pub bitset_words: u64,
+}
+
+impl LevelProbeStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &LevelProbeStats) {
+        self.bindings += other.bindings;
+        self.seeks += other.seeks;
+        self.seek_steps += other.seek_steps;
+        self.refills += other.refills;
+        self.bitset_words += other.bitset_words;
+    }
+}
+
+impl fmt::Display for LevelProbeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bindings={} seeks={} seek_steps={} refills={} bitset_words={}",
+            self.bindings, self.seeks, self.seek_steps, self.refills, self.bitset_words
+        )
+    }
+}
+
 /// Tuple count after one stage of a join pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageStats {

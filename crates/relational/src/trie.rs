@@ -149,6 +149,43 @@ impl LevelBits {
         (group_start + self.rank[w] + below).clamp(pos, hi)
     }
 
+    /// [`Self::seek`] with a work count: returns `(position, words)` where
+    /// `words` is the number of bitmap words examined. The position is
+    /// always identical to `seek`'s.
+    pub(crate) fn seek_counted(
+        &self,
+        group: u32,
+        group_start: u32,
+        pos: u32,
+        hi: u32,
+        target: ValueId,
+    ) -> (u32, u64) {
+        let g = group as usize;
+        let base = self.base[g];
+        if target <= base {
+            return (pos, 0);
+        }
+        let off = (target.0 - base.0) as usize;
+        let w_end = self.word_start[g + 1] as usize;
+        let mut w = self.word_start[g] as usize + off / 64;
+        if w >= w_end {
+            return (hi, 0);
+        }
+        let mut words = 1u64;
+        let mut word = self.words[w] & (!0u64 << (off % 64));
+        while word == 0 {
+            w += 1;
+            if w >= w_end {
+                return (hi, words);
+            }
+            word = self.words[w];
+            words += 1;
+        }
+        let bit = word.trailing_zeros();
+        let below = (self.words[w] & ((1u64 << bit) - 1)).count_ones();
+        ((group_start + self.rank[w] + below).clamp(pos, hi), words)
+    }
+
     fn bytes(&self) -> usize {
         self.word_start.len() * std::mem::size_of::<u32>()
             + self.base.len() * std::mem::size_of::<ValueId>()

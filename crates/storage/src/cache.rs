@@ -116,6 +116,7 @@ impl Inner {
             if let Some(e) = self.map.remove(&victim) {
                 self.bytes_in_use -= e.bytes;
                 self.evictions += 1;
+                xjoin_obs::instant("trie-cache-evict");
             }
         }
     }
@@ -168,6 +169,7 @@ impl TrieRegistry {
             e.last_used = tick;
             let trie = Arc::clone(&e.trie);
             g.hits += 1;
+            xjoin_obs::instant("trie-cache-hit");
             Some(trie)
         } else {
             None
@@ -191,10 +193,12 @@ impl TrieRegistry {
                 e.last_used = tick;
                 let trie = Arc::clone(&e.trie);
                 g.hits += 1;
+                xjoin_obs::instant("trie-cache-hit");
                 return Ok(trie);
             }
             g.misses += 1;
         }
+        xjoin_obs::instant("trie-cache-miss");
         let build_start = Instant::now();
         let built = build();
         let build_elapsed = build_start.elapsed();

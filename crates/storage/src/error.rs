@@ -12,7 +12,24 @@ pub enum StoreError {
     Relational(relational::RelError),
     /// A query result will never arrive: the worker executing it died (or
     /// the service was shut down before the job ran).
-    WorkerLost,
+    WorkerLost {
+        /// Label of the lost job's query (its atom list), so the caller
+        /// knows *which* submission will never resolve.
+        label: String,
+        /// The worker's panic payload, or a note that the service shut down
+        /// before the job ran.
+        panic: String,
+    },
+}
+
+impl StoreError {
+    /// A [`StoreError::WorkerLost`] for the job labelled `label`.
+    pub fn worker_lost(label: impl Into<String>, panic: impl Into<String>) -> StoreError {
+        StoreError::WorkerLost {
+            label: label.into(),
+            panic: panic.into(),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -20,7 +37,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Core(e) => write!(f, "core: {e}"),
             StoreError::Relational(e) => write!(f, "relational: {e}"),
-            StoreError::WorkerLost => write!(f, "query worker died before replying"),
+            StoreError::WorkerLost { label, panic } => {
+                write!(f, "query worker died before replying to `{label}`: {panic}")
+            }
         }
     }
 }
@@ -52,6 +71,10 @@ mod tests {
         assert!(e.to_string().contains("core"));
         let e: StoreError = relational::RelError::EmptyQuery.into();
         assert!(e.to_string().contains("relational"));
-        assert!(StoreError::WorkerLost.to_string().contains("worker"));
+        let lost = StoreError::worker_lost("Q(a,b)", "index out of bounds");
+        let text = lost.to_string();
+        assert!(text.contains("worker"));
+        assert!(text.contains("Q(a,b)"), "{text}");
+        assert!(text.contains("index out of bounds"), "{text}");
     }
 }

@@ -192,6 +192,13 @@ impl PreparedQuery {
         &self.order
     }
 
+    /// A human-readable label for this query — its atom list — used in
+    /// spans, metrics, and [`StoreError::WorkerLost`] reports.
+    pub fn label(&self) -> String {
+        let names: Vec<&str> = self.atoms.iter().map(|a| a.display.as_str()).collect();
+        names.join(", ")
+    }
+
     /// The underlying query.
     pub fn query(&self) -> &MultiModelQuery {
         &self.query
@@ -279,6 +286,8 @@ impl PreparedQuery {
                 continue;
             }
             let build_start = Instant::now();
+            let mut span = xjoin_obs::span("trie-build");
+            span.set_attr(|| spec.display.clone());
             let trie = match &spec.source {
                 AtomSource::Relation(name) => {
                     let rel = ctx.db.relation(name).map_err(CoreError::from)?;

@@ -15,32 +15,71 @@
 //! morsel workers reading the same immutable snapshot and the same cached
 //! `Arc<relational::Trie>`s — snapshot isolation is per job, whatever the
 //! fan-out.
+//!
+//! # Observability
+//!
+//! The service feeds the global [`xjoin_obs`] registries on every job:
+//!
+//! * gauge `xjoin.service.queue_depth` — jobs submitted but not yet picked
+//!   up by a worker;
+//! * histogram `xjoin.service.queue_wait_us` — submit → pickup latency;
+//! * histogram `xjoin.service.exec_us` — pickup → reply execution time;
+//! * counters `xjoin.service.jobs` and `xjoin.service.panics`;
+//! * spans `enqueue` (instant) and `execute` (labelled with the query's
+//!   atom list) when tracing is enabled.
+//!
+//! A worker panic no longer silently drops the reply channel: the payload is
+//! caught and forwarded as [`StoreError::WorkerLost`], carrying the lost
+//! job's query label and the panic message.
 
 use crate::error::{Result, StoreError};
 use crate::prepared::PreparedQuery;
 use crate::store::Snapshot;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{Builder, JoinHandle};
+use std::time::Instant;
 use xjoin_core::QueryOutput;
 
 struct Job {
     prepared: Arc<PreparedQuery>,
     snapshot: Snapshot,
     reply: Sender<Result<QueryOutput>>,
+    label: String,
+    enqueued: Instant,
+}
+
+/// Renders a panic payload as text (the common `&str` / `String` payloads;
+/// anything else becomes a fixed note).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A handle to one submitted query; redeem it with [`Ticket::wait`].
 #[derive(Debug)]
 pub struct Ticket {
     rx: Receiver<Result<QueryOutput>>,
+    label: String,
 }
 
 impl Ticket {
     /// Blocks until the query finishes, returning its output (or
-    /// [`StoreError::WorkerLost`] if the executing worker died).
+    /// [`StoreError::WorkerLost`] if the executing worker died or the
+    /// service shut down before the job ran).
     pub fn wait(self) -> Result<QueryOutput> {
-        self.rx.recv().unwrap_or(Err(StoreError::WorkerLost))
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(StoreError::worker_lost(
+                self.label,
+                "service shut down before the job ran",
+            ))
+        })
     }
 }
 
@@ -61,19 +100,7 @@ impl QueryService {
                 let rx = Arc::clone(&rx);
                 Builder::new()
                     .name(format!("xjoin-worker-{i}"))
-                    .spawn(move || loop {
-                        let job = match rx.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => break,
-                        };
-                        match job {
-                            Ok(job) => {
-                                let out = job.prepared.execute(&job.snapshot);
-                                let _ = job.reply.send(out);
-                            }
-                            Err(_) => break, // sender dropped: shutdown
-                        }
-                    })
+                    .spawn(move || worker_loop(&rx))
                     .expect("spawn query worker")
             })
             .collect();
@@ -88,20 +115,41 @@ impl QueryService {
         self.workers.len()
     }
 
+    /// Jobs submitted to any service but not yet picked up by a worker
+    /// (the global `xjoin.service.queue_depth` gauge).
+    pub fn queue_depth() -> i64 {
+        xjoin_obs::global_metrics()
+            .gauge("xjoin.service.queue_depth")
+            .get()
+    }
+
     /// Enqueues one query execution; returns immediately with a [`Ticket`].
     pub fn submit(&self, prepared: Arc<PreparedQuery>, snapshot: Snapshot) -> Ticket {
         let (reply, rx) = channel();
+        let label = prepared.label();
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(tx) = guard.as_ref() {
+            xjoin_obs::global_metrics()
+                .gauge("xjoin.service.queue_depth")
+                .inc();
+            xjoin_obs::instant("enqueue");
             // A send error means every worker is gone; the dropped `reply`
-            // sender then surfaces as WorkerLost at wait().
-            let _ = tx.send(Job {
+            // sender then surfaces as WorkerLost at wait(). The pickup side
+            // never runs for such a job, so undo the depth charge here.
+            let sent = tx.send(Job {
                 prepared,
                 snapshot,
                 reply,
+                label: label.clone(),
+                enqueued: Instant::now(),
             });
+            if sent.is_err() {
+                xjoin_obs::global_metrics()
+                    .gauge("xjoin.service.queue_depth")
+                    .dec();
+            }
         }
-        Ticket { rx }
+        Ticket { rx, label }
     }
 
     /// Submits a batch and waits for all results, in submission order.
@@ -112,6 +160,43 @@ impl QueryService {
         let tickets: Vec<Ticket> = jobs.into_iter().map(|(p, s)| self.submit(p, s)).collect();
         tickets.into_iter().map(Ticket::wait).collect()
     }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    let metrics = xjoin_obs::global_metrics();
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        match job {
+            Ok(job) => {
+                metrics.gauge("xjoin.service.queue_depth").dec();
+                metrics
+                    .histogram("xjoin.service.queue_wait_us")
+                    .record(job.enqueued.elapsed().as_micros() as u64);
+                metrics.counter("xjoin.service.jobs").inc();
+                let start = Instant::now();
+                let mut span = xjoin_obs::span("execute-job");
+                span.set_attr(|| job.label.clone());
+                let out = catch_unwind(AssertUnwindSafe(|| job.prepared.execute(&job.snapshot)));
+                drop(span);
+                metrics
+                    .histogram("xjoin.service.exec_us")
+                    .record(start.elapsed().as_micros() as u64);
+                let out = out.unwrap_or_else(|payload| {
+                    metrics.counter("xjoin.service.panics").inc();
+                    Err(StoreError::worker_lost(
+                        job.label.clone(),
+                        panic_text(payload.as_ref()),
+                    ))
+                });
+                let _ = job.reply.send(out);
+            }
+            Err(_) => break, // sender dropped: shutdown
+        }
+    }
+    xjoin_obs::flush_thread();
 }
 
 impl Drop for QueryService {
@@ -174,6 +259,20 @@ mod tests {
         for r in results {
             assert!(r.unwrap().results.set_eq(&expect.results));
         }
+        let snap = xjoin_obs::global_metrics().snapshot();
+        let jobs = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "xjoin.service.jobs")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(jobs >= 16, "job counter must cover this batch: {jobs}");
+        let waits = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "xjoin.service.queue_wait_us")
+            .expect("queue-wait histogram recorded");
+        assert!(waits.count >= 16);
     }
 
     #[test]
@@ -203,5 +302,27 @@ mod tests {
     fn zero_worker_request_still_gets_one() {
         let service = QueryService::new(0);
         assert_eq!(service.workers(), 1);
+    }
+
+    #[test]
+    fn shutdown_before_run_reports_the_lost_label() {
+        let store = store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap());
+        let service = QueryService::new(1);
+        let label = prepared.label();
+        // Submit after the channel is closed: take the sender directly so
+        // the job can never reach a worker.
+        service.tx.lock().unwrap().take();
+        let ticket = service.submit(prepared, snap);
+        let err = ticket.wait().unwrap_err();
+        match err {
+            StoreError::WorkerLost { label: lost, panic } => {
+                assert_eq!(lost, label);
+                assert!(panic.contains("shut down"), "{panic}");
+            }
+            other => panic!("expected WorkerLost, got {other}"),
+        }
     }
 }

@@ -122,4 +122,12 @@ fn main() {
         stats.bytes_in_use,
         stats.budget,
     );
+
+    // 7. Serving metrics: the worker pool records queue depth, queue wait,
+    //    and execution latency into the global registry on every job.
+    drop(service); // join workers so all recordings have landed
+    println!(
+        "\nserving metrics:\n{}",
+        xjoin_obs::global_metrics().snapshot()
+    );
 }
