@@ -104,15 +104,29 @@ pub fn vertex_packing(h: &Hypergraph) -> Result<PackingSolution, AgmError> {
 
 /// The AGM bound for the given per-edge cardinalities: `exp(min Σ x_e ln N_e)`.
 ///
-/// Returns `0.0` if any relation is empty.
+/// Returns `0.0` if any relation is empty. For bounds beyond `f64` range the
+/// result is `+∞` — callers comparing or accumulating bounds (admission
+/// control, cost models) should prefer [`log_agm_bound`], which stays finite.
 pub fn agm_bound(h: &Hypergraph, sizes: &[usize]) -> Result<f64, AgmError> {
+    Ok(log_agm_bound(h, sizes)?.exp())
+}
+
+/// The natural logarithm of the AGM bound: the weighted-cover objective
+/// `min Σ x_e ln N_e` itself, never exponentiated.
+///
+/// This is the overflow-robust form — a 6-atom clique over billion-tuple
+/// relations has an AGM bound far beyond `f64::MAX`, but its log is a small
+/// number that still orders, adds, and subtracts exactly the way a cost
+/// model needs. Returns `f64::NEG_INFINITY` if any relation is empty (the
+/// bound is 0).
+pub fn log_agm_bound(h: &Hypergraph, sizes: &[usize]) -> Result<f64, AgmError> {
     assert_eq!(sizes.len(), h.num_edges(), "one size per edge");
     if sizes.contains(&0) {
-        return Ok(0.0);
+        return Ok(f64::NEG_INFINITY);
     }
     let logs: Vec<f64> = sizes.iter().map(|&s| (s as f64).ln()).collect();
     let cover = weighted_edge_cover(h, &logs)?;
-    Ok(cover.value.exp())
+    Ok(cover.value)
 }
 
 /// The uniform-size exponent `ρ*`: the AGM bound is `n^{ρ*}` when every
@@ -269,6 +283,29 @@ mod tests {
         h.edge("R", &["a"]);
         h.edge("S", &["b"]);
         assert!(close(agm_bound(&h, &[10, 20]).unwrap(), 200.0));
+    }
+
+    #[test]
+    fn log_bound_agrees_with_bound_and_survives_overflow() {
+        // Where the plain bound is representable, log_agm_bound is its ln.
+        let h = triangle();
+        let log = log_agm_bound(&h, &[4, 16, 64]).unwrap();
+        assert!(close(log.exp(), agm_bound(&h, &[4, 16, 64]).unwrap()));
+        // An empty relation: bound 0, log bound -inf.
+        assert_eq!(log_agm_bound(&h, &[4, 0, 64]).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(agm_bound(&h, &[4, 0, 64]).unwrap(), 0.0);
+        // 20 independent quintillion-tuple relations: the product bound
+        // (1e18)^20 overflows f64, but its log stays a small finite number.
+        let mut big = Hypergraph::new();
+        for i in 0..20 {
+            let (name, var) = (format!("R{i}"), format!("v{i}"));
+            big.edge(&name, &[var.as_str()]);
+        }
+        let sizes = vec![1_000_000_000_000_000_000usize; 20];
+        assert_eq!(agm_bound(&big, &sizes).unwrap(), f64::INFINITY);
+        let log = log_agm_bound(&big, &sizes).unwrap();
+        assert!(log.is_finite());
+        assert!(close(log, 20.0 * 1e18f64.ln()));
     }
 
     #[test]

@@ -15,8 +15,8 @@ pub mod hypergraph;
 pub mod simplex;
 
 pub use bound::{
-    agm_bound, agm_exponent, fractional_edge_cover, vertex_packing, weighted_edge_cover,
-    CoverSolution, PackingSolution,
+    agm_bound, agm_exponent, fractional_edge_cover, log_agm_bound, vertex_packing,
+    weighted_edge_cover, CoverSolution, PackingSolution,
 };
 pub use hypergraph::{AgmError, Edge, Hypergraph};
 pub use simplex::{solve, Cmp, LinearProgram, LpOutcome, LpSolution};

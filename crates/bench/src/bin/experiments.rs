@@ -2,8 +2,8 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|trace|all|quick] \
-//!             [--max-n N] [--json PATH] [--threads 1,2,4]
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|trace|all|quick] \
+//!             [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]
 //! experiments diff --baseline BENCH_results.json --current BENCH_quick.json \
 //!             [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]
 //! ```
@@ -31,6 +31,12 @@
 //!   A/B on the 4-clique probe asserting that a disabled `xjoin_obs` span
 //!   guard per tuple pull costs under 2% vs the plain drain, with the
 //!   probe-counter (`explain_analyze`) mode as an informational row;
+//! * `serve` — the PR-8 serving front end under mixed load: an `xjoin-serve`
+//!   TCP server over loopback, concurrent cheap (edge-scan) and expensive
+//!   (4-clique) clients, run twice — AGM-based admission control on vs off —
+//!   recording cheap-query p50/p99 latency, throughput, and admission
+//!   accept/reject counts (`--quick` shrinks the workload and makes the
+//!   p99 comparison informational);
 //! * `trace` — runs the fig3 and 4-clique workloads through the query
 //!   service with tracing enabled and writes `trace.json` (Chrome
 //!   trace-event, load at <https://ui.perfetto.dev>), `flamegraph.txt`
@@ -176,6 +182,7 @@ fn main() {
     let mut tolerance = 1.5f64;
     let mut skips: Vec<String> = Vec::new();
     let mut min_ms = 1.0f64;
+    let mut quick_flag = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -228,6 +235,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--min-ms needs a number, e.g. 1.0");
             }
+            "--quick" => quick_flag = true,
             other => cmd = other.to_string(),
         }
         i += 1;
@@ -248,6 +256,7 @@ fn main() {
     let mut build_ok = true;
     let mut probe_ok = true;
     let mut overhead_ok = true;
+    let mut serve_ok = true;
     match cmd.as_str() {
         "bounds" => exp_bounds(),
         "fig3" => exp_fig3(max_n, &mut report),
@@ -259,6 +268,7 @@ fn main() {
         "build" => build_ok = exp_build(&mut report),
         "probe" => probe_ok = exp_probe(&mut report, false),
         "overhead" => overhead_ok = exp_overhead(&mut report, false),
+        "serve" => serve_ok = exp_serve(&mut report, quick_flag),
         "trace" => exp_trace(),
         "all" => {
             exp_bounds();
@@ -271,6 +281,7 @@ fn main() {
             build_ok = exp_build(&mut report);
             probe_ok = exp_probe(&mut report, false);
             overhead_ok = exp_overhead(&mut report, false);
+            serve_ok = exp_serve(&mut report, false);
         }
         "quick" => {
             exp_bounds();
@@ -285,7 +296,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
             );
             std::process::exit(2);
         }
@@ -320,7 +331,13 @@ fn main() {
              (see the overhead/* records above)"
         );
     }
-    if !build_ok || !probe_ok || !overhead_ok {
+    if !serve_ok {
+        eprintln!(
+            "FAIL: admission control did not lower cheap-query p99 under mixed load \
+             (see the serve/* records above)"
+        );
+    }
+    if !build_ok || !probe_ok || !overhead_ok || !serve_ok {
         std::process::exit(1);
     }
 }
@@ -1238,6 +1255,234 @@ fn exp_overhead(report: &mut Report, quick: bool) -> bool {
         if ok { "PASS" } else { "FAIL" }
     );
     ok
+}
+
+/// Serve: the networked front end under mixed load (the PR-8 acceptance
+/// measurement). An `xjoin-serve` server on a loopback port over a random
+/// symmetric graph, hit concurrently by cheap clients (an edge scan with a
+/// pinned limit — well under the admission policy's cheap threshold) and
+/// expensive clients (the 4-clique, priced above it). The expensive clients
+/// run open-loop against a shared stop flag so pressure is sustained for the
+/// whole cheap window; on an `OVERLOAD` reply they back off briefly and
+/// retry, as a real client would. The same workload runs twice — admission
+/// on, then off — and the acceptance claim is that the cheap queries' p99
+/// latency is lower *with* admission: rejecting expensive work the in-flight
+/// budget cannot absorb keeps the service queue short, so cheap requests
+/// stop waiting behind a convoy of 4-cliques.
+///
+/// Per mode the JSON report gains `serve/admission={on,off}/cheap_p50`,
+/// `…/cheap_p99` (latency in `wall_ms`, request count in `output_rows`),
+/// `…/expensive` (completed), and `…/rejected` rows. Returns whether the
+/// p99 claim held; in `--quick` mode (CI smoke on shared runners) the
+/// comparison is informational only, and the caller exits nonzero *after*
+/// the report is written.
+#[must_use]
+fn exp_serve(report: &mut Report, quick: bool) -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use xjoin_serve::{AdmissionPolicy, Client, RequestOpts, Response, Server, ServerConfig};
+    use xjoin_store::VersionedStore;
+
+    header("Serve: wire front end under mixed load — AGM admission on vs off");
+    const CHEAP_QUERY: &str = "Q(a, b) :- E(a, b)";
+    const EXPENSIVE_QUERY: &str =
+        "Q(a, b, c, d) :- E(a, b), E(a, c), E(a, d), E(b, c), E(b, d), E(c, d)";
+    const CHEAP_CLIENTS: usize = 2;
+    const EXPENSIVE_CLIENTS: usize = 2;
+    // The policy prices the 4-clique (log2 bound ≈ 2·log2|E| ≈ 21) as
+    // expensive and fits exactly one of them in the in-flight budget; the
+    // edge scan (≈ log2|E| ≈ 11) rides the cheap lane.
+    let policy = AdmissionPolicy {
+        enabled: true,
+        cheap_log2_bound: 15.0,
+        max_inflight_cost: 25.0,
+        max_queue_depth: 256,
+    };
+    let (nodes, edges, cheap_per_client) = if quick {
+        (64usize, 700usize, 20usize)
+    } else {
+        (96, 1800, 60)
+    };
+    println!(
+        "(graph {nodes}v/{edges}e; {CHEAP_CLIENTS} cheap client(s) x {cheap_per_client} \
+         req, {EXPENSIVE_CLIENTS} sustained 4-clique client(s); 2 workers)"
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "admission", "cheap req", "p50 ms", "p99 ms", "clique ok", "rejected", "wall ms", "req/s"
+    );
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+
+    let mut p99_by_mode = [0.0f64; 2];
+    for (slot, (label, admission)) in [("on", policy), ("off", AdmissionPolicy::disabled())]
+        .into_iter()
+        .enumerate()
+    {
+        let inst = graph_instance(nodes, edges, 42);
+        let store = Arc::new(VersionedStore::new(inst.db, inst.doc));
+        let handle = Server::spawn(
+            Arc::clone(&store),
+            ServerConfig {
+                workers: 2,
+                admission,
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+
+        // Warm the trie cache and the statement cache outside the timed
+        // window, so both modes measure steady-state serving.
+        let cheap_opts = ExecOptions {
+            limit: Some(16),
+            ..Default::default()
+        };
+        {
+            let mut c = Client::connect(addr).expect("connect");
+            let r = c
+                .query(CHEAP_QUERY, &cheap_opts, RequestOpts::default())
+                .expect("warm cheap");
+            assert!(matches!(r, Response::Rows(_)), "warmup failed: {r:?}");
+            let r = c
+                .query(
+                    EXPENSIVE_QUERY,
+                    &ExecOptions::default(),
+                    RequestOpts::default(),
+                )
+                .expect("warm expensive");
+            assert!(matches!(r, Response::Rows(_)), "warmup failed: {r:?}");
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let t0 = Instant::now();
+        let expensive: Vec<_> = (0..EXPENSIVE_CLIENTS)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let (mut completed, mut rejected) = (0usize, 0usize);
+                    while !stop.load(Ordering::Relaxed) {
+                        match c
+                            .query(
+                                EXPENSIVE_QUERY,
+                                &ExecOptions::default(),
+                                RequestOpts::default(),
+                            )
+                            .expect("expensive round trip")
+                        {
+                            Response::Rows(_) => completed += 1,
+                            Response::Overload { .. } => {
+                                rejected += 1;
+                                // Back off instead of hammering the admission
+                                // controller in a tight loop.
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                            }
+                            other => panic!("expensive query failed: {other:?}"),
+                        }
+                    }
+                    (completed, rejected)
+                })
+            })
+            .collect();
+        let cheap: Vec<_> = (0..CHEAP_CLIENTS)
+            .map(|_| {
+                let cheap_opts = cheap_opts.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut lat_ms = Vec::with_capacity(cheap_per_client);
+                    for _ in 0..cheap_per_client {
+                        let t = Instant::now();
+                        match c
+                            .query(CHEAP_QUERY, &cheap_opts, RequestOpts::default())
+                            .expect("cheap round trip")
+                        {
+                            Response::Rows(_) => lat_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                            other => panic!("cheap query failed: {other:?}"),
+                        }
+                    }
+                    lat_ms
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = cheap
+            .into_iter()
+            .flat_map(|h| h.join().expect("cheap client"))
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        let (mut completed, mut rejected) = (0usize, 0usize);
+        for h in expensive {
+            let (c, r) = h.join().expect("expensive client");
+            completed += c;
+            rejected += r;
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut c = Client::connect(addr).expect("connect");
+            assert!(matches!(c.shutdown().expect("shutdown"), Response::Bye));
+        }
+        handle.join();
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+        p99_by_mode[slot] = p99;
+        let total = latencies.len() + completed;
+        let rps = total as f64 / (wall_ms / 1e3).max(1e-9);
+        println!(
+            "{:<14} {:>10} {:>10.3} {:>10.3} {:>10} {:>10} {:>10.1} {:>10.1}",
+            label,
+            latencies.len(),
+            p50,
+            p99,
+            completed,
+            rejected,
+            wall_ms,
+            rps
+        );
+        report.add(
+            format!("serve/admission={label}/cheap_p50"),
+            p50,
+            0,
+            latencies.len(),
+        );
+        report.add(
+            format!("serve/admission={label}/cheap_p99"),
+            p99,
+            0,
+            latencies.len(),
+        );
+        report.add(
+            format!("serve/admission={label}/expensive"),
+            wall_ms,
+            0,
+            completed,
+        );
+        report.add(
+            format!("serve/admission={label}/rejected"),
+            wall_ms,
+            0,
+            rejected,
+        );
+    }
+    let (on, off) = (p99_by_mode[0], p99_by_mode[1]);
+    let ok = on < off;
+    println!(
+        "cheap-query p99: admission on {on:.3} ms vs off {off:.3} ms — {}",
+        if ok {
+            "PASS (admission keeps the fast lane fast)"
+        } else if quick {
+            "no improvement, informational in quick mode"
+        } else {
+            "FAIL"
+        }
+    );
+    ok || quick
 }
 
 /// Trace: run the fig3 and 4-clique workloads through the query service

@@ -9,7 +9,7 @@
 
 use crate::atoms::Atoms;
 use crate::error::Result;
-use agm::{agm_bound, agm_exponent, Hypergraph};
+use agm::{agm_bound, agm_exponent, log_agm_bound, Hypergraph};
 use relational::Attr;
 
 /// Builds the mixed-query hypergraph and the per-edge cardinalities.
@@ -30,6 +30,17 @@ pub fn mixed_hypergraph(atoms: &Atoms<'_>) -> (Hypergraph, Vec<usize>) {
 pub fn query_bound(atoms: &Atoms<'_>) -> Result<f64> {
     let (h, sizes) = mixed_hypergraph(atoms);
     Ok(agm_bound(&h, &sizes)?)
+}
+
+/// The natural log of the query's AGM bound (see [`agm::log_agm_bound`]).
+///
+/// This is the form an admission controller or cost model should consume: a
+/// clique over large relations can push the plain bound past `f64::MAX`,
+/// but its log still compares and accumulates. `-∞` means some atom is
+/// empty (the query provably returns nothing).
+pub fn query_log_bound(atoms: &Atoms<'_>) -> Result<f64> {
+    let (h, sizes) = mixed_hypergraph(atoms);
+    Ok(log_agm_bound(&h, &sizes)?)
 }
 
 /// The uniform-size exponent `ρ*` of the query's hypergraph: the bound is
@@ -128,6 +139,8 @@ mod tests {
         assert!(close(query_exponent(&atoms).unwrap(), 1.5));
         // Bound with |each atom| = 3 is 3^1.5.
         assert!(close(query_bound(&atoms).unwrap(), 3f64.powf(1.5)));
+        // The log form agrees: ln(3^1.5) = 1.5 ln 3.
+        assert!(close(query_log_bound(&atoms).unwrap(), 1.5 * 3f64.ln()));
     }
 
     #[test]

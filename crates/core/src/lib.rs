@@ -71,7 +71,7 @@ pub mod validate;
 
 pub use atoms::{collect_atoms, AtomRel, Atoms};
 pub use baseline::{baseline, BaselineConfig, RelAlg, XmlAlg};
-pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent};
+pub use bounds::{mixed_hypergraph, prefix_bounds, query_bound, query_exponent, query_log_bound};
 pub use engine::{lower, xjoin, xjoin_with_plan, xjoin_with_plan_in_range, XJoinConfig};
 pub use error::{CoreError, Result};
 pub use exec::{

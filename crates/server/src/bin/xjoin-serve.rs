@@ -1,0 +1,160 @@
+//! Standalone server binary: build a dataset, bind a port, serve until a
+//! client sends `SHUTDOWN` (or the process is killed).
+//!
+//! ```text
+//! xjoin-serve [--addr HOST:PORT] [--workers N] [--data bookstore|graph:NODES:EDGES]
+//!             [--no-admission] [--cheap-bound LOG2] [--inflight-budget UNITS]
+//!             [--max-queue N] [--default-deadline-ms MS]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound, so wrappers can
+//! parse the actual port when `--addr` asked for port 0.
+
+use relational::{Database, Schema, Value};
+use std::sync::Arc;
+use xjoin_serve::{AdmissionPolicy, Server, ServerConfig};
+use xjoin_store::VersionedStore;
+use xmldb::XmlDocument;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xjoin-serve [--addr HOST:PORT] [--workers N] \
+         [--data bookstore|graph:NODES:EDGES] [--no-admission] \
+         [--cheap-bound LOG2] [--inflight-budget UNITS] [--max-queue N] \
+         [--default-deadline-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+/// The bookstore instance of the paper's running example: an order relation
+/// plus an invoice document.
+fn bookstore() -> VersionedStore {
+    let mut db = Database::new();
+    db.load(
+        "Order",
+        Schema::of(&["orderID", "userID"]),
+        vec![
+            vec![Value::Int(10963), Value::str("jack")],
+            vec![Value::Int(20134), Value::str("tom")],
+            vec![Value::Int(30721), Value::str("ann")],
+        ],
+    )
+    .expect("load Order");
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("invoices");
+    for (oid, isbn, price) in [
+        (10963i64, "978-3-16-148410-0", 30i64),
+        (20134, "634-3-12-171814-2", 20),
+        (30721, "312-5-17-918211-9", 45),
+    ] {
+        b.begin("orderLine");
+        b.leaf("orderID", oid);
+        b.leaf("ISBN", isbn);
+        b.leaf("price", price);
+        b.end();
+    }
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    VersionedStore::new(db, doc)
+}
+
+/// A symmetric random graph `E(src, dst)` with a trivial document, for
+/// triangle / clique serving workloads.
+fn graph(nodes: usize, edges: usize) -> VersionedStore {
+    let mut db = Database::new();
+    // xorshift64*: deterministic, no external dependency.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545F4914F6CDD1D);
+        state
+    };
+    let mut rows = Vec::with_capacity(edges * 2);
+    for _ in 0..edges {
+        let a = (next() % nodes as u64) as i64;
+        let b = (next() % nodes as u64) as i64;
+        rows.push(vec![Value::Int(a), Value::Int(b)]);
+        rows.push(vec![Value::Int(b), Value::Int(a)]);
+    }
+    db.load("E", Schema::of(&["src", "dst"]), rows)
+        .expect("load E");
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("root");
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    VersionedStore::new(db, doc)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    let mut data = "bookstore".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                config.addr = need(i);
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--data" => {
+                data = need(i);
+                i += 2;
+            }
+            "--no-admission" => {
+                config.admission = AdmissionPolicy::disabled();
+                i += 1;
+            }
+            "--cheap-bound" => {
+                config.admission.cheap_log2_bound = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--inflight-budget" => {
+                config.admission.max_inflight_cost = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--max-queue" => {
+                config.admission.max_queue_depth = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline_ms = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let store = if data == "bookstore" {
+        bookstore()
+    } else if let Some(spec) = data.strip_prefix("graph:") {
+        let mut parts = spec.split(':');
+        let nodes = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+        let edges = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+        graph(nodes, edges)
+    } else {
+        usage()
+    };
+    let handle = Server::spawn(Arc::new(store), config).unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("shut down");
+}

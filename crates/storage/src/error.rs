@@ -20,6 +20,17 @@ pub enum StoreError {
         /// before the job ran.
         panic: String,
     },
+    /// The query's deadline expired before a result was produced — either
+    /// while the job was still queued (checked at dequeue), mid-execution
+    /// (checked between row batches of a deadline-aware drain), or while the
+    /// caller waited on its [`crate::Ticket`].
+    DeadlineExceeded {
+        /// Label of the query whose deadline expired (its atom list).
+        label: String,
+        /// How long the query had been waited on / worked on when the
+        /// deadline was declared exceeded.
+        waited: std::time::Duration,
+    },
 }
 
 impl StoreError {
@@ -28,6 +39,14 @@ impl StoreError {
         StoreError::WorkerLost {
             label: label.into(),
             panic: panic.into(),
+        }
+    }
+
+    /// A [`StoreError::DeadlineExceeded`] for the job labelled `label`.
+    pub fn deadline_exceeded(label: impl Into<String>, waited: std::time::Duration) -> StoreError {
+        StoreError::DeadlineExceeded {
+            label: label.into(),
+            waited,
         }
     }
 }
@@ -39,6 +58,9 @@ impl fmt::Display for StoreError {
             StoreError::Relational(e) => write!(f, "relational: {e}"),
             StoreError::WorkerLost { label, panic } => {
                 write!(f, "query worker died before replying to `{label}`: {panic}")
+            }
+            StoreError::DeadlineExceeded { label, waited } => {
+                write!(f, "deadline exceeded for `{label}` after {waited:?}")
             }
         }
     }
@@ -76,5 +98,9 @@ mod tests {
         assert!(text.contains("worker"));
         assert!(text.contains("Q(a,b)"), "{text}");
         assert!(text.contains("index out of bounds"), "{text}");
+        let late = StoreError::deadline_exceeded("Q(a,b)", std::time::Duration::from_millis(7));
+        let text = late.to_string();
+        assert!(text.contains("deadline"), "{text}");
+        assert!(text.contains("Q(a,b)"), "{text}");
     }
 }

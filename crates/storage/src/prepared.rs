@@ -20,7 +20,7 @@
 use crate::cache::TrieKey;
 use crate::error::{Result, StoreError};
 use crate::store::Snapshot;
-use relational::{Attr, JoinPlan, Trie};
+use relational::{Attr, JoinPlan, Relation, Trie};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,6 +29,12 @@ use xjoin_core::{
     ExecOptions, MultiModelQuery, Parallelism, QueryOutput, ResolvedAtom, Rows, Term,
 };
 use xmldb::{decompose, path_fingerprint, path_relation, PathSpec};
+
+/// How many streamed rows a deadline-aware drain yields between deadline
+/// checks. Small enough that even a worst-case enumeration overruns its
+/// deadline by only a batch of cheap trie steps; large enough that the
+/// `Instant::now` syscall never shows up in probe profiles.
+const DEADLINE_CHECK_EVERY: usize = 256;
 
 /// Where an atom's trie content comes from — which version counter
 /// invalidates it, and how to rebuild just this atom's relation on a cache
@@ -220,6 +226,14 @@ impl PreparedQuery {
         self
     }
 
+    /// Overrides the pinned row limit without re-preparing: the same order
+    /// and trie keys, capped at `limit` rows. Serving uses this to apply
+    /// per-request row budgets on top of a shared cached statement.
+    pub fn with_limit(mut self, limit: Option<usize>) -> Self {
+        self.options.limit = limit;
+        self
+    }
+
     /// The concrete trie keys this query resolves to on `snapshot` (exposed
     /// for cache introspection, pre-warming, and tests).
     pub fn trie_keys(&self, snapshot: &Snapshot) -> Result<Vec<TrieKey>> {
@@ -362,6 +376,69 @@ impl PreparedQuery {
         out.stats.tries_built = cost.tries_built;
         out.stats.bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
         Ok(out)
+    }
+
+    /// Executes the prepared query like [`PreparedQuery::execute`], but
+    /// gives up with [`StoreError::DeadlineExceeded`] once `deadline`
+    /// passes: the deadline is checked after plan assembly (trie builds can
+    /// be slow) and every `DEADLINE_CHECK_EVERY` (256) rows of a streaming
+    /// drain, so a runaway query stops burning its worker shortly after its
+    /// budgeted time — not only when the caller stops waiting.
+    ///
+    /// The result *set* equals [`PreparedQuery::execute`] with the same
+    /// options (the drain is the depth-first streaming walk, which yields
+    /// the same tuples whatever plan-based kind is pinned); the per-stage
+    /// Lemma 3.5 series is not recorded, exactly as for the streaming
+    /// engine. `enqueued` is when the job entered the system — it stamps
+    /// the error's `waited` field so callers see total queue + run time.
+    pub fn execute_with_deadline(
+        &self,
+        snapshot: &Snapshot,
+        deadline: Instant,
+        enqueued: Instant,
+    ) -> Result<QueryOutput> {
+        let start = Instant::now();
+        let (plan, atom_sizes, cost) = self.plan_for(snapshot)?;
+        if Instant::now() >= deadline {
+            return Err(StoreError::deadline_exceeded(
+                self.label(),
+                enqueued.elapsed(),
+            ));
+        }
+        let bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
+        let ctx = snapshot.ctx();
+        let mut rows =
+            stream_with_plan(&ctx, &self.query, plan, &self.options).map_err(StoreError::from)?;
+        let mut rel = Relation::new(rows.schema().clone());
+        let mut since_check = 0usize;
+        for row in rows.by_ref() {
+            rel.push(&row)?;
+            since_check += 1;
+            if since_check >= DEADLINE_CHECK_EVERY {
+                since_check = 0;
+                if Instant::now() >= deadline {
+                    return Err(StoreError::deadline_exceeded(
+                        self.label(),
+                        enqueued.elapsed(),
+                    ));
+                }
+            }
+        }
+        let mut stats = relational::JoinStats {
+            output_rows: rel.len(),
+            ..Default::default()
+        };
+        stats.elapsed = start.elapsed();
+        stats.build_elapsed = cost.elapsed;
+        stats.tries_built = cost.tries_built;
+        stats.bitset_levels = bitset_levels;
+        Ok(QueryOutput {
+            results: rel,
+            stats,
+            order: self.order.clone(),
+            atom_sizes,
+            engine: self.options.engine,
+        })
     }
 
     /// Streams the prepared query's results as a pull-based
@@ -619,6 +696,83 @@ mod tests {
         assert!(rows.stats().visited < full_visited);
         // The materialising path honours the limit too.
         assert_eq!(limited.execute(&snap).unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn deadline_checked_after_plan_assembly() {
+        use std::time::Duration;
+        let store = bookstore_store();
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &bookstore_query(), ExecOptions::default()).unwrap();
+        let enqueued = Instant::now();
+        // An already-expired deadline fails before any row is drained.
+        assert!(matches!(
+            prepared.execute_with_deadline(&snap, enqueued, enqueued),
+            Err(StoreError::DeadlineExceeded { .. })
+        ));
+        // A generous deadline yields exactly execute()'s result set.
+        let direct = prepared.execute(&snap).unwrap();
+        let out = prepared
+            .execute_with_deadline(
+                &snap,
+                Instant::now() + Duration::from_secs(60),
+                Instant::now(),
+            )
+            .unwrap();
+        assert!(out.results.set_eq(&direct.results));
+        assert_eq!(out.order, direct.order);
+        assert_eq!(out.engine, direct.engine);
+        assert_eq!(out.atom_sizes, direct.atom_sizes);
+    }
+
+    #[test]
+    fn deadline_interrupts_a_large_drain() {
+        use std::time::Duration;
+        // R(g,x) ⋈ S(g,y) with one shared group: a million-row output whose
+        // drain cannot finish inside a 1 ms budget, so the per-batch checks
+        // must stop it mid-stream.
+        let mut db = Database::new();
+        let rows = |attr_rows: i64| -> Vec<Vec<Value>> {
+            (0..attr_rows)
+                .map(|i| vec![Value::Int(0), Value::Int(i)])
+                .collect()
+        };
+        db.load("R", Schema::of(&["g", "x"]), rows(1000)).unwrap();
+        db.load("S", Schema::of(&["g", "y"]), rows(1000)).unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.begin("root");
+        b.end();
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let store = VersionedStore::new(db, doc);
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R", "S"], &[]).unwrap();
+        let prepared = PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap();
+        // Warm the trie cache with a limit-1 sibling (same atoms, same
+        // order, hence the same trie keys) so the deadlined run spends its
+        // whole budget inside the drain, not the build.
+        let warm = PreparedQuery::prepare(
+            &snap,
+            &q,
+            ExecOptions {
+                limit: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.execute(&snap).unwrap().results.len(), 1);
+        let start = Instant::now();
+        match prepared
+            .execute_with_deadline(&snap, start + Duration::from_millis(1), start)
+            .unwrap_err()
+        {
+            StoreError::DeadlineExceeded { waited, .. } => {
+                assert!(waited >= Duration::from_millis(1))
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@ struct Job {
     reply: Sender<Result<QueryOutput>>,
     label: String,
     enqueued: Instant,
+    /// Absolute deadline, if any: checked at dequeue (a job whose deadline
+    /// passed while queued is failed without executing) and between row
+    /// batches during execution (see [`PreparedQuery::execute_with_deadline`]).
+    deadline: Option<Instant>,
 }
 
 /// Renders a panic payload as text (the common `&str` / `String` payloads;
@@ -80,6 +84,26 @@ impl Ticket {
                 "service shut down before the job ran",
             ))
         })
+    }
+
+    /// Blocks for at most `timeout`, returning
+    /// [`StoreError::DeadlineExceeded`] if no result arrived in time. The
+    /// job itself is *not* cancelled by an expired wait — a worker may still
+    /// be executing it (and will drop the reply unread); jobs submitted via
+    /// [`QueryService::submit_with_deadline`] additionally stop themselves
+    /// at dequeue or between row batches once their deadline passes.
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<QueryOutput> {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.rx.recv_timeout(timeout) {
+            Ok(out) => out,
+            Err(RecvTimeoutError::Timeout) => {
+                Err(StoreError::deadline_exceeded(self.label, timeout))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(StoreError::worker_lost(
+                self.label,
+                "service shut down before the job ran",
+            )),
+        }
     }
 }
 
@@ -125,6 +149,23 @@ impl QueryService {
 
     /// Enqueues one query execution; returns immediately with a [`Ticket`].
     pub fn submit(&self, prepared: Arc<PreparedQuery>, snapshot: Snapshot) -> Ticket {
+        self.submit_with_deadline(prepared, snapshot, None)
+    }
+
+    /// Enqueues one query execution with an optional absolute deadline.
+    ///
+    /// A deadline is enforced inside the service, not just at the ticket: a
+    /// worker picking up a job whose deadline already passed fails it with
+    /// [`StoreError::DeadlineExceeded`] without executing anything, and a
+    /// live execution re-checks the deadline between row batches (see
+    /// [`PreparedQuery::execute_with_deadline`]), so a runaway query stops
+    /// burning its worker shortly after its deadline expires.
+    pub fn submit_with_deadline(
+        &self,
+        prepared: Arc<PreparedQuery>,
+        snapshot: Snapshot,
+        deadline: Option<Instant>,
+    ) -> Ticket {
         let (reply, rx) = channel();
         let label = prepared.label();
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
@@ -142,6 +183,7 @@ impl QueryService {
                 reply,
                 label: label.clone(),
                 enqueued: Instant::now(),
+                deadline,
             });
             if sent.is_err() {
                 xjoin_obs::global_metrics()
@@ -176,10 +218,28 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
                     .histogram("xjoin.service.queue_wait_us")
                     .record(job.enqueued.elapsed().as_micros() as u64);
                 metrics.counter("xjoin.service.jobs").inc();
+                // Deadline check at dequeue: a job that aged out while
+                // queued is failed without building or probing anything.
+                if let Some(deadline) = job.deadline {
+                    if Instant::now() >= deadline {
+                        metrics.counter("xjoin.service.deadline_exceeded").inc();
+                        let _ = job.reply.send(Err(StoreError::deadline_exceeded(
+                            job.label.clone(),
+                            job.enqueued.elapsed(),
+                        )));
+                        continue;
+                    }
+                }
                 let start = Instant::now();
                 let mut span = xjoin_obs::span("execute-job");
                 span.set_attr(|| job.label.clone());
-                let out = catch_unwind(AssertUnwindSafe(|| job.prepared.execute(&job.snapshot)));
+                let out = catch_unwind(AssertUnwindSafe(|| match job.deadline {
+                    Some(deadline) => {
+                        job.prepared
+                            .execute_with_deadline(&job.snapshot, deadline, job.enqueued)
+                    }
+                    None => job.prepared.execute(&job.snapshot),
+                }));
                 drop(span);
                 metrics
                     .histogram("xjoin.service.exec_us")
@@ -191,6 +251,9 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
                         panic_text(payload.as_ref()),
                     ))
                 });
+                if matches!(&out, Err(StoreError::DeadlineExceeded { .. })) {
+                    metrics.counter("xjoin.service.deadline_exceeded").inc();
+                }
                 let _ = job.reply.send(out);
             }
             Err(_) => break, // sender dropped: shutdown
@@ -302,6 +365,75 @@ mod tests {
     fn zero_worker_request_still_gets_one() {
         let service = QueryService::new(0);
         assert_eq!(service.workers(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_dequeue_without_executing() {
+        use std::time::Duration;
+        let store = store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap());
+        let service = QueryService::new(1);
+        let before = store.registry().stats().misses;
+        // A deadline that is already `now` at submit is necessarily in the
+        // past by the time a worker dequeues the job.
+        let ticket =
+            service.submit_with_deadline(Arc::clone(&prepared), snap.clone(), Some(Instant::now()));
+        match ticket.wait().unwrap_err() {
+            StoreError::DeadlineExceeded { label, .. } => assert_eq!(label, prepared.label()),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // The job was failed before executing: no trie build was paid.
+        assert_eq!(store.registry().stats().misses, before);
+        // A future deadline leaves execution untouched.
+        let ticket = service.submit_with_deadline(
+            Arc::clone(&prepared),
+            snap.clone(),
+            Some(Instant::now() + Duration::from_secs(60)),
+        );
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_reports_deadline_disconnect_and_success() {
+        use std::sync::mpsc::channel;
+        use std::time::Duration;
+        // No reply within the timeout → DeadlineExceeded with the label.
+        let (_tx, rx) = channel();
+        let ticket = Ticket {
+            rx,
+            label: "Q(a)".into(),
+        };
+        match ticket.wait_timeout(Duration::from_millis(5)).unwrap_err() {
+            StoreError::DeadlineExceeded { label, waited } => {
+                assert_eq!(label, "Q(a)");
+                assert_eq!(waited, Duration::from_millis(5));
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // Sender gone → WorkerLost, mirroring `Ticket::wait`.
+        let (tx, rx) = channel::<Result<QueryOutput>>();
+        let ticket = Ticket {
+            rx,
+            label: "Q(a)".into(),
+        };
+        drop(tx);
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)).unwrap_err(),
+            StoreError::WorkerLost { .. }
+        ));
+        // A reply that arrives in time comes back as-is.
+        let store = store();
+        let snap = store.snapshot();
+        let q = MultiModelQuery::new(&["R"], &[]).unwrap();
+        let prepared = Arc::new(PreparedQuery::prepare(&snap, &q, ExecOptions::default()).unwrap());
+        let service = QueryService::new(1);
+        let out = service
+            .submit(prepared, snap)
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(out.results.len(), 20);
     }
 
     #[test]

@@ -1,133 +1,138 @@
-//! Query server: serve prepared multi-model queries concurrently from a
-//! versioned store with a shared trie cache.
+//! Query server: serve multi-model queries over the wire protocol.
 //!
 //! ```sh
 //! cargo run --example query_server
 //! ```
 //!
-//! Loads the Figure 1 bookstore dataset, prepares two multi-model queries,
-//! executes them through the `xjoin-store` worker pool against one snapshot,
-//! then applies a write and shows that an old snapshot keeps serving the old
-//! state while the cache re-keys only what changed.
+//! Spawns the `xjoin-serve` front end on a loopback port over the Figure 1
+//! bookstore dataset, then acts as a client: one-shot queries, a
+//! prepare→execute round trip (with the statement's AGM bound reported at
+//! prepare time), a row-budgeted execution, a metrics scrape through the
+//! `STATS` frame, and a graceful shutdown — everything crossing a real TCP
+//! socket as length-prefixed binary frames.
 
 use bench::workloads::bookstore;
-use relational::{Schema, Value};
 use std::sync::Arc;
-use xjoin_core::{EngineKind, ExecOptions, QueryBuilder};
-use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
+use xjoin_core::{EngineKind, ExecOptions};
+use xjoin_repro::xjoin_serve::{
+    expect_rows, AdmissionPolicy, Client, RequestOpts, Response, Server, ServerConfig,
+};
+use xjoin_store::VersionedStore;
+
+const BOOKSTORE_QUERY: &str =
+    "Q(userID, ISBN, price) :- R(orderID, userID), //invoices/orderLine[/orderID][/ISBN][/price]";
 
 fn main() {
-    // 1. A versioned store over the bookstore instance (orders table +
-    //    invoices document), with a 1 MiB trie-cache budget.
+    // 1. Server side: a versioned store over the bookstore instance served
+    //    by a 2-worker pool behind AGM-based admission control, on an
+    //    OS-assigned loopback port.
     let inst = bookstore();
-    let store = VersionedStore::with_cache_budget(inst.db, inst.doc, 1 << 20);
-    let snapshot = store.snapshot();
-
-    // 2. Prepare two queries once: parse, validate, fix the variable order,
-    //    and pin every atom's trie cache key. The unified QueryBuilder
-    //    carries the options (engine kind, limits) alongside the query.
-    let q_invoices = QueryBuilder::new()
-        .relation("R")
-        .twig("//invoices/orderLine[/orderID][/ISBN][/price]")
-        .output(&["userID", "ISBN", "price"])
-        .build()
-        .expect("query builds");
-    let q_discounts = QueryBuilder::new()
-        .relation("R")
-        .twig("//orderLine[/orderID][/discount]")
-        .output(&["userID", "discount"])
-        .build()
-        .expect("query builds");
-    let invoices = Arc::new(
-        PreparedQuery::prepare(&snapshot, &q_invoices.query, q_invoices.options.clone())
-            .expect("prepare"),
-    );
-    let discounts = Arc::new(
-        PreparedQuery::prepare(&snapshot, &q_discounts.query, q_discounts.options.clone())
-            .expect("prepare"),
-    );
-
-    // 3. Serve both queries concurrently through a 4-worker pool. The first
-    //    executions build tries; every repetition is served from the cache.
-    let service = QueryService::new(4);
-    let jobs = (0..8).map(|i| {
-        let q = if i % 2 == 0 {
-            Arc::clone(&invoices)
-        } else {
-            Arc::clone(&discounts)
-        };
-        (q, snapshot.clone())
-    });
-    let results = service.run_all(jobs);
-    for (i, result) in results.iter().enumerate() {
-        let out = result.as_ref().expect("query runs");
-        println!(
-            "job {i} ({}): {} rows in {:?}",
-            if i % 2 == 0 { "invoices " } else { "discounts" },
-            out.results.len(),
-            out.stats.elapsed
-        );
-    }
-    let out = results[0].as_ref().expect("query runs");
-    println!("\nQ(userID, ISBN, price):");
-    print!("{}", snapshot.db().render_table(&out.results));
-
-    // 4. A write bumps only the orders relation; the old snapshot still
-    //    serves the old state, and cached path-relation tries survive.
-    store.update(|db| {
-        db.load(
-            "R",
-            Schema::of(&["orderID", "userID"]),
-            vec![vec![Value::Int(10963), Value::str("jack")]],
-        )
-        .expect("reload orders");
-    });
-    let fresh = store.snapshot();
-    let old = invoices.execute(&snapshot).expect("old snapshot");
-    let new = invoices.execute(&fresh).expect("new snapshot");
-    println!(
-        "after write: old snapshot still {} rows, new snapshot {} rows",
-        old.results.len(),
-        new.results.len()
-    );
-
-    // 5. Pull-based streaming from the same cache: the depth-first engine
-    //    with a limit stops the trie walk after two rows.
-    let limited = PreparedQuery::prepare(
-        &fresh,
-        &q_invoices.query,
-        ExecOptions {
-            engine: EngineKind::XJoinStream,
-            limit: Some(2),
+    let store = Arc::new(VersionedStore::with_cache_budget(
+        inst.db,
+        inst.doc,
+        1 << 20,
+    ));
+    let handle = Server::spawn(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: 2,
+            admission: AdmissionPolicy::default(),
             ..Default::default()
         },
     )
-    .expect("prepare streaming");
-    let mut rows = limited.rows(&fresh).expect("rows");
-    let pulled: Vec<_> = rows.by_ref().collect();
+    .expect("bind loopback");
+    println!("server listening on {}", handle.addr());
+
+    // 2. Client side: a plain TCP connection speaking the frame protocol.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // 3. One-shot QUERY: options + MMQL text in one frame, rows back.
+    let rows = expect_rows(
+        client
+            .query(
+                BOOKSTORE_QUERY,
+                &ExecOptions::default(),
+                RequestOpts::default(),
+            )
+            .expect("query round trip"),
+    );
+    println!("\nQ(userID, ISBN, price) over the wire:");
+    println!("  columns: {:?}", rows.columns);
+    for row in &rows.rows {
+        println!("  {row:?}");
+    }
+
+    // 4. PREPARE → EXEC: the statement is parsed, ordered, and priced once;
+    //    the reply carries its AGM bound (log2) — the same number the
+    //    admission controller uses to price the query before any trie work.
+    let (stmt_id, log2_bound) = match client
+        .prepare(BOOKSTORE_QUERY, &ExecOptions::default())
+        .expect("prepare round trip")
+    {
+        Response::Prepared {
+            stmt_id,
+            log2_bound,
+            ..
+        } => (stmt_id, log2_bound),
+        other => panic!("prepare failed: {other:?}"),
+    };
     println!(
-        "\nstreamed {} row(s) with limit 2 ({} bindings made)",
-        pulled.len(),
-        rows.stats().visited
+        "\nprepared as statement #{stmt_id}: AGM bound 2^{log2_bound:.1} ≈ {:.0} rows",
+        log2_bound.exp2()
+    );
+    let rows = expect_rows(client.exec(stmt_id, RequestOpts::default()).expect("exec"));
+    println!("exec #{stmt_id}: {} rows", rows.rows.len());
+
+    // 5. Per-request row budget: the same statement, capped to 1 row. The
+    //    budget pushes into the streaming walk as a limit; the reply's
+    //    truncated flag says the cap cut the result short.
+    let budgeted = expect_rows(
+        client
+            .exec(
+                stmt_id,
+                RequestOpts {
+                    row_budget: 1,
+                    ..Default::default()
+                },
+            )
+            .expect("budgeted exec"),
+    );
+    println!(
+        "row budget 1: {} row(s), truncated = {}",
+        budgeted.rows.len(),
+        budgeted.truncated
     );
 
-    // 6. Cache behaviour over the whole session.
-    let stats = store.registry().stats();
-    println!(
-        "\ntrie cache: {} hits / {} misses (hit rate {:.0}%), {} entries, {} bytes (budget {:?})",
-        stats.hits,
-        stats.misses,
-        stats.hit_rate() * 100.0,
-        stats.entries,
-        stats.bytes_in_use,
-        stats.budget,
+    // 6. A second engine over the same wire: the streaming XJoin with a
+    //    pinned limit (one-shot, so no statement reuse).
+    let streamed = expect_rows(
+        client
+            .query(
+                BOOKSTORE_QUERY,
+                &ExecOptions {
+                    engine: EngineKind::XJoinStream,
+                    limit: Some(2),
+                    ..Default::default()
+                },
+                RequestOpts::default(),
+            )
+            .expect("streamed query"),
     );
+    println!("xjoin-stream with limit 2: {} rows", streamed.rows.len());
 
-    // 7. Serving metrics: the worker pool records queue depth, queue wait,
-    //    and execution latency into the global registry on every job.
-    drop(service); // join workers so all recordings have landed
-    println!(
-        "\nserving metrics:\n{}",
-        xjoin_obs::global_metrics().snapshot()
-    );
+    // 7. Operators without shell access to the process scrape metrics
+    //    through the STATS frame: queue depth, exec latency, admission
+    //    decisions, trie cache — the whole global registry.
+    if let Response::Stats { body, .. } = client.stats(0).expect("stats") {
+        println!("\nserver metrics (via STATS frame):\n{body}");
+    }
+
+    // 8. Graceful shutdown: in-flight work drains, workers join, the accept
+    //    loop exits — then the server handle's join returns.
+    match client.shutdown().expect("shutdown") {
+        Response::Bye => println!("server acknowledged shutdown"),
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    handle.join();
+    println!("server drained and stopped");
 }

@@ -19,14 +19,18 @@
 //!   `QueryBuilder` / pull-based `Rows`) every engine sits behind;
 //! * [`xjoin_store`] — the serving layer: a versioned store with immutable
 //!   snapshots, a shared LRU trie cache, prepared queries, and a concurrent
-//!   query service.
+//!   query service;
+//! * [`xjoin_serve`] — the networked front end: a length-prefixed wire
+//!   protocol over TCP, a server-side prepared-statement cache, per-request
+//!   deadlines and row budgets, and AGM-based admission control.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour,
-//! `examples/query_server.rs` for the serving layer, and the `bench`
-//! crate's `experiments` binary for the paper's tables and figures.
+//! `examples/query_server.rs` for the networked serving layer, and the
+//! `bench` crate's `experiments` binary for the paper's tables and figures.
 
 pub use agm;
 pub use relational;
 pub use xjoin_core;
+pub use xjoin_serve;
 pub use xjoin_store;
 pub use xmldb;
