@@ -2,7 +2,7 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|trace|all|quick] \
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|trace|all|quick] \
 //!             [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]
 //! experiments diff --baseline BENCH_results.json --current BENCH_quick.json \
 //!             [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]
@@ -37,6 +37,12 @@
 //!   recording cheap-query p50/p99 latency, throughput, and admission
 //!   accept/reject counts (`--quick` shrinks the workload and makes the
 //!   p99 comparison informational);
+//! * `churn` — the PR-9 delta-trie acceptance gate: warm-query latency
+//!   right after appends on a filtered triangle over three edge relations,
+//!   delta overlays on vs off, asserting the post-write median stays at
+//!   least 5× below the full-rebuild median and within 1.25× of the
+//!   no-write probe (`--quick` shrinks the workload and reports the
+//!   comparison informationally);
 //! * `trace` — runs the fig3 and 4-clique workloads through the query
 //!   service with tracing enabled and writes `trace.json` (Chrome
 //!   trace-event, load at <https://ui.perfetto.dev>), `flamegraph.txt`
@@ -49,7 +55,7 @@
 //!   families such as `threads/`, and rows whose baseline is under
 //!   `--min-ms` (default 1 ms) are ignored as timer noise;
 //! * `quick` — a fast subset (bounds, small fig3, bookstore, store,
-//!   threads, build, probe) for CI.
+//!   threads, build, probe, churn) for CI.
 //!
 //! Every timed run is collected into a JSON report — an array of
 //! `{"name", "wall_ms", "build_ms", "max_intermediate", "output_rows"}`
@@ -257,6 +263,7 @@ fn main() {
     let mut probe_ok = true;
     let mut overhead_ok = true;
     let mut serve_ok = true;
+    let mut churn_ok = true;
     match cmd.as_str() {
         "bounds" => exp_bounds(),
         "fig3" => exp_fig3(max_n, &mut report),
@@ -269,6 +276,7 @@ fn main() {
         "probe" => probe_ok = exp_probe(&mut report, false),
         "overhead" => overhead_ok = exp_overhead(&mut report, false),
         "serve" => serve_ok = exp_serve(&mut report, quick_flag),
+        "churn" => churn_ok = exp_churn(&mut report, quick_flag),
         "trace" => exp_trace(),
         "all" => {
             exp_bounds();
@@ -282,6 +290,7 @@ fn main() {
             probe_ok = exp_probe(&mut report, false);
             overhead_ok = exp_overhead(&mut report, false);
             serve_ok = exp_serve(&mut report, false);
+            churn_ok = exp_churn(&mut report, false);
         }
         "quick" => {
             exp_bounds();
@@ -292,11 +301,12 @@ fn main() {
             build_ok = exp_build(&mut report);
             probe_ok = exp_probe(&mut report, true);
             overhead_ok = exp_overhead(&mut report, true);
+            churn_ok = exp_churn(&mut report, true);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
             );
             std::process::exit(2);
         }
@@ -337,7 +347,13 @@ fn main() {
              (see the serve/* records above)"
         );
     }
-    if !build_ok || !probe_ok || !overhead_ok || !serve_ok {
+    if !churn_ok {
+        eprintln!(
+            "FAIL: post-write delta latency missed the 5x-vs-rebuild / 1.25x-vs-probe bar \
+             (see the churn/* records above)"
+        );
+    }
+    if !build_ok || !probe_ok || !overhead_ok || !serve_ok || !churn_ok {
         std::process::exit(1);
     }
 }
@@ -1478,6 +1494,154 @@ fn exp_serve(report: &mut Report, quick: bool) -> bool {
             "PASS (admission keeps the fast lane fast)"
         } else if quick {
             "no improvement, informational in quick mode"
+        } else {
+            "FAIL"
+        }
+    );
+    ok || quick
+}
+
+/// Churn: warm-query latency right after a write — delta overlays vs full
+/// rebuilds.
+///
+/// The [`bench::workloads::churn_instance`] workload joins three physically
+/// distinct edge relations under a small filter; every write appends a
+/// fresh edge batch to all three. `churn/probe` is the steady-state warm
+/// probe with no writes; `churn/delta` times the first execution after each
+/// write with the delta policy on (the registry overlays each cached base
+/// with small run tries built from the append log); `churn/rebuild` times
+/// the same writes with the policy off, paying three full trie rebuilds per
+/// write. Full runs enforce the acceptance bar — median delta latency at
+/// least 5x below the rebuild median and at most 1.25x the no-write probe;
+/// `--quick` (CI smoke on shared runners) prints the same table
+/// informationally and never fails the run.
+#[must_use]
+fn exp_churn(report: &mut Report, quick: bool) -> bool {
+    use bench::workloads::{churn_instance, churn_query};
+    use xjoin_store::DeltaPolicy;
+
+    header("Churn: warm-query latency after appends — delta overlays vs full rebuilds");
+    let (nodes, edges, filter, writes, batch) = if quick {
+        (2_000usize, 60_000usize, 12usize, 4usize, 64usize)
+    } else {
+        (10_000, 300_000, 16, 16, 64)
+    };
+    println!(
+        "({} edge rows per relation x 3 relations, filter |F|={filter}; {writes} write(s) \
+         of {batch} edges each, appended to the churning relation R)",
+        edges * 2
+    );
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if v.is_empty() {
+            0.0
+        } else {
+            v[v.len() / 2]
+        }
+    };
+
+    // One store per mode so the two series cannot share cached tries. The
+    // appended batches are identical across modes (same splitmix stream).
+    let run_mode = |delta_on: bool| -> (f64, f64, usize, usize) {
+        let inst = churn_instance(nodes, edges, filter, 42);
+        let store = VersionedStore::new(inst.db, inst.doc);
+        // The compaction ratio is the knob that caps probe degradation under
+        // sustained churn: once the pending runs pass ~0.13% of the base,
+        // one write pays a linear k-way merge and the overlay resets to a
+        // fresh solid base (here: roughly every 4 writes).
+        store.set_delta_policy(DeltaPolicy {
+            enabled: delta_on,
+            compact_ratio: 4.0 * (batch * 2) as f64 / (edges * 2) as f64,
+        });
+        let q = churn_query();
+        let opts = ExecOptions::for_engine(EngineKind::Lftj);
+        let snap = store.snapshot();
+        let prepared =
+            PreparedQuery::prepare(&snap, &q, opts.clone()).expect("prepare churn query");
+        prepared.execute(&snap).expect("cold build"); // cold, outside timings
+
+        // The no-write baseline is a pristine twin of the store that never
+        // sees an append. Its probes are interleaved with the churned
+        // store's post-write queries below, so both series sample the same
+        // machine state and clock/cache drift cancels out of the
+        // delta-vs-probe ratio.
+        let twin = churn_instance(nodes, edges, filter, 42);
+        let twin_store = VersionedStore::new(twin.db, twin.doc);
+        let twin_snap = twin_store.snapshot();
+        let twin_prepared =
+            PreparedQuery::prepare(&twin_snap, &q, opts).expect("prepare twin query");
+        twin_prepared.execute(&twin_snap).expect("twin cold build");
+        twin_prepared.execute(&twin_snap).expect("twin warmup");
+
+        let mut state = 0xc41e_5eed_0000_0000u64 ^ nodes as u64;
+        let mut probes = Vec::with_capacity(writes);
+        let mut latencies = Vec::with_capacity(writes);
+        let (mut rows_out, mut delta_runs) = (0usize, 0usize);
+        for _ in 0..writes {
+            let mut rows: Vec<Vec<relational::Value>> = Vec::with_capacity(batch * 2);
+            while rows.len() < batch * 2 {
+                let r = splitmix64(&mut state);
+                let u = (r % nodes as u64) as i64;
+                let v = ((r >> 32) % nodes as u64) as i64;
+                if u != v {
+                    rows.push(vec![relational::Value::Int(u), relational::Value::Int(v)]);
+                    rows.push(vec![relational::Value::Int(v), relational::Value::Int(u)]);
+                }
+            }
+            let t0 = Instant::now();
+            twin_prepared.execute(&twin_snap).expect("warm probe");
+            probes.push(t0.elapsed().as_secs_f64() * 1e3);
+            store.append("R", rows).expect("append batch");
+            let snap = store.snapshot();
+            let t0 = Instant::now();
+            let out = prepared.execute(&snap).expect("post-write query");
+            let total = t0.elapsed().as_secs_f64() * 1e3;
+            latencies.push(total);
+            rows_out = out.results.len();
+            delta_runs = delta_runs.max(out.stats.delta_runs);
+        }
+        let series: Vec<String> = latencies.iter().map(|ms| format!("{ms:.2}")).collect();
+        println!(
+            "  policy {}: post-write latency trajectory [{}] ms",
+            if delta_on { "on " } else { "off" },
+            series.join(", ")
+        );
+        (median(probes), median(latencies), rows_out, delta_runs)
+    };
+
+    let (probe_ms, delta_ms, delta_rows, runs) = run_mode(true);
+    let (_, rebuild_ms, rebuild_rows, _) = run_mode(false);
+    assert_eq!(
+        delta_rows, rebuild_rows,
+        "delta overlays and rebuilds disagree on the final result"
+    );
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "series", "median ms", "result", "delta runs"
+    );
+    for (label, ms, rows, dr) in [
+        ("probe (no write)", probe_ms, delta_rows, 0usize),
+        ("delta (policy on)", delta_ms, delta_rows, runs),
+        ("rebuild (policy off)", rebuild_ms, rebuild_rows, 0),
+    ] {
+        println!("{label:<22} {ms:>12.4} {rows:>12} {dr:>12}");
+    }
+    report.add("churn/probe", probe_ms, 0, delta_rows);
+    report.add("churn/delta", delta_ms, 0, delta_rows);
+    report.add("churn/rebuild", rebuild_ms, 0, rebuild_rows);
+
+    let speedup = rebuild_ms / delta_ms.max(1e-9);
+    let overhead = delta_ms / probe_ms.max(1e-9);
+    let ok = speedup >= 5.0 && overhead <= 1.25;
+    println!(
+        "post-write latency: delta {delta_ms:.4} ms vs rebuild {rebuild_ms:.4} ms \
+         ({speedup:.1}x; {overhead:.2}x the no-write probe) — {}",
+        if ok {
+            "PASS (>= 5x vs rebuild at <= 1.25x the probe)"
+        } else if quick {
+            "below the bar, informational in quick mode"
         } else {
             "FAIL"
         }

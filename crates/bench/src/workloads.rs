@@ -244,6 +244,49 @@ pub fn graph_instance(nodes: usize, edges: usize, seed: u64) -> Instance {
     Instance { db, doc }
 }
 
+/// The churn workload: a filtered triangle over three *physically distinct*
+/// copies of a random symmetric edge set — `R(a, b)`, `S(b, c)`, `T(a, c)` —
+/// plus a small filter `F(a)` holding nodes `0..filter`. Distinct relations
+/// (rather than [`triangle_query`]'s three renamings of one `E`) keep every
+/// atom a plain base-relation atom, the kind `xjoin_store` resolves through
+/// delta overlays after an append; the filter keeps warm probes cheap so
+/// write-path costs (run-trie builds vs full rebuilds) dominate the
+/// measurement.
+pub fn churn_instance(nodes: usize, edges: usize, filter: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(edges * 2);
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes as i64);
+        let v = rng.gen_range(0..nodes as i64);
+        if u == v {
+            continue;
+        }
+        rows.push(vec![Value::Int(u), Value::Int(v)]);
+        rows.push(vec![Value::Int(v), Value::Int(u)]);
+    }
+    let mut db = Database::new();
+    for (name, attrs) in [("R", ["a", "b"]), ("S", ["b", "c"]), ("T", ["a", "c"])] {
+        db.load(name, Schema::of(&attrs), rows.clone())
+            .expect("load edge copy");
+    }
+    let filter_rows: Vec<Vec<Value>> = (0..filter as i64).map(|i| vec![Value::Int(i)]).collect();
+    db.load("F", Schema::of(&["a"]), filter_rows)
+        .expect("load filter");
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("graph");
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// The query over [`churn_instance`]:
+/// `Q(a, b, c) :- F(a), R(a, b), S(b, c), T(a, c)`.
+pub fn churn_query() -> MultiModelQuery {
+    MultiModelQuery::new::<&str>(&["F", "R", "S", "T"], &[]).expect("no twigs to parse")
+}
+
 /// The triangle query over [`graph_instance`]:
 /// `Q(a, b, c) :- E(a, b), E(b, c), E(a, c)`.
 pub fn triangle_query() -> MultiModelQuery {

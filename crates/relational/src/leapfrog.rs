@@ -274,6 +274,35 @@ pub fn leapfrog_foreach(
     debug_assert!(flow.is_continue());
 }
 
+/// Materialises the sorted, duplicate-free union of the given sorted
+/// duplicate-free slices — the eager counterpart of the lazy k-way union
+/// view that layered (base + delta) tries expose to the walk, kept here as
+/// the reference the union-cursor differential tests check against.
+pub fn union(slices: &[&[ValueId]]) -> Vec<ValueId> {
+    let mut out = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
+    let mut pos = vec![0usize; slices.len()];
+    loop {
+        let mut min: Option<ValueId> = None;
+        for (s, &p) in slices.iter().zip(&pos) {
+            if p < s.len() {
+                let v = s[p];
+                min = Some(match min {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+            }
+        }
+        let Some(v) = min else { break };
+        out.push(v);
+        for (s, p) in slices.iter().zip(&mut pos) {
+            if *p < s.len() && s[*p] == v {
+                *p += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Materialises the intersection of the given sorted slices.
 pub fn intersect(slices: &[&[ValueId]]) -> Vec<ValueId> {
     let mut cursors: Vec<SliceCursor<'_>> = slices.iter().map(|s| SliceCursor::new(s)).collect();
@@ -378,6 +407,17 @@ mod tests {
         let (_, near) = block_seek_counted(&s, 0, ValueId(0));
         let (_, far) = block_seek_counted(&s, 0, ValueId(12285));
         assert!(far > near, "far {far} near {near}");
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let a = ids(&[1, 3, 5]);
+        let b = ids(&[2, 3, 6]);
+        let c = ids(&[3, 5, 9]);
+        assert_eq!(union(&[&a, &b, &c]), ids(&[1, 2, 3, 5, 6, 9]));
+        assert_eq!(union(&[&a]), a);
+        assert!(union(&[]).is_empty());
+        assert_eq!(union(&[&[], &a]), a);
     }
 
     #[test]

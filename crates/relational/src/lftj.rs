@@ -27,7 +27,6 @@ use crate::stats::LevelProbeStats;
 use crate::trie::{LevelBits, Trie};
 use crate::value::ValueId;
 use std::ops::ControlFlow;
-use std::sync::Arc;
 
 /// Which probe kernel drives a [`LftjWalk`]'s per-variable intersections.
 ///
@@ -53,6 +52,11 @@ const PROBE_BATCH: usize = 32;
 /// Participant count up to which the per-refill level views live on the
 /// stack (joins rarely exceed a handful of atoms per variable).
 const MAX_INLINE_VIEWS: usize = 8;
+/// Sentinel node index recorded on the per-atom node stacks for physical
+/// runs of a layered atom that do not contain the bound prefix. Opening the
+/// next level skips such runs entirely. (Real node indices never reach
+/// `u32::MAX`: a trie level with 2³² nodes is unrepresentable here anyway.)
+const ABSENT: u32 = u32::MAX;
 
 /// A per-refill snapshot of one cursor's trie level: the full value array
 /// plus the optional bitmap index, resolved once instead of per key access.
@@ -84,6 +88,11 @@ impl<'a> LevelView<'a> {
 struct RangeCursor {
     atom: usize,
     level: usize,
+    /// Which physical run of the atom this cursor walks: 0 is the base trie,
+    /// `r >= 1` is delta run `r - 1` (see [`JoinPlan::run_trie`]). Always 0
+    /// for solid atoms; non-zero only when a layered atom's union view
+    /// degenerated to a single live run under the bound prefix.
+    run: u32,
     hi: u32,
     pos: u32,
     /// Sibling-group id for the level's bitmap index: the parent node index
@@ -101,8 +110,9 @@ impl RangeCursor {
     }
 
     #[inline]
-    fn key(&self, tries: &[Arc<Trie>]) -> ValueId {
-        tries[self.atom].value(self.level, self.pos)
+    fn key(&self, plan: &JoinPlan) -> ValueId {
+        plan.run_trie(self.atom, self.run as usize)
+            .value(self.level, self.pos)
     }
 
     #[inline]
@@ -116,11 +126,13 @@ impl RangeCursor {
     /// compiles down to the untracked seek.
     fn seek<const TRACK: bool>(
         &mut self,
-        tries: &[Arc<Trie>],
+        plan: &JoinPlan,
         target: ValueId,
         stats: &mut LevelProbeStats,
     ) {
-        let slice = tries[self.atom].values(self.level, self.pos..self.hi);
+        let slice = plan
+            .run_trie(self.atom, self.run as usize)
+            .values(self.level, self.pos..self.hi);
         if TRACK {
             let (pos, steps) = gallop_counted(slice, 0, target);
             self.pos += pos as u32;
@@ -167,6 +179,221 @@ impl RangeCursor {
     }
 }
 
+/// One physical run's slice of a layered atom's union view: the sibling
+/// range of that run under the bound prefix.
+#[derive(Debug, Clone)]
+struct SubCursor {
+    /// Physical run index (0 = base, `r >= 1` = delta run `r - 1`).
+    run: u32,
+    hi: u32,
+    pos: u32,
+    /// Sibling-group bookkeeping, carried so a union that degenerates to one
+    /// live run can be downgraded to a plain [`RangeCursor`] (which may use
+    /// the level's bitmap index).
+    group: u32,
+    group_start: u32,
+}
+
+/// The lazily-merged union of a layered atom's live runs at one trie level.
+///
+/// Exposes the same leapfrog `key / next / seek` contract as
+/// [`RangeCursor`], so the per-variable rotation intersects union views and
+/// solid cursors without caring which is which. `key` is the cached minimum
+/// over the live runs' current values; `next` advances *every* run sitting
+/// at that minimum (which is what deduplicates tuples present in several
+/// layers); `seek` forwards the gallop to each lagging run. The merged
+/// sequence is therefore sorted and duplicate-free — exactly a sorted trie
+/// level — so the walk on top keeps its worst-case optimality argument.
+#[derive(Debug, Clone)]
+struct UnionCursor {
+    atom: usize,
+    level: usize,
+    subs: Vec<SubCursor>,
+    /// Cached minimum key across live subs; valid iff `!ended`.
+    cur: ValueId,
+    ended: bool,
+}
+
+impl UnionCursor {
+    fn new(atom: usize, level: usize, subs: Vec<SubCursor>, plan: &JoinPlan) -> UnionCursor {
+        let mut u = UnionCursor {
+            atom,
+            level,
+            subs,
+            cur: ValueId(0),
+            ended: false,
+        };
+        u.refresh(plan);
+        u
+    }
+
+    /// Recomputes the cached minimum; marks the union ended when every run
+    /// is exhausted (terminal — a union never revives).
+    fn refresh(&mut self, plan: &JoinPlan) {
+        let mut min: Option<ValueId> = None;
+        for s in &self.subs {
+            if s.pos < s.hi {
+                let v = plan
+                    .run_trie(self.atom, s.run as usize)
+                    .value(self.level, s.pos);
+                min = Some(match min {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+            }
+        }
+        match min {
+            Some(v) => self.cur = v,
+            None => self.ended = true,
+        }
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        self.ended
+    }
+
+    #[inline]
+    fn key(&self) -> ValueId {
+        self.cur
+    }
+
+    /// Steps past the current minimum: every run parked on it advances, so
+    /// each distinct value is emitted exactly once.
+    fn next(&mut self, plan: &JoinPlan) {
+        let cur = self.cur;
+        for s in &mut self.subs {
+            if s.pos < s.hi
+                && plan
+                    .run_trie(self.atom, s.run as usize)
+                    .value(self.level, s.pos)
+                    == cur
+            {
+                s.pos += 1;
+            }
+        }
+        self.refresh(plan);
+    }
+
+    /// Forwards every lagging run to its first value `>= target` (one
+    /// gallop per run), then re-derives the minimum.
+    fn seek<const TRACK: bool>(
+        &mut self,
+        plan: &JoinPlan,
+        target: ValueId,
+        stats: &mut LevelProbeStats,
+    ) {
+        if TRACK {
+            stats.seeks += 1;
+        }
+        for s in &mut self.subs {
+            if s.pos < s.hi {
+                let trie = plan.run_trie(self.atom, s.run as usize);
+                if trie.value(self.level, s.pos) < target {
+                    let slice = trie.values(self.level, s.pos..s.hi);
+                    if TRACK {
+                        let (pos, steps) = gallop_counted(slice, 0, target);
+                        s.pos += pos as u32;
+                        stats.seek_steps += steps;
+                    } else {
+                        s.pos += gallop(slice, 0, target) as u32;
+                    }
+                }
+            }
+        }
+        self.refresh(plan);
+    }
+
+    /// Appends, for each of the atom's `nruns` physical runs in order, the
+    /// node index matched at the current key — or [`ABSENT`] for runs not
+    /// containing it. Only valid while parked at an emitted match.
+    fn push_match_nodes(&self, plan: &JoinPlan, nruns: usize, out: &mut Vec<u32>) {
+        for r in 0..nruns {
+            let pos = self
+                .subs
+                .iter()
+                .find(|s| s.run as usize == r && s.pos < s.hi)
+                .filter(|s| plan.run_trie(self.atom, r).value(self.level, s.pos) == self.cur)
+                .map(|s| s.pos)
+                .unwrap_or(ABSENT);
+            out.push(pos);
+        }
+    }
+}
+
+/// A level participant: either a single physical trie range (the fast,
+/// overwhelmingly common case) or a live multi-run union view.
+#[derive(Debug, Clone)]
+enum Cursor {
+    Solid(RangeCursor),
+    Union(UnionCursor),
+}
+
+impl Cursor {
+    #[inline]
+    fn at_end(&self) -> bool {
+        match self {
+            Cursor::Solid(c) => c.at_end(),
+            Cursor::Union(u) => u.at_end(),
+        }
+    }
+
+    #[inline]
+    fn key(&self, plan: &JoinPlan) -> ValueId {
+        match self {
+            Cursor::Solid(c) => c.key(plan),
+            Cursor::Union(u) => u.key(),
+        }
+    }
+
+    #[inline]
+    fn next(&mut self, plan: &JoinPlan) {
+        match self {
+            Cursor::Solid(c) => c.next(),
+            Cursor::Union(u) => u.next(plan),
+        }
+    }
+
+    #[inline]
+    fn seek<const TRACK: bool>(
+        &mut self,
+        plan: &JoinPlan,
+        target: ValueId,
+        stats: &mut LevelProbeStats,
+    ) {
+        match self {
+            Cursor::Solid(c) => c.seek::<TRACK>(plan, target, stats),
+            Cursor::Union(u) => u.seek::<TRACK>(plan, target, stats),
+        }
+    }
+
+    /// Appends the `nruns` per-run node indices of the current match.
+    fn push_match_nodes(&self, plan: &JoinPlan, nruns: usize, out: &mut Vec<u32>) {
+        match self {
+            Cursor::Solid(c) => {
+                for r in 0..nruns {
+                    out.push(if r == c.run as usize { c.pos } else { ABSENT });
+                }
+            }
+            Cursor::Union(u) => u.push_match_nodes(plan, nruns, out),
+        }
+    }
+}
+
+/// The participants of one open level, split by shape so the all-solid fast
+/// paths stay monomorphic.
+#[derive(Debug)]
+enum LevelCursors {
+    /// Every participant resolved to exactly one physical run — either all
+    /// atoms are solid, or each layered atom had a single run alive under
+    /// the bound prefix (downgraded at [`LftjWalk::open_level`]). Runs the
+    /// unchanged scalar / block kernels.
+    Solid(Vec<RangeCursor>),
+    /// At least one participant is a live multi-run union view; the level
+    /// runs the union-aware rotation (one match per advance, gallop seeks).
+    Mixed(Vec<Cursor>),
+}
+
 /// Resumable leapfrog intersection state for one variable: the cursors of
 /// every participating atom plus the rotation bookkeeping of the classic
 /// algorithm, restartable between [`LevelState::advance`] calls.
@@ -178,7 +405,7 @@ impl RangeCursor {
 /// equivalence suites (LFTJ vs the level-wise join on random instances).
 #[derive(Debug)]
 struct LevelState {
-    cursors: Vec<RangeCursor>,
+    cursors: LevelCursors,
     /// Cursor indices in ascending-key rotation order (filled on priming).
     rot: Vec<usize>,
     p: usize,
@@ -197,8 +424,11 @@ struct LevelState {
 }
 
 impl LevelState {
-    fn new(cursors: Vec<RangeCursor>) -> LevelState {
-        let exhausted = cursors.iter().any(RangeCursor::at_end);
+    fn new(cursors: LevelCursors) -> LevelState {
+        let exhausted = match &cursors {
+            LevelCursors::Solid(cs) => cs.iter().any(RangeCursor::at_end),
+            LevelCursors::Mixed(cs) => cs.iter().any(Cursor::at_end),
+        };
         LevelState {
             cursors,
             rot: Vec::new(),
@@ -214,30 +444,106 @@ impl LevelState {
     }
 
     /// Yields the next value present in every cursor; on `Some(v)` the
-    /// per-cursor match positions are readable via [`LevelState::match_pos`].
-    /// `TRACK` selects the probe-counting instantiation; with `TRACK =
-    /// false` every counter touch compiles away and `stats` is untouched.
+    /// per-cursor match positions are readable via
+    /// [`LevelState::push_match_nodes`]. `TRACK` selects the probe-counting
+    /// instantiation; with `TRACK = false` every counter touch compiles away
+    /// and `stats` is untouched.
+    ///
+    /// Mixed (union-carrying) levels always run the union-aware scalar
+    /// rotation regardless of `kernel`: batching buys nothing once key
+    /// accesses go through a union view, and with the single-live-run
+    /// downgrade in [`LftjWalk::open_level`] mixed levels are confined to
+    /// the prefixes a delta actually overlaps.
     fn advance<const TRACK: bool>(
         &mut self,
-        tries: &[Arc<Trie>],
+        plan: &JoinPlan,
         kernel: ProbeKernel,
         stats: &mut LevelProbeStats,
     ) -> Option<ValueId> {
-        match kernel {
-            ProbeKernel::Scalar => self.advance_scalar::<TRACK>(tries, stats),
-            ProbeKernel::Block => self.advance_block::<TRACK>(tries, stats),
+        match (&self.cursors, kernel) {
+            (LevelCursors::Mixed(_), _) => self.advance_mixed::<TRACK>(plan, stats),
+            (LevelCursors::Solid(_), ProbeKernel::Scalar) => {
+                self.advance_scalar::<TRACK>(plan, stats)
+            }
+            (LevelCursors::Solid(_), ProbeKernel::Block) => {
+                self.advance_block::<TRACK>(plan, stats)
+            }
         }
     }
 
-    /// Node position of cursor `c` at the currently served match: the
-    /// buffered positions under the block kernel, the parked cursor itself
-    /// under the scalar one (whose batch is always empty).
-    #[inline]
-    fn match_pos(&self, c: usize) -> u32 {
-        if self.batch_idx < self.batch.len() {
-            self.batch_pos[self.batch_idx * self.cursors.len() + c]
+    /// Appends participant `c`'s node position(s) at the currently served
+    /// match onto `out` — one entry per physical run of the atom (`nruns`),
+    /// with [`ABSENT`] for runs not containing the match. For solid atoms
+    /// (`nruns == 1`) this pushes exactly the single matched node, read from
+    /// the buffered batch under the block kernel or the parked cursor
+    /// otherwise.
+    fn push_match_nodes(&self, c: usize, nruns: usize, plan: &JoinPlan, out: &mut Vec<u32>) {
+        match &self.cursors {
+            LevelCursors::Solid(cursors) => {
+                let pos = if self.batch_idx < self.batch.len() {
+                    self.batch_pos[self.batch_idx * cursors.len() + c]
+                } else {
+                    cursors[c].pos
+                };
+                if nruns == 1 {
+                    out.push(pos);
+                } else {
+                    let run = cursors[c].run as usize;
+                    for r in 0..nruns {
+                        out.push(if r == run { pos } else { ABSENT });
+                    }
+                }
+            }
+            LevelCursors::Mixed(cursors) => cursors[c].push_match_nodes(plan, nruns, out),
+        }
+    }
+
+    /// The union-aware rotation: structurally the scalar kernel, but over
+    /// [`Cursor`]s so layered participants intersect through their lazily
+    /// merged views. One match per call; cursors park at the agreement so
+    /// [`LevelState::push_match_nodes`] can read per-run positions.
+    fn advance_mixed<const TRACK: bool>(
+        &mut self,
+        plan: &JoinPlan,
+        stats: &mut LevelProbeStats,
+    ) -> Option<ValueId> {
+        if self.exhausted {
+            return None;
+        }
+        let LevelCursors::Mixed(cursors) = &mut self.cursors else {
+            unreachable!("advance_mixed on a solid level");
+        };
+        let k = cursors.len();
+        if !self.primed {
+            self.primed = true;
+            self.rot.clear();
+            self.rot.extend(0..k);
+            self.rot.sort_by_key(|&i| cursors[i].key(plan));
+            self.p = 0;
+            self.max = cursors[self.rot[k - 1]].key(plan);
         } else {
-            self.cursors[c].pos
+            let i = self.rot[self.p];
+            cursors[i].next(plan);
+            if cursors[i].at_end() {
+                self.exhausted = true;
+                return None;
+            }
+            self.max = cursors[i].key(plan);
+            self.p = (self.p + 1) % k;
+        }
+        loop {
+            let i = self.rot[self.p];
+            let x = cursors[i].key(plan);
+            if x == self.max {
+                return Some(x);
+            }
+            cursors[i].seek::<TRACK>(plan, self.max, stats);
+            if cursors[i].at_end() {
+                self.exhausted = true;
+                return None;
+            }
+            self.max = cursors[i].key(plan);
+            self.p = (self.p + 1) % k;
         }
     }
 
@@ -245,44 +551,47 @@ impl LevelState {
     /// the agreement, `p` staying put so the next call steps the emitter.
     fn advance_scalar<const TRACK: bool>(
         &mut self,
-        tries: &[Arc<Trie>],
+        plan: &JoinPlan,
         stats: &mut LevelProbeStats,
     ) -> Option<ValueId> {
         if self.exhausted {
             return None;
         }
-        let k = self.cursors.len();
+        let LevelCursors::Solid(cursors) = &mut self.cursors else {
+            unreachable!("scalar kernel on a mixed level");
+        };
+        let k = cursors.len();
         if !self.primed {
             self.primed = true;
             self.rot = (0..k).collect();
-            self.rot.sort_by_key(|&i| self.cursors[i].key(tries));
+            self.rot.sort_by_key(|&i| cursors[i].key(plan));
             self.p = 0;
-            self.max = self.cursors[self.rot[k - 1]].key(tries);
+            self.max = cursors[self.rot[k - 1]].key(plan);
         } else {
             // Resume after an emitted match: step the cursor that emitted it.
             let i = self.rot[self.p];
-            self.cursors[i].next();
-            if self.cursors[i].at_end() {
+            cursors[i].next();
+            if cursors[i].at_end() {
                 self.exhausted = true;
                 return None;
             }
-            self.max = self.cursors[i].key(tries);
+            self.max = cursors[i].key(plan);
             self.p = (self.p + 1) % k;
         }
         loop {
             let i = self.rot[self.p];
-            let x = self.cursors[i].key(tries);
+            let x = cursors[i].key(plan);
             if x == self.max {
                 // All k cursors agree on x; `p` stays put so the next
                 // `advance` steps this cursor past the match.
                 return Some(x);
             }
-            self.cursors[i].seek::<TRACK>(tries, self.max, stats);
-            if self.cursors[i].at_end() {
+            cursors[i].seek::<TRACK>(plan, self.max, stats);
+            if cursors[i].at_end() {
                 self.exhausted = true;
                 return None;
             }
-            self.max = self.cursors[i].key(tries);
+            self.max = cursors[i].key(plan);
             self.p = (self.p + 1) % k;
         }
     }
@@ -292,7 +601,7 @@ impl LevelState {
     /// run over per-level views resolved once.
     fn advance_block<const TRACK: bool>(
         &mut self,
-        tries: &[Arc<Trie>],
+        plan: &JoinPlan,
         stats: &mut LevelProbeStats,
     ) -> Option<ValueId> {
         if self.batch_idx + 1 < self.batch.len() {
@@ -302,7 +611,7 @@ impl LevelState {
         if self.exhausted {
             return None;
         }
-        self.refill::<TRACK>(tries, stats);
+        self.refill::<TRACK>(plan, stats);
         self.batch_idx = 0;
         self.batch.first().copied()
     }
@@ -311,32 +620,34 @@ impl LevelState {
     /// matched values and their cursor positions. Stops when the batch is
     /// full or some cursor exhausts its range (which ends the level: the
     /// batch may still hold matches to serve, but no refill will follow).
-    fn refill<const TRACK: bool>(&mut self, tries: &[Arc<Trie>], stats: &mut LevelProbeStats) {
+    fn refill<const TRACK: bool>(&mut self, plan: &JoinPlan, stats: &mut LevelProbeStats) {
         if TRACK {
             stats.refills += 1;
         }
         self.batch.clear();
         self.batch_pos.clear();
-        let k = self.cursors.len();
+        let LevelCursors::Solid(cursors) = &mut self.cursors else {
+            unreachable!("block refill on a mixed level");
+        };
+        let k = cursors.len();
         let mut inline = [EMPTY_VIEW; MAX_INLINE_VIEWS];
         let heap: Vec<LevelView<'_>>;
         let views: &[LevelView<'_>] = if k <= MAX_INLINE_VIEWS {
-            for (slot, c) in inline.iter_mut().zip(&self.cursors) {
-                *slot = LevelView::of(&tries[c.atom], c.level);
+            for (slot, c) in inline.iter_mut().zip(cursors.iter()) {
+                *slot = LevelView::of(plan.run_trie(c.atom, c.run as usize), c.level);
             }
             &inline[..k]
         } else {
-            heap = self
-                .cursors
+            heap = cursors
                 .iter()
-                .map(|c| LevelView::of(&tries[c.atom], c.level))
+                .map(|c| LevelView::of(plan.run_trie(c.atom, c.run as usize), c.level))
                 .collect();
             &heap
         };
         if k == 1 {
             // Single participant: the intersection is the range itself —
             // bulk-copy a batch of values and positions.
-            let c = &mut self.cursors[0];
+            let c = &mut cursors[0];
             let take = (c.hi - c.pos).min(PROBE_BATCH as u32);
             if take == 0 {
                 self.exhausted = true;
@@ -352,27 +663,27 @@ impl LevelState {
             self.primed = true;
             self.rot.clear();
             self.rot.extend(0..k);
-            let cursors = &self.cursors;
+            let sorted_cursors = &*cursors;
             self.rot
-                .sort_by_key(|&i| views[i].vals[cursors[i].pos as usize]);
+                .sort_by_key(|&i| views[i].vals[sorted_cursors[i].pos as usize]);
             self.p = 0;
             let last = self.rot[k - 1];
-            self.max = views[last].vals[self.cursors[last].pos as usize];
+            self.max = views[last].vals[cursors[last].pos as usize];
         }
         loop {
             let i = self.rot[self.p];
-            let x = views[i].vals[self.cursors[i].pos as usize];
+            let x = views[i].vals[cursors[i].pos as usize];
             if x == self.max {
                 // All k cursors agree on x (the rotation invariant): record
                 // the match and immediately step the emitter past it — the
                 // bound positions live in `batch_pos`, not the cursors.
                 self.batch.push(x);
-                for c in &self.cursors {
+                for c in cursors.iter() {
                     self.batch_pos.push(c.pos);
                 }
-                let pos = self.cursors[i].pos + 1;
-                self.cursors[i].pos = pos;
-                if pos >= self.cursors[i].hi {
+                let pos = cursors[i].pos + 1;
+                cursors[i].pos = pos;
+                if pos >= cursors[i].hi {
                     self.exhausted = true;
                     return;
                 }
@@ -382,12 +693,12 @@ impl LevelState {
                     return;
                 }
             } else {
-                self.cursors[i].seek_view::<TRACK>(&views[i], self.max, stats);
-                if self.cursors[i].at_end() {
+                cursors[i].seek_view::<TRACK>(&views[i], self.max, stats);
+                if cursors[i].at_end() {
                     self.exhausted = true;
                     return;
                 }
-                self.max = views[i].vals[self.cursors[i].pos as usize];
+                self.max = views[i].vals[cursors[i].pos as usize];
                 self.p = (self.p + 1) % k;
             }
         }
@@ -508,38 +819,112 @@ impl LftjWalk {
 
     /// Opens the leapfrog state for the next unentered variable, scoping
     /// every participating atom to the children of its bound parent node.
+    ///
+    /// Layered atoms open one sub-range per physical run that contains the
+    /// bound prefix; when exactly one run survives, the union view is
+    /// downgraded to a plain [`RangeCursor`] so the level keeps the batched
+    /// fast path — below the root, subtrees a small delta never touched run
+    /// at full solid-plan speed.
     fn open_level(&mut self) {
         let d = self.levels.len();
         let vp = &self.plan.var_plans()[d];
-        let mut cursors = Vec::with_capacity(vp.participants.len());
+        let mut mixed = false;
+        let mut cursors: Vec<Cursor> = Vec::with_capacity(vp.participants.len());
         for part in &vp.participants {
-            let trie = &self.plan.tries()[part.atom];
-            let (mut range, group) = if part.level == 0 {
-                // Level 0 is one sibling group (group id 0) spanning the
-                // whole level.
-                (trie.root_range(), 0)
-            } else {
-                let parent = *self.nodes[part.atom].last().expect("parent level bound");
-                (trie.children(part.level - 1, parent), parent)
-            };
-            // The bitmap index anchors ranks to the group's true first node,
-            // so record it before any root-range clamping narrows `range`.
-            let group_start = range.start;
-            // The first variable participates at level 0 of every atom that
-            // contains it; narrowing all its cursors to the walk's root
-            // range restricts the whole walk to that morsel.
-            if d == 0 {
-                range = self.root.clamp_nodes(trie, part.level, range);
+            let nruns = self.plan.runs(part.atom);
+            if nruns == 1 {
+                let trie = &self.plan.tries()[part.atom];
+                let (mut range, group) = if part.level == 0 {
+                    // Level 0 is one sibling group (group id 0) spanning the
+                    // whole level.
+                    (trie.root_range(), 0)
+                } else {
+                    let parent = *self.nodes[part.atom].last().expect("parent level bound");
+                    (trie.children(part.level - 1, parent), parent)
+                };
+                // The bitmap index anchors ranks to the group's true first
+                // node, so record it before any root-range clamping narrows
+                // `range`.
+                let group_start = range.start;
+                // The first variable participates at level 0 of every atom
+                // that contains it; narrowing all its cursors to the walk's
+                // root range restricts the whole walk to that morsel.
+                if d == 0 {
+                    range = self.root.clamp_nodes(trie, part.level, range);
+                }
+                cursors.push(Cursor::Solid(RangeCursor {
+                    atom: part.atom,
+                    level: part.level,
+                    run: 0,
+                    hi: range.end,
+                    pos: range.start,
+                    group,
+                    group_start,
+                }));
+                continue;
             }
-            cursors.push(RangeCursor {
-                atom: part.atom,
-                level: part.level,
-                hi: range.end,
-                pos: range.start,
-                group,
-                group_start,
-            });
+            // Layered atom: collect the runs alive under the bound prefix.
+            let mut subs: Vec<SubCursor> = Vec::with_capacity(nruns);
+            for r in 0..nruns {
+                let trie = self.plan.run_trie(part.atom, r);
+                let (mut range, group) = if part.level == 0 {
+                    (trie.root_range(), 0)
+                } else {
+                    let frame = &self.nodes[part.atom];
+                    let parent = frame[frame.len() - nruns + r];
+                    if parent == ABSENT {
+                        continue;
+                    }
+                    (trie.children(part.level - 1, parent), parent)
+                };
+                let group_start = range.start;
+                if d == 0 {
+                    range = self.root.clamp_nodes(trie, part.level, range);
+                }
+                if range.start < range.end {
+                    subs.push(SubCursor {
+                        run: r as u32,
+                        hi: range.end,
+                        pos: range.start,
+                        group,
+                        group_start,
+                    });
+                }
+            }
+            if subs.len() == 1 {
+                // Single live run: downgrade to a solid cursor.
+                let s = subs.pop().expect("one sub");
+                cursors.push(Cursor::Solid(RangeCursor {
+                    atom: part.atom,
+                    level: part.level,
+                    run: s.run,
+                    hi: s.hi,
+                    pos: s.pos,
+                    group: s.group,
+                    group_start: s.group_start,
+                }));
+            } else {
+                // Zero live runs yields an immediately-exhausted union,
+                // which closes the level on the first advance.
+                mixed = true;
+                cursors.push(Cursor::Union(UnionCursor::new(
+                    part.atom, part.level, subs, &self.plan,
+                )));
+            }
         }
+        let cursors = if mixed {
+            LevelCursors::Mixed(cursors)
+        } else {
+            LevelCursors::Solid(
+                cursors
+                    .into_iter()
+                    .map(|c| match c {
+                        Cursor::Solid(rc) => rc,
+                        Cursor::Union(_) => unreachable!("mixed flag covers unions"),
+                    })
+                    .collect(),
+            )
+        };
         self.levels.push(LevelState::new(cursors));
     }
 
@@ -580,18 +965,25 @@ impl LftjWalk {
                 self.levels[d].bound = false;
                 self.prefix.pop();
                 for part in &self.plan.var_plans()[d].participants {
-                    self.nodes[part.atom].pop();
+                    // Each bind pushed one node frame of width `runs(atom)`.
+                    let new_len = self.nodes[part.atom].len() - self.plan.runs(part.atom);
+                    self.nodes[part.atom].truncate(new_len);
                 }
             }
             // …and pull its next one.
-            let tries = self.plan.tries();
             let kernel = self.kernel;
-            let step = self.levels[d].advance::<TRACK>(tries, kernel, &mut self.probe[d]);
+            let step = self.levels[d].advance::<TRACK>(&self.plan, kernel, &mut self.probe[d]);
             match step {
                 Some(v) => {
                     self.prefix.push(v);
                     for (c, part) in self.plan.var_plans()[d].participants.iter().enumerate() {
-                        self.nodes[part.atom].push(self.levels[d].match_pos(c));
+                        let nruns = self.plan.runs(part.atom);
+                        self.levels[d].push_match_nodes(
+                            c,
+                            nruns,
+                            &self.plan,
+                            &mut self.nodes[part.atom],
+                        );
                     }
                     self.levels[d].bound = true;
                     self.bindings += 1;
@@ -1072,5 +1464,205 @@ mod tests {
             .probe_stats()
             .iter()
             .all(|p| *p == LevelProbeStats::default()));
+    }
+
+    mod layered {
+        use super::*;
+        use std::sync::Arc;
+
+        /// Splits `rows` pseudo-randomly into `parts` layers (each sorted and
+        /// deduped into its own trie) and also returns the solid union
+        /// relation of all rows.
+        fn split_layers(
+            names: &[&str],
+            rows: &[Vec<u32>],
+            parts: usize,
+            seed: u64,
+        ) -> (Vec<Arc<Trie>>, Relation) {
+            let order: Vec<Attr> = names.iter().map(|&n| Attr::new(n)).collect();
+            let mut buckets: Vec<Relation> = (0..parts)
+                .map(|_| Relation::new(Schema::of(names)))
+                .collect();
+            let mut union_rel = Relation::new(Schema::of(names));
+            let mut state = seed | 1;
+            for row in rows {
+                let ids: Vec<ValueId> = row.iter().map(|&x| v(x)).collect();
+                union_rel.push(&ids).unwrap();
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                buckets[(state >> 33) as usize % parts].push(&ids).unwrap();
+            }
+            union_rel.sort_dedup();
+            let tries = buckets
+                .iter_mut()
+                .map(|b| {
+                    b.sort_dedup();
+                    Arc::new(Trie::build(b, &order).unwrap())
+                })
+                .collect();
+            (tries, union_rel)
+        }
+
+        /// A triangle instance where every atom is split into a base plus
+        /// two delta runs; returns (layered plan, equivalent solid plan).
+        fn triangle_layers(seed: u64, parts: usize) -> (JoinPlan, JoinPlan) {
+            let mut edges: Vec<Vec<u32>> = Vec::new();
+            let mut state = seed | 1;
+            for _ in 0..140 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let i = ((state >> 33) % 40) as u32;
+                let j = ((state >> 13) % 40) as u32;
+                if i != j {
+                    edges.push(vec![i, j]);
+                    edges.push(vec![j, i]);
+                }
+            }
+            // Plant triangles so the join is never trivially empty.
+            for (x, y) in [(0, 1), (1, 2), (0, 2), (7, 9), (9, 11), (7, 11)] {
+                edges.push(vec![x, y]);
+                edges.push(vec![y, x]);
+            }
+            let order = attrs(&["a", "b", "c"]);
+            let mut bases = Vec::new();
+            let mut layers = Vec::new();
+            let mut solids = Vec::new();
+            for (i, names) in [["a", "b"], ["b", "c"], ["a", "c"]].iter().enumerate() {
+                let (mut tries, solid) = split_layers(names, &edges, parts, seed ^ (i as u64 + 1));
+                bases.push(tries.remove(0));
+                layers.push(tries);
+                solids.push(solid);
+            }
+            let layered = JoinPlan::from_shared_layered(bases, layers, &order).unwrap();
+            let refs: Vec<&Relation> = solids.iter().collect();
+            let solid = JoinPlan::new(&refs, &order).unwrap();
+            (layered, solid)
+        }
+
+        #[test]
+        fn layered_walk_matches_solid_plan_under_both_kernels() {
+            let (layered, solid) = triangle_layers(0x9e37, 3);
+            assert!(layered.has_layers());
+            let (want, _) = drain(&solid, ValueRange::all(), ProbeKernel::Block);
+            assert!(!want.is_empty(), "instance joins to something");
+            let (scalar, scalar_b) = drain(&layered, ValueRange::all(), ProbeKernel::Scalar);
+            let (block, block_b) = drain(&layered, ValueRange::all(), ProbeKernel::Block);
+            assert_eq!(scalar, want);
+            assert_eq!(block, want);
+            assert_eq!(scalar_b, block_b, "kernels must bind identically");
+        }
+
+        #[test]
+        fn layered_probe_counters_observe_without_perturbing() {
+            let (layered, _) = triangle_layers(0x51ed, 3);
+            for kernel in [ProbeKernel::Scalar, ProbeKernel::Block] {
+                let (plain, plain_b) = drain(&layered, ValueRange::all(), kernel);
+                let (counted, counted_b, probe) = drain_counted(&layered, kernel);
+                assert_eq!(plain, counted, "{kernel:?}: counting changed the result");
+                assert_eq!(plain_b, counted_b, "{kernel:?}: counting changed bindings");
+                let per_level: u64 = probe.iter().map(|p| p.bindings).sum();
+                assert_eq!(per_level, counted_b);
+                assert!(
+                    probe.iter().any(|p| p.seeks > 0),
+                    "{kernel:?}: union seeks uncounted: {probe:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn layered_root_ranges_partition_the_result() {
+            let (layered, _) = triangle_layers(0x2bad, 3);
+            let (full, full_b) = drain(&layered, ValueRange::all(), ProbeKernel::Block);
+            let ranges = [
+                ValueRange {
+                    lo: v(0),
+                    hi: Some(v(11)),
+                },
+                ValueRange {
+                    lo: v(11),
+                    hi: Some(v(27)),
+                },
+                ValueRange {
+                    lo: v(27),
+                    hi: None,
+                },
+            ];
+            let mut merged = Vec::new();
+            let mut bindings = 0u64;
+            for root in ranges {
+                let (part, b) = drain(&layered, root, ProbeKernel::Block);
+                merged.extend(part);
+                bindings += b;
+            }
+            assert_eq!(merged, full, "disjoint cover reproduces the result");
+            assert_eq!(bindings, full_b, "morsel bindings sum to the total");
+        }
+
+        #[test]
+        fn layered_random_differential() {
+            for seed in [1u64, 7, 42, 0xdead_beef] {
+                for parts in [2usize, 3, 5] {
+                    let (layered, solid) = triangle_layers(seed, parts);
+                    let (want, _) = drain(&solid, ValueRange::all(), ProbeKernel::Block);
+                    for kernel in [ProbeKernel::Scalar, ProbeKernel::Block] {
+                        let (got, _) = drain(&layered, ValueRange::all(), kernel);
+                        assert_eq!(got, want, "seed {seed} parts {parts} {kernel:?}");
+                    }
+                    let mid = ValueRange {
+                        lo: v(9),
+                        hi: Some(v(31)),
+                    };
+                    let (got_mid, _) = drain(&layered, mid.clone(), ProbeKernel::Block);
+                    let (want_mid, _) = drain(&solid, mid, ProbeKernel::Block);
+                    assert_eq!(got_mid, want_mid, "seed {seed} parts {parts} mid range");
+                }
+            }
+        }
+
+        #[test]
+        fn layered_handles_empty_and_overlapping_layers() {
+            let order = attrs(&["a", "b"]);
+            let empty = Relation::new(Schema::of(&["a", "b"]));
+            let mut two = rel(&["a", "b"], &[&[3, 4], &[1, 2]]);
+            two.sort_dedup();
+            let empty_t = Arc::new(Trie::build(&empty, &order).unwrap());
+            let two_t = Arc::new(Trie::build(&two, &order).unwrap());
+
+            // Empty base + live delta enumerates exactly the delta.
+            let plan = JoinPlan::from_shared_layered(
+                vec![Arc::clone(&empty_t)],
+                vec![vec![Arc::clone(&two_t)]],
+                &order,
+            )
+            .unwrap();
+            assert!(!plan.has_empty_atom());
+            let (got, _) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
+            assert_eq!(got.len(), 2);
+
+            // Layers duplicating the base (and each other) still dedup.
+            let plan2 = JoinPlan::from_shared_layered(
+                vec![Arc::clone(&two_t)],
+                vec![vec![Arc::clone(&two_t), Arc::clone(&two_t)]],
+                &order,
+            )
+            .unwrap();
+            for kernel in [ProbeKernel::Scalar, ProbeKernel::Block] {
+                let (got2, _) = drain(&plan2, ValueRange::all(), kernel);
+                assert_eq!(got2.len(), 2, "{kernel:?}");
+            }
+
+            // Empty base + empty delta is a logically empty atom.
+            let plan3 = JoinPlan::from_shared_layered(
+                vec![Arc::clone(&empty_t)],
+                vec![vec![Arc::clone(&empty_t)]],
+                &order,
+            )
+            .unwrap();
+            assert!(plan3.has_empty_atom());
+            let (got3, _) = drain(&plan3, ValueRange::all(), ProbeKernel::Block);
+            assert!(got3.is_empty());
+        }
     }
 }

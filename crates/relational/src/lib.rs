@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod delta;
 pub mod error;
 pub mod generator;
 pub mod generic;
@@ -36,6 +37,7 @@ pub mod trie;
 pub mod value;
 
 pub use catalog::Database;
+pub use delta::DeltaTrie;
 pub use error::{RelError, Result};
 pub use leapfrog::{block_seek, block_seek_counted, gallop, gallop_counted};
 pub use lftj::{LftjWalk, ProbeKernel};

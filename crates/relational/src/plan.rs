@@ -106,6 +106,13 @@ pub struct VarPlan {
 pub struct JoinPlan {
     order: Vec<Attr>,
     tries: Vec<Arc<Trie>>,
+    /// Per-atom delta runs overlaying [`JoinPlan::tries`] (empty vector =
+    /// solid atom). A layered atom's logical content is the union
+    /// `tries[i] ∪ layers[i][0] ∪ layers[i][1] ∪ …`; only walk-based
+    /// engines (`LftjWalk` and everything built on it) consume layers —
+    /// engines that read [`JoinPlan::tries`] directly must be handed
+    /// pre-compacted plans.
+    layers: Vec<Vec<Arc<Trie>>>,
     var_plans: Vec<VarPlan>,
     /// Wall-clock time [`JoinPlan::new`] spent in [`Trie::build`] (zero for
     /// plans assembled from pre-built tries).
@@ -190,13 +197,51 @@ impl JoinPlan {
                 participants,
             });
         }
+        let layers = vec![Vec::new(); tries.len()];
         Ok(JoinPlan {
             order: order.to_vec(),
             tries,
+            layers,
             var_plans,
             build_elapsed: Duration::ZERO,
             tries_built: 0,
         })
+    }
+
+    /// Builds a plan whose atoms may carry delta-run overlays: atom `i`'s
+    /// logical content is `tries[i]` unioned with every trie in `layers[i]`.
+    ///
+    /// Every run must be leveled by exactly the same attribute order as its
+    /// base trie. Layered plans are only executable by walk-based engines
+    /// ([`crate::LftjWalk`] and the streaming / morsel drivers built on it);
+    /// hand engines that consume [`JoinPlan::tries`] directly a compacted
+    /// plan instead.
+    pub fn from_shared_layered(
+        tries: Vec<Arc<Trie>>,
+        layers: Vec<Vec<Arc<Trie>>>,
+        order: &[Attr],
+    ) -> Result<JoinPlan> {
+        if layers.len() != tries.len() {
+            return Err(RelError::InvalidOrder(format!(
+                "layer list covers {} atoms, plan has {}",
+                layers.len(),
+                tries.len()
+            )));
+        }
+        for (base, runs) in tries.iter().zip(&layers) {
+            for run in runs {
+                if run.attrs() != base.attrs() {
+                    return Err(RelError::InvalidOrder(format!(
+                        "delta run order {:?} does not match atom order {:?}",
+                        run.attrs(),
+                        base.attrs()
+                    )));
+                }
+            }
+        }
+        let mut plan = Self::from_shared(tries, order)?;
+        plan.layers = layers;
+        Ok(plan)
     }
 
     /// The global variable order.
@@ -217,9 +262,40 @@ impl JoinPlan {
         self.tries_built
     }
 
-    /// The atoms' tries (leveled consistently with [`JoinPlan::order`]).
+    /// The atoms' base tries (leveled consistently with
+    /// [`JoinPlan::order`]). For layered atoms this is the base layer only —
+    /// walk-based engines additionally consume [`JoinPlan::layers`].
     pub fn tries(&self) -> &[Arc<Trie>] {
         &self.tries
+    }
+
+    /// Per-atom delta-run overlays, aligned with [`JoinPlan::tries`] (an
+    /// empty vector means the atom is solid).
+    pub fn layers(&self) -> &[Vec<Arc<Trie>>] {
+        &self.layers
+    }
+
+    /// Whether any atom carries delta runs.
+    pub fn has_layers(&self) -> bool {
+        self.layers.iter().any(|l| !l.is_empty())
+    }
+
+    /// Number of physical layers of atom `atom`: 1 (the base) plus its
+    /// delta runs.
+    #[inline]
+    pub fn runs(&self, atom: usize) -> usize {
+        1 + self.layers[atom].len()
+    }
+
+    /// Layer `run` of atom `atom`: run 0 is the base trie, run `r >= 1` is
+    /// delta run `r - 1`.
+    #[inline]
+    pub fn run_trie(&self, atom: usize, run: usize) -> &Arc<Trie> {
+        if run == 0 {
+            &self.tries[atom]
+        } else {
+            &self.layers[atom][run - 1]
+        }
     }
 
     /// Per-variable plans, aligned with [`JoinPlan::order`].
@@ -227,9 +303,13 @@ impl JoinPlan {
         &self.var_plans
     }
 
-    /// Whether any atom is empty (making the whole join empty).
+    /// Whether any atom is logically empty — base *and* every delta run
+    /// empty — making the whole join empty.
     pub fn has_empty_atom(&self) -> bool {
-        self.tries.iter().any(|t| t.num_tuples() == 0)
+        self.tries
+            .iter()
+            .zip(&self.layers)
+            .any(|(t, runs)| t.num_tuples() == 0 && runs.iter().all(|r| r.num_tuples() == 0))
     }
 }
 
@@ -371,5 +451,64 @@ mod tests {
         assert!(plan.has_empty_atom());
         let plan2 = JoinPlan::new(&[&r], &attrs(&["a"])).unwrap();
         assert!(!plan2.has_empty_atom());
+    }
+
+    #[test]
+    fn layered_plan_accessors_and_validation() {
+        let order = attrs(&["a", "b"]);
+        let base = Arc::new(Trie::from_relation(&rel(&["a", "b"], &[&[1, 2]])));
+        let run = Arc::new(Trie::from_relation(&rel(&["a", "b"], &[&[3, 4]])));
+        let plan = JoinPlan::from_shared_layered(
+            vec![Arc::clone(&base)],
+            vec![vec![Arc::clone(&run)]],
+            &order,
+        )
+        .unwrap();
+        assert!(plan.has_layers());
+        assert_eq!(plan.runs(0), 2);
+        assert!(Arc::ptr_eq(plan.run_trie(0, 0), &base));
+        assert!(Arc::ptr_eq(plan.run_trie(0, 1), &run));
+        assert_eq!(plan.layers()[0].len(), 1);
+
+        // One layer list per atom, no more, no fewer.
+        assert!(JoinPlan::from_shared_layered(vec![Arc::clone(&base)], vec![], &order).is_err());
+        // Runs must share the base's level order.
+        let misleveled =
+            Arc::new(Trie::build(&rel(&["a", "b"], &[&[1, 2]]), &attrs(&["b", "a"])).unwrap());
+        assert!(JoinPlan::from_shared_layered(
+            vec![Arc::clone(&base)],
+            vec![vec![misleveled]],
+            &order
+        )
+        .is_err());
+
+        // Plans without runs report no layers.
+        let solid =
+            JoinPlan::from_shared_layered(vec![Arc::clone(&base)], vec![vec![]], &order).unwrap();
+        assert!(!solid.has_layers());
+        assert_eq!(solid.runs(0), 1);
+    }
+
+    #[test]
+    fn layered_empty_atom_considers_all_runs() {
+        let order = attrs(&["a"]);
+        let empty = Arc::new(Trie::from_relation(&rel(&["a"], &[])));
+        let one = Arc::new(Trie::from_relation(&rel(&["a"], &[&[1]])));
+        // Empty base + live run: the atom is logically non-empty.
+        let plan = JoinPlan::from_shared_layered(
+            vec![Arc::clone(&empty)],
+            vec![vec![Arc::clone(&one)]],
+            &order,
+        )
+        .unwrap();
+        assert!(!plan.has_empty_atom());
+        // Empty base + empty run: logically empty.
+        let plan2 = JoinPlan::from_shared_layered(
+            vec![Arc::clone(&empty)],
+            vec![vec![Arc::clone(&empty)]],
+            &order,
+        )
+        .unwrap();
+        assert!(plan2.has_empty_atom());
     }
 }

@@ -105,6 +105,23 @@ impl Relation {
         &self.data[i * a..(i + 1) * a]
     }
 
+    /// Raw row-major storage. Same-crate bulk operations only; nullary
+    /// relations store one sentinel id per tuple, so callers must
+    /// special-case arity 0.
+    pub(crate) fn raw_data(&self) -> &[ValueId] {
+        &self.data
+    }
+
+    /// Appends pre-validated row-major cells (`cells.len()` must be a
+    /// multiple of the arity). Same-crate bulk operations only.
+    pub(crate) fn extend_raw(&mut self, cells: &[ValueId]) {
+        debug_assert!(
+            self.schema.arity() > 0 && cells.len().is_multiple_of(self.schema.arity()),
+            "extend_raw needs whole rows of a positive arity"
+        );
+        self.data.extend_from_slice(cells);
+    }
+
     /// Iterates over tuples as slices. Nullary relations yield empty slices.
     pub fn rows(&self) -> impl Iterator<Item = &[ValueId]> + '_ {
         let a = self.schema.arity();

@@ -149,6 +149,10 @@ pub struct JoinStats {
     /// Number of trie levels across the plan's tries carrying the
     /// [`LevelLayout::Bitset`] layout (0 for non-trie engines).
     pub bitset_levels: usize,
+    /// Number of delta runs overlaid on the plan's base tries (0 when every
+    /// atom was solid). Walk-based engines union these lazily; see
+    /// `relational::delta`.
+    pub delta_runs: usize,
 }
 
 impl JoinStats {

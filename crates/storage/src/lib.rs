@@ -64,8 +64,8 @@ pub mod prepared;
 pub mod service;
 pub mod store;
 
-pub use cache::{CacheStats, TrieKey, TrieRegistry};
+pub use cache::{CacheStats, CachedTrie, TrieKey, TrieRegistry};
 pub use error::{Result, StoreError};
 pub use prepared::PreparedQuery;
 pub use service::{QueryService, Ticket};
-pub use store::{Snapshot, VersionedStore};
+pub use store::{DeltaPolicy, Snapshot, VersionedStore};

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use xjoin_core::{
     collect_atoms, compute_order, execute_with_plan, stream_with_plan, validate_output, CoreError,
-    ExecOptions, MultiModelQuery, Parallelism, QueryOutput, ResolvedAtom, Rows, Term,
+    EngineKind, ExecOptions, MultiModelQuery, Parallelism, QueryOutput, ResolvedAtom, Rows, Term,
 };
 use xmldb::{decompose, path_fingerprint, path_relation, PathSpec};
 
@@ -66,6 +66,11 @@ struct PreparedAtom {
     /// trie's level order.
     order: Vec<Attr>,
 }
+
+/// A resolved delta overlay: the base trie, the run layers (empty when the
+/// overlay was compacted to a solid trie), and how many run tries were
+/// built on the way.
+type ResolvedOverlay = (Arc<Trie>, Vec<Arc<Trie>>, usize);
 
 /// A query prepared for repeated execution: validated, ordered, and with all
 /// trie cache keys pinned. Cheap to execute against any [`Snapshot`] of the
@@ -270,11 +275,71 @@ impl PreparedQuery {
             .ok_or_else(|| StoreError::Core(CoreError::UnknownRelation(name.to_owned())))
     }
 
+    /// Resolves a post-write miss on a base-relation atom through the delta
+    /// path: finds the newest cached base below `key.version`, checks the
+    /// snapshot's append log covers the gap, and builds one small run trie
+    /// per append batch. Returns `None` when no overlay is possible (no
+    /// cached base, a rewrite in between, log truncated) — the caller falls
+    /// back to a full rebuild.
+    ///
+    /// What comes back depends on `wants_layers` and the store's compaction
+    /// ratio: a fresh overlay within budget is cached layered and returned
+    /// as `(base, runs)`; an overlay past its ratio — or one a level-wise
+    /// engine needs solid — is merged (linear k-way pass over sorted layers,
+    /// cheaper than a full sort-build) and cached solid.
+    fn overlay_for(
+        &self,
+        snapshot: &Snapshot,
+        key: &TrieKey,
+        spec: &PreparedAtom,
+        name: &str,
+        wants_layers: bool,
+    ) -> Result<Option<ResolvedOverlay>> {
+        let policy = snapshot.delta_policy();
+        if !policy.enabled {
+            return Ok(None);
+        }
+        let registry = snapshot.registry();
+        let Some((base_version, base)) =
+            registry.find_base(key.store, &key.source, &key.order, key.version)
+        else {
+            return Ok(None);
+        };
+        let Some(batches) = snapshot.delta_rows(name, base_version, key.version) else {
+            return Ok(None);
+        };
+        let mut delta = relational::DeltaTrie::new(Arc::clone(&base));
+        let mut built = 0usize;
+        for batch in &batches {
+            let run = Arc::new(Trie::build(batch, &spec.order)?);
+            built += 1;
+            delta.push_run(run)?;
+        }
+        if !wants_layers || delta.needs_compaction(policy.compact_ratio) {
+            let solid = Arc::new(delta.compact()?);
+            registry.replace_with_solid(key, Arc::clone(&solid));
+            return Ok(Some((solid, Vec::new(), built)));
+        }
+        let runs = delta.runs().to_vec();
+        registry.insert_layered(key, Arc::new(delta), base_version);
+        Ok(Some((base, runs, built)))
+    }
+
     /// Assembles the join plan for `snapshot`, fetching tries from the
     /// registry. A cache miss re-materialises only the missing atom's
     /// relation — an update to one relation never re-derives the other
     /// atoms (in particular, it never re-walks the document for path
-    /// relations whose tries are still cached).
+    /// relations whose tries are still cached). A miss caused by an
+    /// [`crate::VersionedStore::append`] resolves through the delta path
+    /// instead when possible: the cached base is overlaid with small run
+    /// tries built from the append log (see [`PreparedQuery::overlay_for`]).
+    ///
+    /// `wants_layers` says whether the consumer walks the plan through
+    /// `relational::LftjWalk` (LFTJ, the streaming engine, and every
+    /// [`PreparedQuery::rows`] drain), which unions base + delta layers
+    /// lazily. Level-wise engines (XJoin, generic) read trie levels
+    /// directly, so they pass `false` and layered entries are compacted to
+    /// solid tries before planning.
     ///
     /// The returned [`PlanBuildCost`] covers exactly the misses *this* call
     /// paid for (relation materialisation + trie build, lock waits
@@ -283,6 +348,7 @@ impl PreparedQuery {
     fn plan_for(
         &self,
         snapshot: &Snapshot,
+        wants_layers: bool,
     ) -> Result<(JoinPlan, Vec<(String, usize)>, PlanBuildCost)> {
         let keys = self.trie_keys(snapshot)?;
         let registry = snapshot.registry();
@@ -293,19 +359,51 @@ impl PreparedQuery {
         // `self.query.relations`.
         let mut resolved: Option<Vec<ResolvedAtom<'_>>> = None;
         let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(keys.len());
+        let mut layers: Vec<Vec<Arc<Trie>>> = Vec::with_capacity(keys.len());
         let mut cost = PlanBuildCost::default();
         for (i, (spec, key)) in self.atoms.iter().zip(&keys).enumerate() {
-            if let Some(trie) = registry.lookup(key) {
-                tries.push(trie);
-                continue;
+            match registry.lookup_cached(key) {
+                Some(crate::cache::CachedTrie::Solid(trie)) => {
+                    tries.push(trie);
+                    layers.push(Vec::new());
+                    continue;
+                }
+                Some(crate::cache::CachedTrie::Layered(delta)) => {
+                    if wants_layers {
+                        tries.push(Arc::clone(delta.base()));
+                        layers.push(delta.runs().to_vec());
+                        continue;
+                    }
+                    // A level-wise engine reached a layered entry first:
+                    // merge it now and upgrade the cache entry so the next
+                    // consumer (of either kind) is warm.
+                    let build_start = Instant::now();
+                    let solid = Arc::new(delta.compact()?);
+                    registry.replace_with_solid(key, Arc::clone(&solid));
+                    cost.elapsed += build_start.elapsed();
+                    cost.tries_built += 1;
+                    tries.push(solid);
+                    layers.push(Vec::new());
+                    continue;
+                }
+                None => {}
             }
             let build_start = Instant::now();
             let mut span = xjoin_obs::span("trie-build");
             span.set_attr(|| spec.display.clone());
-            let trie = match &spec.source {
+            match &spec.source {
                 AtomSource::Relation(name) => {
+                    if let Some((base, runs, built)) =
+                        self.overlay_for(snapshot, key, spec, name, wants_layers)?
+                    {
+                        cost.elapsed += build_start.elapsed();
+                        cost.tries_built += built;
+                        tries.push(base);
+                        layers.push(runs);
+                        continue;
+                    }
                     let rel = ctx.db.relation(name).map_err(CoreError::from)?;
-                    registry.get_or_build(key, || Trie::build(rel, &spec.order))?
+                    tries.push(registry.get_or_build(key, || Trie::build(rel, &spec.order))?);
                 }
                 AtomSource::Derived { .. } => {
                     // Resolution happens outside the build closure because it
@@ -315,33 +413,45 @@ impl PreparedQuery {
                         resolved = Some(ctx.resolve_atoms(&self.query)?);
                     }
                     let atoms = resolved.as_ref().expect("just resolved");
-                    registry.get_or_build(key, || Trie::build(atoms[i].rel(), &spec.order))?
+                    tries.push(
+                        registry.get_or_build(key, || Trie::build(atoms[i].rel(), &spec.order))?,
+                    );
                 }
                 AtomSource::TwigPath { twig, path, .. } => {
                     // Materialised lazily inside the closure: if a concurrent
                     // worker wins the build race, the document is not walked.
-                    registry.get_or_build(key, || {
+                    tries.push(registry.get_or_build(key, || {
                         let rel = path_relation(ctx.doc, ctx.index, &self.query.twigs[*twig], path);
                         Trie::build(&rel, &spec.order)
-                    })?
+                    })?);
                 }
             };
+            layers.push(Vec::new());
             cost.elapsed += build_start.elapsed();
             cost.tries_built += 1;
-            tries.push(trie);
         }
 
         // Atom cardinalities always come from the tries (distinct tuples),
         // never from the lowered relations, so the reported stats are
-        // identical whether a run was cold or warm.
+        // identical whether a run was cold or warm. For layered atoms the
+        // count is base + delta tuples — an upper bound on the distinct
+        // tuples (overlap collapses in the walk).
         let atom_sizes: Vec<(String, usize)> = self
             .atoms
             .iter()
-            .zip(&tries)
-            .map(|(spec, trie)| (spec.display.clone(), trie.num_tuples()))
+            .zip(tries.iter().zip(&layers))
+            .map(|(spec, (trie, runs))| {
+                let n: usize =
+                    trie.num_tuples() + runs.iter().map(|r| r.num_tuples()).sum::<usize>();
+                (spec.display.clone(), n)
+            })
             .collect();
 
-        let plan = JoinPlan::from_shared(tries, &self.order).map_err(CoreError::from)?;
+        let plan = if layers.iter().any(|l| !l.is_empty()) {
+            JoinPlan::from_shared_layered(tries, layers, &self.order).map_err(CoreError::from)?
+        } else {
+            JoinPlan::from_shared(tries, &self.order).map_err(CoreError::from)?
+        };
         Ok((plan, atom_sizes, cost))
     }
 
@@ -357,7 +467,13 @@ impl PreparedQuery {
     /// latency into build vs probe.
     pub fn execute(&self, snapshot: &Snapshot) -> Result<QueryOutput> {
         let start = Instant::now();
-        let (plan, atom_sizes, cost) = self.plan_for(snapshot)?;
+        // Only the walk-based kinds union delta layers in place; the
+        // level-wise kinds read trie levels directly and need solid plans.
+        let wants_layers = matches!(
+            self.options.engine,
+            EngineKind::Lftj | EngineKind::XJoinStream
+        );
+        let (plan, atom_sizes, cost) = self.plan_for(snapshot, wants_layers)?;
         let ctx = snapshot.ctx();
         let mut out = execute_with_plan(
             &ctx,
@@ -375,6 +491,7 @@ impl PreparedQuery {
         out.stats.build_elapsed = cost.elapsed;
         out.stats.tries_built = cost.tries_built;
         out.stats.bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
+        out.stats.delta_runs = plan.layers().iter().map(Vec::len).sum();
         Ok(out)
     }
 
@@ -398,7 +515,8 @@ impl PreparedQuery {
         enqueued: Instant,
     ) -> Result<QueryOutput> {
         let start = Instant::now();
-        let (plan, atom_sizes, cost) = self.plan_for(snapshot)?;
+        // The deadline drain is always the streaming walk: layers are fine.
+        let (plan, atom_sizes, cost) = self.plan_for(snapshot, true)?;
         if Instant::now() >= deadline {
             return Err(StoreError::deadline_exceeded(
                 self.label(),
@@ -406,6 +524,7 @@ impl PreparedQuery {
             ));
         }
         let bitset_levels = plan.tries().iter().map(|t| t.bitset_level_count()).sum();
+        let delta_runs = plan.layers().iter().map(Vec::len).sum();
         let ctx = snapshot.ctx();
         let mut rows =
             stream_with_plan(&ctx, &self.query, plan, &self.options).map_err(StoreError::from)?;
@@ -432,6 +551,7 @@ impl PreparedQuery {
         stats.build_elapsed = cost.elapsed;
         stats.tries_built = cost.tries_built;
         stats.bitset_levels = bitset_levels;
+        stats.delta_runs = delta_runs;
         Ok(QueryOutput {
             results: rel,
             stats,
@@ -455,7 +575,9 @@ impl PreparedQuery {
     /// parallel setting walks the cached tries morsel-parallel, with the
     /// workers sharing the snapshot's `Arc<Trie>` registry entries.
     pub fn rows<'s>(&'s self, snapshot: &'s Snapshot) -> Result<Rows<'s>> {
-        let (plan, _, _) = self.plan_for(snapshot)?;
+        // The pull-based drain is always the streaming walk, whatever kind
+        // is pinned — delta layers are consumed natively.
+        let (plan, _, _) = self.plan_for(snapshot, true)?;
         stream_with_plan(&snapshot.ctx(), &self.query, plan, &self.options)
             .map_err(StoreError::from)
     }
@@ -466,7 +588,8 @@ impl PreparedQuery {
 struct PlanBuildCost {
     /// Wall-clock time spent materialising relations and building tries.
     elapsed: std::time::Duration,
-    /// Number of tries built (i.e. cache misses served by this call).
+    /// Number of tries built (i.e. cache misses served by this call) —
+    /// delta run builds and compaction merges included.
     tries_built: usize,
 }
 
@@ -821,6 +944,146 @@ mod tests {
         let after = registry.stats();
         assert_eq!(after.misses, before.misses + 1);
         assert_eq!(after.hits, before.hits);
+    }
+
+    #[test]
+    fn append_resolves_through_a_delta_overlay_for_walk_engines() {
+        use crate::store::DeltaPolicy;
+        let store = bookstore_store();
+        // The base relation is tiny; keep the ratio out of the way so the
+        // overlay survives instead of compacting immediately.
+        store.set_delta_policy(DeltaPolicy {
+            enabled: true,
+            compact_ratio: 10.0,
+        });
+        let q = bookstore_query();
+        let prepared = PreparedQuery::prepare(
+            &store.snapshot(),
+            &q,
+            ExecOptions::for_engine(EngineKind::Lftj),
+        )
+        .unwrap();
+        // Warm the cache at version 1.
+        let before_rows = prepared.execute(&store.snapshot()).unwrap().results.len();
+        store
+            .append("R", vec![vec![Value::Int(10963), Value::str("jill")]])
+            .unwrap();
+        let stats_before = store.registry().stats();
+        let snap = store.snapshot();
+        let out = prepared.execute(&snap).unwrap();
+        assert_eq!(out.results.len(), before_rows + 1, "append must be visible");
+        assert_eq!(out.stats.delta_runs, 1, "R resolves as base + one run");
+        let stats_after = store.registry().stats();
+        assert_eq!(
+            stats_after.overlays,
+            stats_before.overlays + 1,
+            "the new version must be cached layered, not rebuilt"
+        );
+        assert_eq!(stats_after.builds, stats_before.builds, "no full rebuild");
+        // The second execution is fully warm on the overlay.
+        let out2 = prepared.execute(&snap).unwrap();
+        assert_eq!(out2.stats.tries_built, 0);
+        assert_eq!(out2.stats.delta_runs, 1);
+        assert!(out2.results.set_eq(&out.results));
+    }
+
+    #[test]
+    fn level_wise_engines_get_compacted_solid_plans_after_append() {
+        use crate::store::DeltaPolicy;
+        let store = bookstore_store();
+        store.set_delta_policy(DeltaPolicy {
+            enabled: true,
+            compact_ratio: 10.0,
+        });
+        let q = bookstore_query();
+        let walk = PreparedQuery::prepare(
+            &store.snapshot(),
+            &q,
+            ExecOptions::for_engine(EngineKind::XJoinStream),
+        )
+        .unwrap();
+        let levelwise = PreparedQuery::prepare(
+            &store.snapshot(),
+            &q,
+            ExecOptions::for_engine(EngineKind::XJoin),
+        )
+        .unwrap();
+        walk.execute(&store.snapshot()).unwrap();
+        store
+            .append("R", vec![vec![Value::Int(20134), Value::str("meg")]])
+            .unwrap();
+        let snap = store.snapshot();
+        // The walk engine installs the overlay...
+        let walked = walk.execute(&snap).unwrap();
+        assert_eq!(walked.stats.delta_runs, 1);
+        // ...and the level-wise engine finds it, compacts it in place, and
+        // runs on a solid plan with identical results.
+        let stats_before = store.registry().stats();
+        let level = levelwise.execute(&snap).unwrap();
+        assert_eq!(level.stats.delta_runs, 0);
+        assert!(level.results.set_eq(&walked.results));
+        assert_eq!(
+            store.registry().stats().compactions,
+            stats_before.compactions + 1
+        );
+        // After the upgrade the walk engine reads the solid entry (no runs).
+        let walked2 = walk.execute(&snap).unwrap();
+        assert_eq!(walked2.stats.delta_runs, 0);
+        assert!(walked2.results.set_eq(&walked.results));
+    }
+
+    #[test]
+    fn overlay_compacts_once_deltas_outgrow_the_ratio() {
+        use crate::store::DeltaPolicy;
+        let store = bookstore_store();
+        store.set_delta_policy(DeltaPolicy {
+            enabled: true,
+            compact_ratio: 0.4, // 2 rows base: one-row appends trigger at run 1
+        });
+        let q = bookstore_query();
+        let prepared = PreparedQuery::prepare(
+            &store.snapshot(),
+            &q,
+            ExecOptions::for_engine(EngineKind::Lftj),
+        )
+        .unwrap();
+        prepared.execute(&store.snapshot()).unwrap();
+        store
+            .append("R", vec![vec![Value::Int(10963), Value::str("amy")]])
+            .unwrap();
+        let out = prepared.execute(&store.snapshot()).unwrap();
+        // 1 delta row / 2 base rows = 0.5 > 0.4: compacted straight away.
+        assert_eq!(out.stats.delta_runs, 0);
+        assert!(store.registry().stats().compactions >= 1);
+        assert_eq!(out.results.len(), 3);
+    }
+
+    #[test]
+    fn disabled_delta_policy_falls_back_to_full_rebuilds() {
+        use crate::store::DeltaPolicy;
+        let store = bookstore_store();
+        store.set_delta_policy(DeltaPolicy {
+            enabled: false,
+            ..Default::default()
+        });
+        let q = bookstore_query();
+        let prepared = PreparedQuery::prepare(
+            &store.snapshot(),
+            &q,
+            ExecOptions::for_engine(EngineKind::Lftj),
+        )
+        .unwrap();
+        prepared.execute(&store.snapshot()).unwrap();
+        store
+            .append("R", vec![vec![Value::Int(10963), Value::str("bob")]])
+            .unwrap();
+        let before = store.registry().stats();
+        let out = prepared.execute(&store.snapshot()).unwrap();
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.stats.delta_runs, 0);
+        let after = store.registry().stats();
+        assert_eq!(after.overlays, before.overlays);
+        assert_eq!(after.builds, before.builds + 1, "R was rebuilt in full");
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! setting fans each job out across a morsel pool of its own, with all
 //! morsel workers reading the same immutable snapshot and the same cached
 //! `Arc<relational::Trie>`s — snapshot isolation is per job, whatever the
-//! fan-out.
+//! fan-out. Under write churn the shared plans may resolve to *layered*
+//! tries (an immutable base plus the appended delta runs, see
+//! [`relational::DeltaTrie`]): layers are themselves immutable `Arc`s, so
+//! concurrent jobs on different snapshots simply see different overlay
+//! stacks over one shared base without copying or locking.
 //!
 //! # Observability
 //!

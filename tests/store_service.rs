@@ -1,12 +1,15 @@
 //! Integration tests of the `xjoin-store` serving layer: warm-cache
 //! re-execution builds zero tries, the concurrent service agrees with
-//! single-threaded `xjoin`, and snapshots isolate queries from writes.
+//! single-threaded `xjoin`, snapshots isolate queries from writes, and
+//! sustained append churn resolves through delta overlays that stay
+//! result-identical to full rebuilds while the registry honours its byte
+//! budget and sheds superseded trie versions.
 
 use bench::workloads::{bookstore, bookstore_query, fig3_query, fig3_tight};
 use relational::{Schema, Value};
 use std::sync::Arc;
 use xjoin_core::{execute, EngineKind, ExecOptions, MultiModelQuery, Parallelism};
-use xjoin_store::{PreparedQuery, QueryService, VersionedStore};
+use xjoin_store::{DeltaPolicy, PreparedQuery, QueryService, TrieRegistry, VersionedStore};
 
 fn bookstore_store() -> VersionedStore {
     let inst = bookstore();
@@ -129,9 +132,9 @@ fn snapshots_isolate_in_flight_queries_from_writes() {
 /// Concurrency stress: writers bump the store's epochs in a tight loop
 /// while morsel-parallel queries (service workers × morsel workers) execute
 /// against pinned snapshots. Every result must match the pinned snapshot's
-/// serial answer, and the shared `TrieRegistry` must show zero duplicate
-/// builds across all the fan-out (every worker resolves the same cached
-/// `Arc<Trie>`s).
+/// serial answer even though each rewrite eagerly purges the superseded
+/// trie versions from the shared `TrieRegistry` — queries re-resolve purged
+/// entries on demand from their own immutable snapshot state.
 #[test]
 fn writers_never_perturb_parallel_queries_on_pinned_snapshots() {
     let inst = fig3_tight(3);
@@ -192,17 +195,38 @@ fn writers_never_perturb_parallel_queries_on_pinned_snapshots() {
             );
         }
     });
+    // Rewrites invalidate eagerly, so the parallel fan-out may have had to
+    // re-resolve R1 mid-churn; the counters only ever move forward.
+    assert!(store.registry().stats().misses >= warm.misses);
 
-    // Service workers × morsel workers shared the warm cache: not one
-    // duplicate trie build across the whole fan-out.
-    let after = store.registry().stats();
-    assert_eq!(
-        after.misses, warm.misses,
-        "parallel fan-out rebuilt a trie that was already cached"
-    );
+    // One more deterministic rewrite: every cached trie for the pinned
+    // snapshot's (now superseded) R1 version must be purged from the
+    // registry...
+    let pinned_keys = prepared.trie_keys(&snap).unwrap();
+    store.update(|db| {
+        db.load(
+            "R1",
+            Schema::of(&["A", "B", "C", "D"]),
+            vec![vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+            ]],
+        )
+        .unwrap();
+    });
+    for key in pinned_keys.iter().filter(|k| k.source == "rel:R1") {
+        assert!(
+            !store.registry().contains(key),
+            "stale R1 trie survived the rewrite"
+        );
+    }
+    assert!(store.registry().stats().purged > 0);
 
-    // The store kept moving: a fresh snapshot sees the writer's last state,
-    // while the pinned snapshot still answers identically.
+    // ...yet the store kept moving and the pinned snapshot still answers
+    // identically, rebuilding the purged trie on demand from its own
+    // immutable state.
     let fresh = store.snapshot();
     assert!(fresh.epoch() > snap.epoch());
     assert!(prepared
@@ -210,6 +234,149 @@ fn writers_never_perturb_parallel_queries_on_pinned_snapshots() {
         .unwrap()
         .results
         .set_eq(&expect.results));
+}
+
+/// Sustained churn: a stream of appends resolves through delta overlays
+/// (walk engines) or compact-and-upgrade (level-wise engines), and every
+/// plan-based engine in both thread modes stays result-identical to a
+/// cache-free rebuild of the same snapshot at every step.
+#[test]
+fn sustained_churn_delta_results_match_rebuilds_across_engines() {
+    let engines = [
+        EngineKind::Lftj,
+        EngineKind::XJoinStream,
+        EngineKind::XJoin,
+        EngineKind::Generic,
+    ];
+    let modes = [Parallelism::Serial, Parallelism::Threads(4)];
+    for kind in engines {
+        for par in modes {
+            let inst = fig3_tight(3);
+            let base_rows = inst.db.decode(inst.db.relation("R1").unwrap());
+            let store = VersionedStore::new(inst.db, inst.doc);
+            // Ratio 0.5 over a 3-row base: the first append overlays, the
+            // second trips compaction — both paths run in every iteration
+            // of the outer loops.
+            store.set_delta_policy(DeltaPolicy {
+                enabled: true,
+                compact_ratio: 0.5,
+            });
+            let q = fig3_query();
+            let opts = ExecOptions {
+                engine: kind,
+                parallelism: par,
+                ..Default::default()
+            };
+            let prepared = PreparedQuery::prepare(&store.snapshot(), &q, opts.clone()).unwrap();
+            let mut last = prepared.execute(&store.snapshot()).unwrap().results.len();
+            for step in 0..6 {
+                // Off-diagonal rows (B of row i, D of row j) join with twig
+                // matches the diagonal base misses, so results really grow;
+                // the six steps enumerate the six distinct off-diagonal
+                // pairs of a 3-row base.
+                let i = step / 2;
+                let j = (i + 1 + step % 2) % base_rows.len();
+                let row = vec![
+                    base_rows[i][0].clone(),
+                    base_rows[i][1].clone(),
+                    base_rows[i][2].clone(),
+                    base_rows[j][3].clone(),
+                ];
+                store.append("R1", vec![row]).unwrap();
+                let snap = store.snapshot();
+                let out = prepared.execute(&snap).unwrap();
+                let expect = execute(&snap.ctx(), &q, &opts).unwrap();
+                assert!(
+                    out.results.set_eq(&expect.results),
+                    "{kind:?}/{par:?} step {step}: delta-backed results diverge from rebuild"
+                );
+                assert!(
+                    out.results.len() > last,
+                    "{kind:?}/{par:?} step {step}: append did not change the result"
+                );
+                last = out.results.len();
+            }
+            let stats = store.registry().stats();
+            assert!(
+                stats.compactions > 0,
+                "{kind:?}/{par:?}: ratio 0.5 never triggered a compaction"
+            );
+            if matches!(kind, EngineKind::Lftj | EngineKind::XJoinStream) {
+                assert!(
+                    stats.overlays > 0,
+                    "{kind:?}/{par:?}: walk engine never used a delta overlay"
+                );
+            }
+        }
+    }
+}
+
+/// Under append churn with a byte budget, the registry never holds more
+/// resident bytes than the budget allows, and a rewrite purges every cached
+/// trie of the superseded relation versions.
+#[test]
+fn registry_respects_budget_and_purges_stale_entries_under_churn() {
+    let inst = fig3_tight(3);
+    let base_rows = inst.db.decode(inst.db.relation("R1").unwrap());
+    let registry = Arc::new(TrieRegistry::with_budget(Some(16 * 1024)));
+    let store = VersionedStore::with_registry(inst.db, inst.doc, Arc::clone(&registry));
+    store.set_delta_policy(DeltaPolicy {
+        enabled: true,
+        compact_ratio: 0.5,
+    });
+    let q = fig3_query();
+    let prepared = PreparedQuery::prepare(
+        &store.snapshot(),
+        &q,
+        ExecOptions::for_engine(EngineKind::Lftj),
+    )
+    .unwrap();
+    prepared.execute(&store.snapshot()).unwrap();
+    for step in 0..8 {
+        let i = step % base_rows.len();
+        let j = (step + 1) % base_rows.len();
+        let row = vec![
+            base_rows[i][0].clone(),
+            base_rows[i][1].clone(),
+            base_rows[i][2].clone(),
+            base_rows[j][3].clone(),
+        ];
+        store.append("R1", vec![row]).unwrap();
+        let snap = store.snapshot();
+        prepared.execute(&snap).unwrap();
+        let st = registry.stats();
+        assert!(
+            st.bytes_in_use <= st.budget.unwrap(),
+            "churn step {step}: resident bytes {} exceed the budget {}",
+            st.bytes_in_use,
+            st.budget.unwrap()
+        );
+    }
+    // A rewrite supersedes every appended version at once; the eager purge
+    // must leave no R1 entry older than the rewrite behind.
+    let stale_keys = prepared.trie_keys(&store.snapshot()).unwrap();
+    store.update(|db| {
+        db.load(
+            "R1",
+            Schema::of(&["A", "B", "C", "D"]),
+            vec![vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+            ]],
+        )
+        .unwrap();
+    });
+    let st = registry.stats();
+    assert!(st.purged > 0, "the rewrite purged nothing");
+    for key in stale_keys.iter().filter(|k| k.source == "rel:R1") {
+        assert!(
+            !registry.contains(key),
+            "stale R1 trie {key:?} survived the rewrite"
+        );
+    }
+    assert!(st.bytes_in_use <= st.budget.unwrap());
 }
 
 #[test]
