@@ -2,7 +2,7 @@
 //! records the measured runs as machine-readable JSON.
 //!
 //! ```text
-//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|trace|all|quick] \
+//! experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|skew|trace|all|quick] \
 //!             [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]
 //! experiments diff --baseline BENCH_results.json --current BENCH_quick.json \
 //!             [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]
@@ -43,6 +43,13 @@
 //!   least 5× below the full-rebuild median and within 1.25× of the
 //!   no-write probe (`--quick` shrinks the workload and reports the
 //!   comparison informationally);
+//! * `skew` — the PR-10 adaptive-ordering acceptance gate: the
+//!   skew-adversarial branch workload (`Q(a,b,c) :- R(a,b), S(a,c), F(b),
+//!   G(c)` with parity-alternating heavy branches) where
+//!   `OrderStrategy::Adaptive` must beat the best static order by >= 2x,
+//!   plus uniform fig3/triangle/4-clique probes where it must stay within
+//!   1.05x of the static walk (`--quick` shrinks the workload and makes
+//!   both comparisons informational);
 //! * `trace` — runs the fig3 and 4-clique workloads through the query
 //!   service with tracing enabled and writes `trace.json` (Chrome
 //!   trace-event, load at <https://ui.perfetto.dev>), `flamegraph.txt`
@@ -55,7 +62,7 @@
 //!   families such as `threads/`, and rows whose baseline is under
 //!   `--min-ms` (default 1 ms) are ignored as timer noise;
 //! * `quick` — a fast subset (bounds, small fig3, bookstore, store,
-//!   threads, build, probe, churn) for CI.
+//!   threads, build, probe, churn, skew) for CI.
 //!
 //! Every timed run is collected into a JSON report — an array of
 //! `{"name", "wall_ms", "build_ms", "max_intermediate", "output_rows"}`
@@ -264,6 +271,7 @@ fn main() {
     let mut overhead_ok = true;
     let mut serve_ok = true;
     let mut churn_ok = true;
+    let mut skew_ok = true;
     match cmd.as_str() {
         "bounds" => exp_bounds(),
         "fig3" => exp_fig3(max_n, &mut report),
@@ -277,6 +285,7 @@ fn main() {
         "overhead" => overhead_ok = exp_overhead(&mut report, false),
         "serve" => serve_ok = exp_serve(&mut report, quick_flag),
         "churn" => churn_ok = exp_churn(&mut report, quick_flag),
+        "skew" => skew_ok = exp_skew(&mut report, quick_flag),
         "trace" => exp_trace(),
         "all" => {
             exp_bounds();
@@ -291,6 +300,7 @@ fn main() {
             overhead_ok = exp_overhead(&mut report, false);
             serve_ok = exp_serve(&mut report, false);
             churn_ok = exp_churn(&mut report, false);
+            skew_ok = exp_skew(&mut report, false);
         }
         "quick" => {
             exp_bounds();
@@ -302,11 +312,12 @@ fn main() {
             probe_ok = exp_probe(&mut report, true);
             overhead_ok = exp_overhead(&mut report, true);
             churn_ok = exp_churn(&mut report, true);
+            skew_ok = exp_skew(&mut report, true);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
+                "usage: experiments [bounds|fig3|lemma35|bookstore|ablation|store|threads|build|probe|overhead|serve|churn|skew|trace|all|quick] [--max-n N] [--json PATH] [--threads 1,2,4] [--quick]\n       experiments diff --baseline BASE.json --current CUR.json [--tolerance 1.5] [--skip PREFIX]... [--min-ms 1.0]"
             );
             std::process::exit(2);
         }
@@ -353,7 +364,14 @@ fn main() {
              (see the churn/* records above)"
         );
     }
-    if !build_ok || !probe_ok || !overhead_ok || !serve_ok || !churn_ok {
+    if !skew_ok {
+        eprintln!(
+            "FAIL: adaptive ordering missed the 2x-vs-best-static bar on the skewed branch \
+             workload, or exceeded 1.05x a static walk on a uniform probe \
+             (see the skew/* records above)"
+        );
+    }
+    if !build_ok || !probe_ok || !overhead_ok || !serve_ok || !churn_ok || !skew_ok {
         std::process::exit(1);
     }
 }
@@ -1647,6 +1665,259 @@ fn exp_churn(report: &mut Report, quick: bool) -> bool {
         }
     );
     ok || quick
+}
+
+/// The adaptive-ordering acceptance gate: on the skew-adversarial branch
+/// workload the runtime-adaptive walk must beat the *best* static order by
+/// at least 2x (warm probes, medians of interleaved reps), while on uniform
+/// probes (fig3 / triangle / 4-clique, where the skeleton leaves the walk
+/// little or no freedom) it must stay within 1.05x of the static walk.
+fn exp_skew(report: &mut Report, quick: bool) -> bool {
+    use bench::workloads::{branch_skew_instance, branch_skew_query, zipf_graph_instance};
+    use xjoin_core::Ladder;
+
+    header("Skew: runtime-adaptive ordering (the Atreides ladder) vs static orders");
+    let (keys, heavy, reps) = if quick {
+        (512usize, 48usize, 3usize)
+    } else {
+        (3072, 192, 7)
+    };
+    println!(
+        "(branch workload Q(a,b,c) :- R(a,b), S(a,c), F(b), G(c): {keys} keys, heavy fanout \
+         {heavy}, thin-branch survival 1/16 per parity; warm probes, median of {reps})"
+    );
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if v.is_empty() {
+            0.0
+        } else {
+            v[v.len() / 2]
+        }
+    };
+
+    // One store per arm so no trie cache is shared across orders (each order
+    // levels the tries differently anyway).
+    let prepare_arm = |order: OrderStrategy| -> (VersionedStore, PreparedQuery) {
+        let inst = branch_skew_instance(keys, heavy);
+        let store = VersionedStore::new(inst.db, inst.doc);
+        let snap = store.snapshot();
+        let opts = ExecOptions {
+            order,
+            ..ExecOptions::for_engine(EngineKind::Lftj)
+        };
+        let prepared =
+            PreparedQuery::prepare(&snap, &branch_skew_query(), opts).expect("prepare skew arm");
+        prepared.execute(&snap).expect("cold build"); // warm the trie cache
+        (store, prepared)
+    };
+
+    let given = |names: [&str; 3]| OrderStrategy::Given(names.iter().map(|&n| n.into()).collect());
+    let arms: Vec<(&str, &str, OrderStrategy)> = vec![
+        (
+            "adaptive (refined)",
+            "skew/branch/adaptive-refined",
+            OrderStrategy::Adaptive {
+                ladder: Ladder::Refined,
+            },
+        ),
+        (
+            "adaptive (distinct)",
+            "skew/branch/adaptive-distinct",
+            OrderStrategy::Adaptive {
+                ladder: Ladder::Distinct,
+            },
+        ),
+        (
+            "adaptive (rowcount)",
+            "skew/branch/adaptive-rowcount",
+            OrderStrategy::Adaptive {
+                ladder: Ladder::RowCount,
+            },
+        ),
+        (
+            "static appearance",
+            "skew/branch/static-appearance",
+            OrderStrategy::Appearance,
+        ),
+        (
+            "static cardinality",
+            "skew/branch/static-cardinality",
+            OrderStrategy::Cardinality,
+        ),
+        (
+            "static given(a,b,c)",
+            "skew/branch/static-given-abc",
+            given(["a", "b", "c"]),
+        ),
+        (
+            "static given(a,c,b)",
+            "skew/branch/static-given-acb",
+            given(["a", "c", "b"]),
+        ),
+    ];
+    let runners: Vec<(&str, &str, (VersionedStore, PreparedQuery))> = arms
+        .into_iter()
+        .map(|(label, row, order)| (label, row, prepare_arm(order)))
+        .collect();
+
+    let mut wall: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); runners.len()];
+    let mut rows_out = vec![0usize; runners.len()];
+    let mut reorders = vec![0u64; runners.len()];
+    let mut est_probes = vec![0u64; runners.len()];
+    for _ in 0..reps {
+        for (i, (_, _, (store, prepared))) in runners.iter().enumerate() {
+            let snap = store.snapshot();
+            let t0 = Instant::now();
+            let out = prepared.execute(&snap).expect("warm skew probe");
+            wall[i].push(t0.elapsed().as_secs_f64() * 1e3);
+            rows_out[i] = out.results.len();
+            reorders[i] = out.stats.reorders;
+            est_probes[i] = out.stats.estimate_probes;
+        }
+    }
+    assert!(
+        rows_out.iter().all(|&r| r == rows_out[0]),
+        "adaptive and static orders disagree on the skewed result: {rows_out:?}"
+    );
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>10} {:>14}",
+        "order", "median ms", "result", "reorders", "estimate probes"
+    );
+    let mut adaptive_ms = f64::MAX;
+    let mut best_static_ms = f64::MAX;
+    for (i, (label, row, _)) in runners.iter().enumerate() {
+        let ms = median(wall[i].clone());
+        println!(
+            "{label:<22} {ms:>12.4} {:>10} {:>10} {:>14}",
+            rows_out[i], reorders[i], est_probes[i]
+        );
+        report.add(*row, ms, 0, rows_out[i]);
+        if *row == "skew/branch/adaptive-refined" {
+            adaptive_ms = ms;
+        }
+        if label.starts_with("static") {
+            best_static_ms = best_static_ms.min(ms);
+        }
+    }
+    let separation = best_static_ms / adaptive_ms.max(1e-9);
+    let skew_ok = separation >= 2.0;
+    println!(
+        "skewed branch workload: adaptive(refined) {adaptive_ms:.4} ms vs best static \
+         {best_static_ms:.4} ms = {separation:.2}x — {}",
+        if skew_ok {
+            "PASS (>= 2x over the best static order)"
+        } else if quick {
+            "below the bar, informational in quick mode"
+        } else {
+            "FAIL"
+        }
+    );
+
+    // Uniform probes: the adaptive walk must not tax workloads where the
+    // skeleton leaves it little freedom (triangle/4-clique: none; fig3:
+    // some). Interleaved warm probes, adaptive(refined) vs static appearance.
+    println!();
+    // The uniform probes are micro-scale (fig3 runs in tens of µs), so the
+    // 1.05x gate needs many more interleaved samples than the branch
+    // workload for the median to sit above scheduler noise.
+    let (tri_nodes, tri_edges, cl_nodes, cl_edges, fig_n, ureps) = if quick {
+        (100usize, 600usize, 60usize, 360usize, 4usize, 7usize)
+    } else {
+        (240, 1800, 110, 800, 16, 41)
+    };
+    let uniform: Vec<(&str, &str, bench::workloads::Instance, MultiModelQuery)> = vec![
+        (
+            "fig3 (tight)",
+            "skew/uniform/fig3",
+            fig3_tight(fig_n),
+            fig3_query(),
+        ),
+        (
+            "triangle",
+            "skew/uniform/triangle",
+            graph_instance(tri_nodes, tri_edges, 1107),
+            triangle_query(),
+        ),
+        (
+            "4-clique",
+            "skew/uniform/clique4",
+            graph_instance(cl_nodes, cl_edges, 1108),
+            clique4_query(),
+        ),
+        (
+            "triangle (zipf 1.1)",
+            "skew/zipf/triangle",
+            zipf_graph_instance(tri_nodes, tri_edges, 1.1, 1109),
+            triangle_query(),
+        ),
+    ];
+    println!(
+        "{:<22} {:>14} {:>14} {:>8} {:>10}",
+        "uniform probe", "static ms", "adaptive ms", "ratio", "result"
+    );
+    let mut uniform_ok = true;
+    for (label, row, inst, q) in uniform {
+        let store = VersionedStore::new(inst.db, inst.doc);
+        let snap = store.snapshot();
+        let static_p = PreparedQuery::prepare(&snap, &q, ExecOptions::for_engine(EngineKind::Lftj))
+            .expect("prepare static probe");
+        let adaptive_p = PreparedQuery::prepare(
+            &snap,
+            &q,
+            ExecOptions {
+                order: OrderStrategy::Adaptive {
+                    ladder: Ladder::Refined,
+                },
+                ..ExecOptions::for_engine(EngineKind::Lftj)
+            },
+        )
+        .expect("prepare adaptive probe");
+        static_p.execute(&snap).expect("cold static");
+        adaptive_p.execute(&snap).expect("cold adaptive");
+        let (mut st, mut ad) = (Vec::with_capacity(ureps), Vec::with_capacity(ureps));
+        let mut rows = (0usize, 0usize);
+        for _ in 0..ureps {
+            let t0 = Instant::now();
+            rows.0 = static_p.execute(&snap).expect("static probe").results.len();
+            st.push(t0.elapsed().as_secs_f64() * 1e3);
+            let t0 = Instant::now();
+            rows.1 = adaptive_p
+                .execute(&snap)
+                .expect("adaptive probe")
+                .results
+                .len();
+            ad.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        assert_eq!(rows.0, rows.1, "uniform probe `{label}` disagrees");
+        let (st_ms, ad_ms) = (median(st), median(ad));
+        let ratio = ad_ms / st_ms.max(1e-9);
+        // Zipf rows are informational (adaptive may win there); the 1.05x
+        // bar applies to the uniform family only.
+        let gated = row.starts_with("skew/uniform/");
+        if gated {
+            uniform_ok &= ratio <= 1.05;
+        }
+        println!(
+            "{label:<22} {st_ms:>14.4} {ad_ms:>14.4} {ratio:>8.3} {:>10}{}",
+            rows.0,
+            if gated { "" } else { "  (informational)" }
+        );
+        report.add(format!("{row}-static"), st_ms, 0, rows.0);
+        report.add(format!("{row}-adaptive"), ad_ms, 0, rows.1);
+    }
+    println!(
+        "uniform probes: adaptive within 1.05x of static — {}",
+        if uniform_ok {
+            "PASS"
+        } else if quick {
+            "exceeded, informational in quick mode"
+        } else {
+            "FAIL"
+        }
+    );
+    (skew_ok && uniform_ok) || quick
 }
 
 /// Trace: run the fig3 and 4-clique workloads through the query service

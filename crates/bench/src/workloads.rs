@@ -287,6 +287,149 @@ pub fn churn_query() -> MultiModelQuery {
     MultiModelQuery::new::<&str>(&["F", "R", "S", "T"], &[]).expect("no twigs to parse")
 }
 
+/// Draws one node id from a Zipf(`s`) distribution over `0..nodes` via
+/// inverse-CDF lookup on the precomputed cumulative weights.
+fn zipf_draw(rng: &mut StdRng, cdf: &[f64]) -> i64 {
+    let total = *cdf.last().expect("nonempty domain");
+    let u = rng.gen_range(0.0..total);
+    cdf.partition_point(|&c| c <= u) as i64
+}
+
+/// Cumulative Zipf weights `Σ 1/(i+1)^s` for `i in 0..nodes`.
+fn zipf_cdf(nodes: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..nodes)
+        .map(|i| {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            acc
+        })
+        .collect()
+}
+
+/// A random undirected graph whose endpoints are drawn from a Zipf(`skew`)
+/// distribution over the vertex ids instead of uniformly — low-numbered
+/// vertices become heavy hitters whose adjacency lists dwarf the tail, the
+/// degree skew that separates static variable orders from runtime-adaptive
+/// ones. `skew = 0.0` degenerates to [`graph_instance`]'s uniform draw.
+/// Seeded and fully deterministic.
+pub fn zipf_graph_instance(nodes: usize, edges: usize, skew: f64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cdf = zipf_cdf(nodes, skew);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(edges * 2);
+    for _ in 0..edges {
+        let u = zipf_draw(&mut rng, &cdf);
+        let v = zipf_draw(&mut rng, &cdf);
+        if u == v {
+            continue;
+        }
+        rows.push(vec![Value::Int(u), Value::Int(v)]);
+        rows.push(vec![Value::Int(v), Value::Int(u)]);
+    }
+    let mut db = Database::new();
+    db.load("E", Schema::of(&["src", "dst"]), rows)
+        .expect("load edges");
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("graph");
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// A binary relation `(key, val)` with engineered heavy hitters: `hitters`
+/// keys soak up `hitter_share` of the `rows` (vals drawn uniformly from a
+/// wide range so heavy keys fan out), the rest spread uniformly over
+/// `0..light_domain`. Seeded and fully deterministic — the building block
+/// for hand-shaped skew instances.
+pub fn heavy_hitter_relation(
+    rows: usize,
+    light_domain: i64,
+    hitters: usize,
+    hitter_share: f64,
+    seed: u64,
+) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let key = if hitters > 0 && rng.gen_range(0.0..1.0) < hitter_share {
+            // Heavy keys live above the light domain so the two populations
+            // never collide.
+            light_domain + rng.gen_range(0..hitters as i64)
+        } else {
+            rng.gen_range(0..light_domain)
+        };
+        let val = rng.gen_range(0..light_domain * 4);
+        out.push(vec![Value::Int(key), Value::Int(val)]);
+    }
+    out
+}
+
+// Value offsets of the branch-skew workload: heavy fanout values and the
+// per-key light values live in disjoint ranges.
+const SKEW_HEAVY_B0: i64 = 1_000_000;
+const SKEW_HEAVY_C0: i64 = 2_000_000;
+const SKEW_LIGHT_B0: i64 = 500_000;
+const SKEW_LIGHT_C0: i64 = 600_000;
+
+/// The skew-adversarial branch workload:
+/// `Q(a, b, c) :- R(a, b), S(a, c), F(b), G(c)`.
+///
+/// Per key `a`, the result is the product of the two filtered branches.
+/// Even keys fan out `heavy` wide on the `b` branch (every heavy `b` passes
+/// `F`) while their single light `c` passes `G` only when `a % 16 == 0`;
+/// odd keys mirror this on the `c` branch (light `b` passes `F` only when
+/// `a % 16 == 1`). So on half the keys the *thin* branch almost always
+/// kills the subtree — but which branch is thin alternates with the parity
+/// of `a`. Any static order pays the `heavy`-wide expansion on one parity
+/// class; a runtime-adaptive walk binds the thin branch first on both and
+/// fails fast everywhere, which is the ≥2× separation the skew experiment
+/// gates on. Deterministic by construction (no RNG).
+pub fn branch_skew_instance(keys: usize, heavy: usize) -> Instance {
+    let mut r_rows: Vec<Vec<Value>> = Vec::new();
+    let mut s_rows: Vec<Vec<Value>> = Vec::new();
+    for a in 0..keys as i64 {
+        let light_b = SKEW_LIGHT_B0 + a % 16;
+        let light_c = SKEW_LIGHT_C0 + a % 16;
+        if a % 2 == 0 {
+            for k in 0..heavy as i64 {
+                r_rows.push(vec![Value::Int(a), Value::Int(SKEW_HEAVY_B0 + k)]);
+            }
+            s_rows.push(vec![Value::Int(a), Value::Int(light_c)]);
+        } else {
+            r_rows.push(vec![Value::Int(a), Value::Int(light_b)]);
+            for k in 0..heavy as i64 {
+                s_rows.push(vec![Value::Int(a), Value::Int(SKEW_HEAVY_C0 + k)]);
+            }
+        }
+    }
+    let mut f_rows: Vec<Vec<Value>> = vec![vec![Value::Int(SKEW_LIGHT_B0 + 1)]];
+    f_rows.extend((0..heavy as i64).map(|k| vec![Value::Int(SKEW_HEAVY_B0 + k)]));
+    let mut g_rows: Vec<Vec<Value>> = vec![vec![Value::Int(SKEW_LIGHT_C0)]];
+    g_rows.extend((0..heavy as i64).map(|k| vec![Value::Int(SKEW_HEAVY_C0 + k)]));
+
+    let mut db = Database::new();
+    db.load("R", Schema::of(&["a", "b"]), r_rows)
+        .expect("load R");
+    db.load("S", Schema::of(&["a", "c"]), s_rows)
+        .expect("load S");
+    db.load("F", Schema::of(&["b"]), f_rows).expect("load F");
+    db.load("G", Schema::of(&["c"]), g_rows).expect("load G");
+    let mut dict = db.dict().clone();
+    let mut b = XmlDocument::builder();
+    b.begin("graph");
+    b.end();
+    let doc = b.build(&mut dict);
+    *db.dict_mut() = dict;
+    Instance { db, doc }
+}
+
+/// The query over [`branch_skew_instance`]:
+/// `Q(a, b, c) :- R(a, b), S(a, c), F(b), G(c)`.
+pub fn branch_skew_query() -> MultiModelQuery {
+    MultiModelQuery::new::<&str>(&["R", "S", "F", "G"], &[]).expect("no twigs to parse")
+}
+
 /// The triangle query over [`graph_instance`]:
 /// `Q(a, b, c) :- E(a, b), E(b, c), E(a, c)`.
 pub fn triangle_query() -> MultiModelQuery {
@@ -459,6 +602,74 @@ mod tests {
             .results
             .len();
         assert_eq!(triangles % 6, 0);
+    }
+
+    #[test]
+    fn zipf_graph_is_deterministic_and_skewed() {
+        let a = zipf_graph_instance(64, 400, 1.2, 11);
+        let b = zipf_graph_instance(64, 400, 1.2, 11);
+        let rel_a = a.db.relation("E").unwrap();
+        let rel_b = b.db.relation("E").unwrap();
+        assert_eq!(decoded(&a.db, rel_a), decoded(&b.db, rel_b));
+        // Heavy hitter: vertex 0 appears far above the uniform expectation.
+        let zeros = decoded(&a.db, rel_a)
+            .iter()
+            .filter(|row| row[0] == Value::Int(0))
+            .count();
+        let mean = rel_a.len() / 64;
+        assert!(zeros > 3 * mean, "zeros={zeros} mean={mean}");
+    }
+
+    #[test]
+    fn heavy_hitter_relation_concentrates_mass() {
+        let rows = heavy_hitter_relation(2000, 1000, 4, 0.6, 3);
+        assert_eq!(rows, heavy_hitter_relation(2000, 1000, 4, 0.6, 3));
+        let heavy = rows
+            .iter()
+            .filter(|r| matches!(r[0], Value::Int(k) if k >= 1000))
+            .count();
+        // ~60% of the mass on 4 of ~1004 keys.
+        assert!(heavy > rows.len() / 2, "heavy={heavy}");
+    }
+
+    #[test]
+    fn branch_skew_engines_agree_across_orders() {
+        use xjoin_core::{execute, EngineKind, ExecOptions, Ladder, OrderStrategy};
+        let inst = branch_skew_instance(48, 8);
+        let idx = inst.index();
+        let ctx = DataContext::new(&inst.db, &inst.doc, &idx);
+        let q = branch_skew_query();
+        let reference = execute(&ctx, &q, &ExecOptions::default()).unwrap();
+        // Only keys with a surviving light value on the thin branch join:
+        // a % 16 == 0 (even, light c in G) and a % 16 == 1 (odd, light b in
+        // F) — 3 keys each in 0..48, times the heavy fanout of 8.
+        assert_eq!(reference.results.len(), 6 * 8);
+        for order in [
+            OrderStrategy::Cardinality,
+            OrderStrategy::Adaptive {
+                ladder: Ladder::Refined,
+            },
+            OrderStrategy::Adaptive {
+                ladder: Ladder::RowCount,
+            },
+        ] {
+            for kind in [EngineKind::Lftj, EngineKind::XJoinStream] {
+                let opts = ExecOptions {
+                    engine: kind,
+                    order: order.clone(),
+                    ..ExecOptions::default()
+                };
+                let out = execute(&ctx, &q, &opts).unwrap();
+                let aligned = out
+                    .results
+                    .project(reference.results.schema().attrs())
+                    .unwrap();
+                assert!(
+                    aligned.set_eq(&reference.results),
+                    "engine {kind} order {order:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ use crate::atoms::{collect_atoms, Atoms};
 use crate::baseline::{baseline, BaselineConfig, RelAlg, XmlAlg};
 use crate::engine::{xjoin_with_plan, XJoinConfig};
 use crate::error::{CoreError, Result};
-use crate::mmql::parse_query;
+use crate::mmql::parse_query_with_options;
 use crate::morsel::{execute_parallel, Parallelism};
 use crate::order::{compute_order, OrderStrategy};
 use crate::query::{variables_of, DataContext, MultiModelQuery, RelAtom, Term};
@@ -65,8 +65,8 @@ use crate::stream::{stream_with_plan, Rows};
 use crate::validate::TwigValidator;
 use relational::generic::levelwise_join;
 use relational::hashjoin::multiway_hash_join;
-use relational::lftj::lftj;
-use relational::{Attr, JoinPlan, JoinStats, Relation};
+use relational::lftj::lftj_in_range_counted;
+use relational::{Attr, JoinPlan, JoinStats, Relation, ValueRange};
 use std::fmt;
 use std::time::Instant;
 use xmldb::TwigPattern;
@@ -421,7 +421,7 @@ fn execute_fresh_plan(
     let (atoms, order) = resolve(ctx, query, &opts)?;
     let plan = {
         let mut span = xjoin_obs::span("plan-build");
-        let plan = JoinPlan::new(&atoms.rel_refs(), &order)?;
+        let plan = JoinPlan::new(&atoms.rel_refs(), &order)?.with_ladder(opts.order.ladder());
         span.set_attr(|| format!("tries_built={}", plan.tries_built()));
         plan
     };
@@ -496,7 +496,7 @@ impl Engine for StreamingXJoin {
         let (atoms, order) = resolve(ctx, query, opts)?;
         let plan = {
             let _span = xjoin_obs::span("plan-build");
-            JoinPlan::new(&atoms.rel_refs(), &order)?
+            JoinPlan::new(&atoms.rel_refs(), &order)?.with_ladder(opts.order.ladder())
         };
         stream_with_plan(ctx, query, plan, opts)
     }
@@ -721,8 +721,12 @@ pub fn execute_with_plan(
         }
         EngineKind::Lftj => {
             validate_output(query, plan.order())?;
-            let raw = lftj(plan);
-            let mut stats = JoinStats::default();
+            let (raw, counters) = lftj_in_range_counted(plan, &ValueRange::all());
+            let mut stats = JoinStats {
+                reorders: counters.reorders,
+                estimate_probes: counters.estimate_probes,
+                ..JoinStats::default()
+            };
             stats.record("lftj enumerate", raw.len());
             finish(
                 ctx,
@@ -784,11 +788,18 @@ impl QueryBuilder {
         }
     }
 
-    /// Seeds a builder from an MMQL query string (head = output).
+    /// Seeds a builder from an MMQL query string (head = output). A trailing
+    /// `WITH ORDER <strategy>` clause, when present, seeds the builder's
+    /// [`OrderStrategy`] (see [`parse_query_with_options`]).
     pub fn mmql(text: &str) -> Result<QueryBuilder> {
+        let (query, order) = parse_query_with_options(text)?;
+        let mut options = ExecOptions::default();
+        if let Some(order) = order {
+            options.order = order;
+        }
         Ok(QueryBuilder {
-            query: parse_query(text)?,
-            options: ExecOptions::default(),
+            query,
+            options,
             deferred: None,
         })
     }
@@ -852,6 +863,11 @@ impl QueryBuilder {
     pub fn order(mut self, order: OrderStrategy) -> Self {
         self.options.order = order;
         self
+    }
+
+    /// Shorthand for [`OrderStrategy::Adaptive`] with the given ladder rung.
+    pub fn adaptive(self, ladder: relational::Ladder) -> Self {
+        self.order(OrderStrategy::Adaptive { ladder })
     }
 
     /// Enables partial twig validation during expansion (XJoin only).

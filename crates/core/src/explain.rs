@@ -8,7 +8,7 @@ use crate::bounds::{mixed_hypergraph, prefix_bounds, query_bound};
 use crate::error::Result;
 use crate::order::{compute_order, OrderStrategy};
 use crate::query::{DataContext, MultiModelQuery};
-use relational::{BuildStats, JoinPlan, LevelProbeStats, LftjWalk, TrieBuilder};
+use relational::{BuildStats, JoinPlan, Ladder, LevelProbeStats, LftjWalk, TrieBuilder};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -185,6 +185,32 @@ impl LevelAnalysis {
     }
 }
 
+/// Measured adaptive-ordering behaviour of one instrumented walk — present
+/// in an [`AnalyzeReport`] only under [`OrderStrategy::Adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveAnalysis {
+    /// The ladder rung that scored candidates.
+    pub ladder: Ladder,
+    /// Choices that deviated from the static (skeleton) schedule.
+    pub reorders: u64,
+    /// Candidate estimates computed by the chooser (its maintenance cost).
+    pub estimate_probes: u64,
+    /// Per walk depth, the variables chosen there with their pick counts
+    /// (nonzero entries only) — the measured chosen-order-per-subtree.
+    pub choices: Vec<Vec<(String, u64)>>,
+    /// Per variable: `(name, estimated bindings at choice time, actual
+    /// bindings)` — the estimate-vs-actual error signal.
+    pub estimates: Vec<(String, u64, u64)>,
+}
+
+impl AdaptiveAnalysis {
+    /// `estimated / actual` for variable `i` (`None` when it never bound).
+    pub fn estimate_error(&self, i: usize) -> Option<f64> {
+        let (_, est, actual) = self.estimates.get(i)?;
+        (*actual > 0).then(|| *est as f64 / *actual as f64)
+    }
+}
+
 /// What [`explain_analyze`] returns: the static [`Explanation`] plus
 /// measured per-level actuals, probe counters, and stage wall times from an
 /// instrumented serial run.
@@ -194,6 +220,8 @@ pub struct AnalyzeReport {
     pub explanation: Explanation,
     /// Per attribute level: bound vs actual vs probe counters, in order.
     pub levels: Vec<LevelAnalysis>,
+    /// Adaptive-ordering measurements (`None` under static strategies).
+    pub adaptive: Option<AdaptiveAnalysis>,
     /// Join result rows enumerated by the walk (full-width, before twig
     /// structure validation and projection).
     pub output_rows: u64,
@@ -258,7 +286,7 @@ pub fn explain_analyze(
         });
         tries.push(Arc::new(trie));
     }
-    let plan = JoinPlan::from_shared(tries, &order)?;
+    let plan = JoinPlan::from_shared(tries, &order)?.with_ladder(strategy.ladder());
     let build_elapsed = build_start.elapsed();
 
     let probe_start = Instant::now();
@@ -271,6 +299,32 @@ pub fn explain_analyze(
         }
     }
     let probe_elapsed = probe_start.elapsed();
+
+    let adaptive = walk.ladder().map(|ladder| {
+        let nvars = order.len();
+        let hist = walk.choice_histogram();
+        let choices = (0..nvars)
+            .map(|d| {
+                (0..nvars)
+                    .filter(|&v| hist[d * nvars + v] > 0)
+                    .map(|v| (order[v].name().to_owned(), hist[d * nvars + v]))
+                    .collect()
+            })
+            .collect();
+        let estimates = order
+            .iter()
+            .zip(walk.estimated_bindings())
+            .zip(walk.probe_stats())
+            .map(|((var, &est), probe)| (var.name().to_owned(), est, probe.bindings))
+            .collect();
+        AdaptiveAnalysis {
+            ladder,
+            reorders: walk.reorders(),
+            estimate_probes: walk.estimate_probes(),
+            choices,
+            estimates,
+        }
+    });
 
     let levels = order
         .iter()
@@ -310,6 +364,7 @@ pub fn explain_analyze(
     Ok(AnalyzeReport {
         explanation,
         levels,
+        adaptive,
         output_rows,
         resolve_elapsed,
         build_elapsed,
@@ -349,6 +404,32 @@ impl AnalyzeReport {
                 l.probe.refills,
                 l.probe.bitset_words
             );
+        }
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(
+                out,
+                "adaptive ordering (ladder={}): {} reorder(s), {} estimate probe(s)",
+                a.ladder, a.reorders, a.estimate_probes
+            );
+            for (d, picks) in a.choices.iter().enumerate() {
+                if picks.is_empty() {
+                    continue;
+                }
+                let rendered: Vec<String> =
+                    picks.iter().map(|(var, n)| format!("{var}×{n}")).collect();
+                let _ = writeln!(out, "  depth {d}: {}", rendered.join(", "));
+            }
+            let _ = writeln!(out, "  estimate vs actual bindings:");
+            for (i, (var, est, actual)) in a.estimates.iter().enumerate() {
+                let err = a
+                    .estimate_error(i)
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "-".to_owned());
+                let _ = writeln!(
+                    out,
+                    "    {var:<12} est {est:>10}  actual {actual:>10}  ratio {err}"
+                );
+            }
         }
         let _ = writeln!(out, "join rows (pre-validation): {}", self.output_rows);
         let build_ms = self.build_elapsed.as_secs_f64() * 1e3;
@@ -454,6 +535,35 @@ mod tests {
         let text = a.render();
         assert!(text.contains("tightness"), "{text}");
         assert!(text.contains("build/probe split"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_adaptive_choices() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R"], &["//A[/B][/D]"]).unwrap();
+        let strategy = OrderStrategy::Adaptive {
+            ladder: Ladder::Refined,
+        };
+        let a = explain_analyze(&ctx, &q, &strategy).unwrap();
+        assert_eq!(a.output_rows, 1);
+        let adaptive = a.adaptive.as_ref().expect("adaptive section present");
+        assert_eq!(adaptive.ladder, Ladder::Refined);
+        // Depth 0 is pinned to the skeleton's first variable and recorded.
+        assert!(!adaptive.choices[0].is_empty());
+        assert_eq!(adaptive.estimates.len(), a.explanation.order.len());
+        let text = a.render();
+        assert!(
+            text.contains("adaptive ordering (ladder=refined)"),
+            "{text}"
+        );
+        assert!(text.contains("estimate vs actual"), "{text}");
+
+        // Static strategies carry no adaptive section.
+        let s = explain_analyze(&ctx, &q, &OrderStrategy::Appearance).unwrap();
+        assert!(s.adaptive.is_none());
+        assert!(!s.render().contains("adaptive ordering"));
     }
 
     #[test]

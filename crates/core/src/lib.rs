@@ -79,13 +79,15 @@ pub use exec::{
     ExecOptions, ExecPlan, Query, QueryBuilder, QueryOutput,
 };
 pub use explain::{
-    explain, explain_analyze, AnalyzeReport, Explanation, LevelAnalysis, TrieBuildProfile,
+    explain, explain_analyze, AdaptiveAnalysis, AnalyzeReport, Explanation, LevelAnalysis,
+    TrieBuildProfile,
 };
-pub use mmql::parse_query;
+pub use mmql::{parse_query, parse_query_with_options};
 pub use morsel::{partition_root, Parallelism};
 pub use order::{compute_order, OrderStrategy};
 pub use query::{
     all_variables, variables_of, DataContext, MultiModelQuery, RelAtom, ResolvedAtom, Term,
 };
+pub use relational::Ladder;
 pub use stream::{stream_with_plan, xjoin_rows, xjoin_rows_with_plan, Rows, RowsStats};
 pub use validate::TwigValidator;

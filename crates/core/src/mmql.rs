@@ -20,9 +20,122 @@
 //! twig's `[...]` predicates belong to the twig).
 
 use crate::error::{CoreError, Result};
+use crate::order::OrderStrategy;
 use crate::query::{MultiModelQuery, RelAtom, Term};
-use relational::{Attr, Value};
+use relational::{Attr, Ladder, Value};
 use xmldb::TwigPattern;
+
+/// Parses an MMQL query string, honouring an optional trailing
+/// `WITH ORDER <strategy>` clause:
+///
+/// ```text
+/// Q(a, c) :- R(a, b), S(b, c) WITH ORDER cardinality
+/// Q(a, c) :- R(a, b), S(b, c) WITH ORDER adaptive(refined)
+/// ```
+///
+/// The strategy is one of `appearance`, `cardinality`, or
+/// `adaptive[(rowcount|distinct|refined)]` (case-insensitive; a bare
+/// `adaptive` defaults to the `refined` rung). Returns the parsed query and
+/// the strategy (`None` when the clause is absent, leaving the caller's
+/// default in force). The clause is only recognised at bracket depth zero
+/// outside string literals, so `"with order"` inside a constant stays data.
+pub fn parse_query_with_options(input: &str) -> Result<(MultiModelQuery, Option<OrderStrategy>)> {
+    match split_order_clause(input) {
+        Some((query_src, order_src)) => {
+            let order = parse_order_strategy(order_src)?;
+            Ok((parse_query(query_src)?, Some(order)))
+        }
+        None => Ok((parse_query(input)?, None)),
+    }
+}
+
+/// Finds the last `WITH ORDER` keyword pair at depth 0 outside strings and
+/// splits the input around it.
+fn split_order_clause(input: &str) -> Option<(&str, &str)> {
+    let bytes = input.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut found: Option<usize> = None;
+    for (i, c) in input.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            _ if in_str => {}
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth -= 1,
+            'w' | 'W' if depth == 0 => {
+                // Keyword boundary: preceded by whitespace (or start), then
+                // `with`, whitespace, `order` (case-insensitive).
+                let rest = &input[i..];
+                if (i == 0 || bytes[i - 1].is_ascii_whitespace())
+                    && rest.len() > 4
+                    && rest
+                        .get(..4)
+                        .is_some_and(|w| w.eq_ignore_ascii_case("with"))
+                    && rest.as_bytes()[4].is_ascii_whitespace()
+                {
+                    let after_with = rest[4..].trim_start();
+                    if after_with
+                        .get(..5)
+                        .is_some_and(|o| o.eq_ignore_ascii_case("order"))
+                    {
+                        found = Some(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let i = found?;
+    let query_src = &input[..i];
+    // Strip `with`, whitespace, `order` to leave the strategy spec.
+    let tail = input[i + 4..].trim_start();
+    let tail = tail[5..].trim_start();
+    Some((query_src, tail))
+}
+
+/// Parses the strategy spec following `WITH ORDER`.
+fn parse_order_strategy(src: &str) -> Result<OrderStrategy> {
+    let spec = src.trim();
+    if spec.eq_ignore_ascii_case("appearance") {
+        return Ok(OrderStrategy::Appearance);
+    }
+    if spec.eq_ignore_ascii_case("cardinality") {
+        return Ok(OrderStrategy::Cardinality);
+    }
+    if spec.eq_ignore_ascii_case("adaptive") {
+        return Ok(OrderStrategy::Adaptive {
+            ladder: Ladder::default(),
+        });
+    }
+    if spec
+        .get(..8)
+        .is_some_and(|head| head.eq_ignore_ascii_case("adaptive"))
+    {
+        let rest = spec[8..].trim();
+        let rung = rest
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .map(str::trim)
+            .ok_or_else(|| {
+                CoreError::BadOrder(format!("bad adaptive rung syntax in `WITH ORDER {spec}`"))
+            })?;
+        let ladder = if rung.eq_ignore_ascii_case("rowcount") {
+            Ladder::RowCount
+        } else if rung.eq_ignore_ascii_case("distinct") {
+            Ladder::Distinct
+        } else if rung.eq_ignore_ascii_case("refined") {
+            Ladder::Refined
+        } else {
+            return Err(CoreError::BadOrder(format!(
+                "unknown ladder rung `{rung}` (expected rowcount, distinct, or refined)"
+            )));
+        };
+        return Ok(OrderStrategy::Adaptive { ladder });
+    }
+    Err(CoreError::BadOrder(format!(
+        "unknown order strategy `{spec}` (expected appearance, cardinality, or adaptive)"
+    )))
+}
 
 /// Parses an MMQL query string.
 pub fn parse_query(input: &str) -> Result<MultiModelQuery> {
@@ -333,6 +446,61 @@ mod tests {
         let mut vals = db.decode(&out.results);
         vals.sort();
         assert_eq!(vals, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn with_order_clause_parses_every_strategy() {
+        let (q, order) =
+            parse_query_with_options("Q(a) :- R(a, b) WITH ORDER cardinality").unwrap();
+        assert_eq!(q.relations.len(), 1);
+        assert!(matches!(order, Some(OrderStrategy::Cardinality)));
+
+        let (_, order) = parse_query_with_options("R(a, b) with order appearance").unwrap();
+        assert!(matches!(order, Some(OrderStrategy::Appearance)));
+
+        let (_, order) = parse_query_with_options("R(a, b) WITH ORDER adaptive").unwrap();
+        assert!(matches!(
+            order,
+            Some(OrderStrategy::Adaptive {
+                ladder: Ladder::Refined
+            })
+        ));
+
+        let (_, order) =
+            parse_query_with_options("R(a, b) With Order Adaptive( RowCount )").unwrap();
+        assert!(matches!(
+            order,
+            Some(OrderStrategy::Adaptive {
+                ladder: Ladder::RowCount
+            })
+        ));
+
+        let (_, order) = parse_query_with_options("R(a, b) WITH ORDER adaptive(distinct)").unwrap();
+        assert!(matches!(
+            order,
+            Some(OrderStrategy::Adaptive {
+                ladder: Ladder::Distinct
+            })
+        ));
+    }
+
+    #[test]
+    fn with_order_clause_is_optional_and_guarded() {
+        let (q, order) = parse_query_with_options("Q(a) :- R(a, b)").unwrap();
+        assert_eq!(q.relations.len(), 1);
+        assert!(order.is_none());
+
+        // `with order` inside a string constant is data, not a clause.
+        let (q, order) = parse_query_with_options(r#"R(a, "with order x")"#).unwrap();
+        assert!(order.is_none());
+        assert_eq!(
+            q.relations[0].terms.as_ref().unwrap()[1],
+            Term::Const(Value::str("with order x"))
+        );
+
+        assert!(parse_query_with_options("R(a, b) WITH ORDER bogus").is_err());
+        assert!(parse_query_with_options("R(a, b) WITH ORDER adaptive(bogus)").is_err());
+        assert!(parse_query_with_options("R(a, b) WITH ORDER adaptive(refined").is_err());
     }
 
     #[test]

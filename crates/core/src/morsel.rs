@@ -48,7 +48,7 @@ use crate::exec::{drain_rows, finish, validate_output, EngineKind, ExecOptions, 
 use crate::query::{DataContext, MultiModelQuery};
 use crate::stream::Rows;
 use relational::generic::levelwise_join_in_range;
-use relational::lftj::lftj_in_range;
+use relational::lftj::lftj_in_range_counted;
 use relational::{JoinPlan, JoinStats, LftjWalk, Relation, Schema, ValueId, ValueRange};
 use std::collections::VecDeque;
 use std::fmt;
@@ -323,9 +323,16 @@ pub(crate) fn execute_parallel(
             )
         }
         EngineKind::Lftj => {
-            let parts = run_morsels(&morsels, workers, |range| Ok(lftj_in_range(plan, range)))?;
-            let raw = concat(schema, &parts);
+            let parts = run_morsels(&morsels, workers, |range| {
+                Ok(lftj_in_range_counted(plan, range))
+            })?;
             let mut stats = JoinStats::default();
+            for (_, counters) in &parts {
+                stats.reorders += counters.reorders;
+                stats.estimate_probes += counters.estimate_probes;
+            }
+            let rels: Vec<Relation> = parts.into_iter().map(|(rel, _)| rel).collect();
+            let raw = concat(schema, &rels);
             stats.record("lftj enumerate", raw.len());
             finish(
                 ctx,

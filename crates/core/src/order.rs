@@ -7,7 +7,7 @@
 
 use crate::atoms::Atoms;
 use crate::error::{CoreError, Result};
-use relational::Attr;
+use relational::{Attr, Ladder, Relation};
 
 /// How to choose the global variable order.
 #[derive(Debug, Clone, Default)]
@@ -16,11 +16,46 @@ pub enum OrderStrategy {
     /// twig paths) — deterministic and cheap.
     #[default]
     Appearance,
-    /// Greedy ascending by the smallest atom containing the variable
-    /// (bind selective variables early).
+    /// Greedy ascending by the smallest atom containing the variable,
+    /// breaking size ties by the variable's distinct-value count in its
+    /// smallest atom (bind selective variables early).
     Cardinality,
+    /// Runtime-adaptive ordering: tries are leveled by the appearance
+    /// order (the *skeleton*, which maximises the walk's freedom to pick
+    /// branches at runtime), and walk-based engines then bind, at every
+    /// depth, the admissible variable the [`Ladder`] rung scores cheapest
+    /// under the current prefix. Level-wise engines degrade gracefully to
+    /// the skeleton order and report zero reorder counters.
+    Adaptive {
+        /// The estimate rung scoring candidate variables during the walk.
+        ladder: Ladder,
+    },
     /// An explicit order (must cover every query variable exactly once).
     Given(Vec<Attr>),
+}
+
+impl OrderStrategy {
+    /// The ladder rung to attach to plans under this strategy (`None` for
+    /// every static strategy).
+    pub fn ladder(&self) -> Option<Ladder> {
+        match self {
+            OrderStrategy::Adaptive { ladder } => Some(*ladder),
+            _ => None,
+        }
+    }
+}
+
+/// Distinct values of `attr`'s column in `rel` (sort + dedup over a copied
+/// column — the plan-time analogue of the build-time
+/// `relational::LevelSummary` distinct counts).
+fn column_distinct(rel: &Relation, attr: &Attr) -> usize {
+    let Ok(pos) = rel.schema().require(attr) else {
+        return usize::MAX;
+    };
+    let mut col: Vec<_> = rel.rows().map(|row| row[pos]).collect();
+    col.sort_unstable();
+    col.dedup();
+    col.len()
 }
 
 /// Computes the global variable order for an atom set.
@@ -39,23 +74,36 @@ pub fn compute_order(atoms: &Atoms<'_>, strategy: &OrderStrategy) -> Result<Vec<
     match strategy {
         OrderStrategy::Appearance => Ok(vars),
         OrderStrategy::Cardinality => {
-            let mut keyed: Vec<(usize, usize, Attr)> = vars
+            let mut keyed: Vec<(usize, usize, usize, Attr)> = vars
                 .into_iter()
                 .enumerate()
                 .map(|(i, v)| {
-                    let min_size = atoms
+                    let smallest = atoms
                         .rels
                         .iter()
                         .filter(|a| a.rel().schema().contains(&v))
-                        .map(|a| a.rel().len())
-                        .min()
-                        .unwrap_or(usize::MAX);
-                    (min_size, i, v)
+                        .min_by_key(|a| a.rel().len());
+                    // Equal-sized atoms are common (mirrored edge lists,
+                    // star spokes); the distinct count of the variable's
+                    // column in its smallest atom is the finer selectivity
+                    // signal that raw size misses.
+                    let (min_size, min_distinct) = smallest
+                        .map(|a| (a.rel().len(), column_distinct(a.rel(), &v)))
+                        .unwrap_or((usize::MAX, usize::MAX));
+                    (min_size, min_distinct, i, v)
                 })
                 .collect();
             keyed.sort();
-            Ok(keyed.into_iter().map(|(_, _, v)| v).collect())
+            Ok(keyed.into_iter().map(|(_, _, _, v)| v).collect())
         }
+        // The skeleton of an adaptive plan is the appearance order: tries
+        // leveled by it keep every branch of the query hypergraph openable
+        // as soon as its prefix is bound, which is exactly the freedom the
+        // runtime chooser exploits (a greedy static linearisation would
+        // often chain the atoms and leave a single admissible variable per
+        // depth). The ladder itself is applied by the engines via
+        // `JoinPlan::with_ladder`.
+        OrderStrategy::Adaptive { .. } => Ok(vars),
         OrderStrategy::Given(order) => {
             for v in &vars {
                 if !order.contains(v) {
@@ -141,6 +189,70 @@ mod tests {
         // S has 1 tuple -> y and z come before x (R has 2).
         let names: Vec<&str> = order.iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["y", "z", "x"]);
+    }
+
+    #[test]
+    fn cardinality_breaks_size_ties_by_distinct_count() {
+        // Star query C(h) ⋈ S1(h,a) ⋈ S2(h,b): the spokes tie at 4 rows,
+        // but b has only 2 distinct values to a's 4 — the upgraded greedy
+        // must bind b before a (raw atom size alone would order a first,
+        // by appearance).
+        let mut db = Database::new();
+        db.load(
+            "C",
+            Schema::of(&["h"]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        db.load(
+            "S1",
+            Schema::of(&["h", "a"]),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(11)],
+                vec![Value::Int(2), Value::Int(12)],
+                vec![Value::Int(2), Value::Int(13)],
+            ],
+        )
+        .unwrap();
+        db.load(
+            "S2",
+            Schema::of(&["h", "b"]),
+            vec![
+                vec![Value::Int(1), Value::Int(20)],
+                vec![Value::Int(1), Value::Int(21)],
+                vec![Value::Int(2), Value::Int(20)],
+                vec![Value::Int(2), Value::Int(21)],
+            ],
+        )
+        .unwrap();
+        let mut b = XmlDocument::builder();
+        b.begin("T");
+        b.end();
+        let doc = b.build(db.dict_mut());
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["C", "S1", "S2"], &[]).unwrap();
+        let atoms = collect_atoms(&ctx, &q).unwrap();
+        let order = compute_order(&atoms, &OrderStrategy::Cardinality).unwrap();
+        let names: Vec<&str> = order.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["h", "b", "a"]);
+    }
+
+    #[test]
+    fn adaptive_skeleton_is_appearance_order() {
+        let (db, doc) = setup();
+        let idx = TagIndex::build(&doc);
+        let ctx = DataContext::new(&db, &doc, &idx);
+        let q = MultiModelQuery::new(&["R", "S"], &[]).unwrap();
+        let atoms = collect_atoms(&ctx, &q).unwrap();
+        let strategy = OrderStrategy::Adaptive {
+            ladder: relational::Ladder::Refined,
+        };
+        assert_eq!(strategy.ladder(), Some(relational::Ladder::Refined));
+        let order = compute_order(&atoms, &strategy).unwrap();
+        let appearance = compute_order(&atoms, &OrderStrategy::Appearance).unwrap();
+        assert_eq!(order, appearance);
     }
 
     #[test]

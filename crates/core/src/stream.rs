@@ -56,7 +56,7 @@ enum Inner<'a> {
     Buffered { rel: Relation, next: usize },
     /// A live depth-first trie walk with per-tuple validation.
     Walk {
-        walk: LftjWalk,
+        walk: Box<LftjWalk>,
         validators: Vec<TwigValidator<'a>>,
     },
     /// Morsel-parallel walks feeding a channel (see [`crate::morsel`]);
@@ -107,7 +107,7 @@ impl<'a> Rows<'a> {
             limit,
             emitted: 0,
             inner: Inner::Walk {
-                walk: LftjWalk::new(plan),
+                walk: Box::new(LftjWalk::new(plan)),
                 validators,
             },
         })

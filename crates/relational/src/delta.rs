@@ -19,7 +19,7 @@
 use crate::error::{RelError, Result};
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::trie::Trie;
+use crate::trie::{LevelSummary, Trie};
 use std::sync::Arc;
 
 /// An immutable base trie overlaid with zero or more sorted delta runs.
@@ -125,6 +125,23 @@ impl DeltaTrie {
     /// shared and accounted for wherever it is cached).
     pub fn delta_bytes(&self) -> usize {
         self.runs.iter().map(|r| r.estimated_bytes()).sum()
+    }
+
+    /// Upper-bound cardinality summary of `level` for the merged view: the
+    /// sum of the layers' (individually exact) [`LevelSummary`]s. Values
+    /// shared between layers are double-counted, so the bound tightens back
+    /// to exact when [`DeltaTrie::compact`] rebuilds a solid trie — whose
+    /// builder re-attaches exact summaries. This is the number the adaptive
+    /// walk effectively scores a layered atom by (it sums spans across live
+    /// runs), kept honest here for estimation and reporting.
+    pub fn level_summary_bound(&self, level: usize) -> LevelSummary {
+        let mut total = self.base.level_summary(level);
+        for run in &self.runs {
+            let s = run.level_summary(level);
+            total.nodes += s.nodes;
+            total.distinct += s.distinct;
+        }
+        total
     }
 
     /// Merges base and runs into a fresh solid [`Trie`].
@@ -297,6 +314,30 @@ mod tests {
         let run = Arc::new(Trie::from_relation(&one));
         let d = DeltaTrie::new(empty).with_run(run).unwrap();
         assert_eq!(d.compact().unwrap().num_tuples(), 1);
+    }
+
+    #[test]
+    fn summary_bound_covers_view_and_compaction_restores_exactness() {
+        let base = trie(&["a", "b"], &[&[1, 1], &[2, 2], &[3, 3]]);
+        let d = DeltaTrie::new(base)
+            .with_run(trie(&["a", "b"], &[&[2, 2], &[0, 9]]))
+            .unwrap()
+            .with_run(trie(&["a", "b"], &[&[3, 3], &[2, 5]]))
+            .unwrap();
+        let solid = d.compact().unwrap();
+        for level in 0..d.arity() {
+            let bound = d.level_summary_bound(level);
+            let exact = solid.level_summary(level);
+            assert!(bound.nodes >= exact.nodes, "nodes bound holds at {level}");
+            assert!(
+                bound.distinct >= exact.distinct,
+                "distinct bound holds at {level}"
+            );
+            // Compaction ends in an ordinary build, whose summaries must
+            // agree with a from-scratch build of the merged relation.
+            let rebuilt = Trie::from_relation(&solid.to_relation());
+            assert_eq!(exact, rebuilt.level_summary(level));
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::error::Result;
 use crate::leapfrog::{block_seek, block_seek_counted, gallop, gallop_counted};
-use crate::plan::{JoinPlan, ValueRange};
+use crate::plan::{JoinPlan, Ladder, ValueRange, VarPlan};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
 use crate::stats::LevelProbeStats;
@@ -713,6 +713,26 @@ impl LevelState {
 /// plan's variable order. Dropping the walk after `k` tuples abandons the
 /// remaining search space — [`LftjWalk::bindings`] exposes how many variable
 /// bindings were actually made, which early termination provably shrinks.
+///
+/// # Adaptive ordering
+///
+/// When the plan carries a [`Ladder`] ([`JoinPlan::with_ladder`]), the walk
+/// defers level ordering to runtime: at every depth past the root it scores
+/// each *admissible* unbound variable with the ladder rung and opens the
+/// cheapest one, so different prefixes of one query may bind the remaining
+/// variables in different orders (the fail-fast answer to skew). A variable
+/// is admissible when every atom containing it has bound exactly the trie
+/// levels above it — each atom's trie is leveled once, so the walk rotates
+/// between *branches* of the plan rather than re-leveling anything.
+///
+/// The root variable stays pinned to the plan's first variable, which keeps
+/// [`LftjWalk::with_root_range`] sub-walks (morsels) aligned with the
+/// serial walk: adaptive choices depend only on the bound prefix, so a
+/// disjoint root cover still partitions the result deterministically.
+/// Yielded tuples are laid out per [`LftjWalk::order`] regardless of the
+/// binding order actually taken; only the *sequence* of tuples may differ
+/// from the static walk (it is no longer globally lexicographic past the
+/// first column).
 #[derive(Debug)]
 pub struct LftjWalk {
     plan: JoinPlan,
@@ -733,8 +753,36 @@ pub struct LftjWalk {
     /// Whether the walk runs the probe-counting instantiation.
     track: bool,
     /// Per-level probe counters, one slot per plan variable (all zero unless
-    /// [`LftjWalk::with_probe_counters`] opted in).
+    /// [`LftjWalk::with_probe_counters`] opted in). Adaptive walks index
+    /// these by the *chosen variable*, not the depth, so the slots line up
+    /// with [`LftjWalk::order`] in both modes.
     probe: Vec<LevelProbeStats>,
+    /// Runtime-adaptive ordering rung, copied from the plan's ladder.
+    adaptive: Option<Ladder>,
+    /// `depth_to_var[d]` = plan-variable index bound at walk depth `d`
+    /// (always the identity for static walks).
+    depth_to_var: Vec<usize>,
+    /// Whether each plan variable currently has an open level.
+    var_open: Vec<bool>,
+    /// Adaptive-mode result buffer permuted to plan order.
+    out: Vec<ValueId>,
+    /// Candidate scratch for adaptive choices (reused across levels).
+    cand: Vec<usize>,
+    /// Per-variable `(rows, distinct)` ladder terms. Both are functions of
+    /// the tries alone — not of the bound prefix — so they are computed once
+    /// here instead of on every descent (empty for static walks).
+    static_scores: Vec<(u64, u64)>,
+    /// Adaptive choices that deviated from the static schedule (picked a
+    /// variable other than the first admissible one in plan order).
+    reorders: u64,
+    /// Candidate-variable estimates computed by adaptive choices.
+    estimate_probes: u64,
+    /// TRACK-only: `nvars × nvars` histogram; row `d`, column `v` counts
+    /// how often variable `v` was opened at depth `d`.
+    choice_hist: Vec<u64>,
+    /// TRACK-only: per-variable sum of refined (sibling-span) estimates at
+    /// choice time — the denominator of estimate-vs-actual error.
+    est_bindings: Vec<u64>,
 }
 
 impl LftjWalk {
@@ -759,6 +807,41 @@ impl LftjWalk {
     pub fn with_kernel(plan: JoinPlan, root: ValueRange, kernel: ProbeKernel) -> LftjWalk {
         let natoms = plan.tries().len();
         let nvars = plan.var_plans().len();
+        let adaptive = plan.ladder();
+        let static_scores = if adaptive.is_some() {
+            plan.var_plans()
+                .iter()
+                .map(|vp| {
+                    let rows = vp
+                        .participants
+                        .iter()
+                        .map(|part| {
+                            (0..plan.runs(part.atom))
+                                .map(|r| plan.run_trie(part.atom, r).num_tuples() as u64)
+                                .sum::<u64>()
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    let distinct = vp
+                        .participants
+                        .iter()
+                        .map(|part| {
+                            (0..plan.runs(part.atom))
+                                .map(|r| {
+                                    plan.run_trie(part.atom, r)
+                                        .level_summary(part.level)
+                                        .distinct
+                                })
+                                .sum::<u64>()
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    (rows, distinct)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         LftjWalk {
             plan,
             root,
@@ -771,6 +854,28 @@ impl LftjWalk {
             bindings: 0,
             track: false,
             probe: vec![LevelProbeStats::default(); nvars],
+            adaptive,
+            depth_to_var: Vec::with_capacity(nvars),
+            var_open: vec![false; nvars],
+            out: if adaptive.is_some() {
+                vec![ValueId(0); nvars]
+            } else {
+                Vec::new()
+            },
+            cand: Vec::new(),
+            static_scores,
+            reorders: 0,
+            estimate_probes: 0,
+            choice_hist: if adaptive.is_some() {
+                vec![0; nvars * nvars]
+            } else {
+                Vec::new()
+            },
+            est_bindings: if adaptive.is_some() {
+                vec![0; nvars]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -817,6 +922,40 @@ impl LftjWalk {
         &self.probe
     }
 
+    /// The adaptive-ordering ladder rung the walk runs under (`None` for a
+    /// static walk).
+    pub fn ladder(&self) -> Option<Ladder> {
+        self.adaptive
+    }
+
+    /// Adaptive choices that deviated from the static schedule — the walk
+    /// opened a variable other than the first admissible one in plan order.
+    /// Always zero for static walks.
+    pub fn reorders(&self) -> u64 {
+        self.reorders
+    }
+
+    /// Candidate-variable estimates the adaptive chooser computed (its
+    /// maintenance cost meter; depths with a single admissible variable are
+    /// decided for free and counted as zero).
+    pub fn estimate_probes(&self) -> u64 {
+        self.estimate_probes
+    }
+
+    /// TRACK-only chosen-order histogram: entry `d · nvars + v` counts how
+    /// often variable `v` was opened at depth `d`. Empty unless the walk is
+    /// adaptive *and* was built via [`LftjWalk::with_probe_counters`].
+    pub fn choice_histogram(&self) -> &[u64] {
+        &self.choice_hist
+    }
+
+    /// TRACK-only per-variable sum of refined (sibling-span) estimates at
+    /// choice time; compare with [`LftjWalk::probe_stats`] bindings for the
+    /// estimate-vs-actual error. Empty unless adaptive and tracked.
+    pub fn estimated_bindings(&self) -> &[u64] {
+        &self.est_bindings
+    }
+
     /// Opens the leapfrog state for the next unentered variable, scoping
     /// every participating atom to the children of its bound parent node.
     ///
@@ -827,7 +966,10 @@ impl LftjWalk {
     /// at full solid-plan speed.
     fn open_level(&mut self) {
         let d = self.levels.len();
-        let vp = &self.plan.var_plans()[d];
+        let var = self.choose_var(d);
+        self.depth_to_var.push(var);
+        self.var_open[var] = true;
+        let vp = &self.plan.var_plans()[var];
         let mut mixed = false;
         let mut cursors: Vec<Cursor> = Vec::with_capacity(vp.participants.len());
         for part in &vp.participants {
@@ -928,6 +1070,94 @@ impl LftjWalk {
         self.levels.push(LevelState::new(cursors));
     }
 
+    /// Picks the plan variable to open at depth `d`.
+    ///
+    /// Static walks take the plan order verbatim. Adaptive walks pin the
+    /// root (so [`ValueRange`]-partitioned sub-walks stay aligned) and past
+    /// it score every **admissible** unbound variable with the ladder rung,
+    /// opening the cheapest; ties cascade through the coarser rungs and
+    /// finally plan position, so the choice is a pure function of the bound
+    /// prefix — serial and morsel-parallel walks decide identically.
+    fn choose_var(&mut self, d: usize) -> usize {
+        let Some(ladder) = self.adaptive else {
+            return d;
+        };
+        let nvars = self.plan.var_plans().len();
+        if d == 0 {
+            if self.track {
+                self.choice_hist[0] += 1;
+                self.est_bindings[0] +=
+                    refined_span(&self.plan, &self.nodes, &self.plan.var_plans()[0]);
+            }
+            return 0;
+        }
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        for (v, vp) in self.plan.var_plans().iter().enumerate() {
+            if self.var_open[v] {
+                continue;
+            }
+            // Admissible: every atom containing `v` has bound exactly the
+            // trie levels above `v`'s level there (one node frame of width
+            // `runs(atom)` is pushed per bound level).
+            let admissible = vp
+                .participants
+                .iter()
+                .all(|part| part.level == self.nodes[part.atom].len() / self.plan.runs(part.atom));
+            if admissible {
+                cand.push(v);
+            }
+        }
+        debug_assert!(!cand.is_empty(), "some admissible variable always exists");
+        let chosen = if cand.len() == 1 {
+            cand[0]
+        } else {
+            self.estimate_probes += cand.len() as u64;
+            let mut best = cand[0];
+            let mut best_key = self.score_var(ladder, cand[0]);
+            for &v in &cand[1..] {
+                let key = self.score_var(ladder, v);
+                if key < best_key {
+                    best = v;
+                    best_key = key;
+                }
+            }
+            if best != cand[0] {
+                self.reorders += 1;
+            }
+            best
+        };
+        if self.track {
+            self.choice_hist[d * nvars + chosen] += 1;
+            self.est_bindings[chosen] +=
+                refined_span(&self.plan, &self.nodes, &self.plan.var_plans()[chosen]);
+        }
+        self.cand = cand;
+        chosen
+    }
+
+    /// Scores variable `v` under `ladder`, smaller = cheaper to bind next.
+    /// Each rung's key is suffixed with every coarser rung and finally the
+    /// plan position, making the comparison total and deterministic.
+    fn score_var(&self, ladder: Ladder, v: usize) -> (u64, u64, u64, u64) {
+        // `rows` (the *Jessica* rung: cheapest participant's tuple count)
+        // and `distinct` (the *Paul* rung: cheapest participant's build-time
+        // distinct count at `v`'s level, delta runs summed as an upper bound
+        // on the union view) come precomputed — only the *Ghanima* rung
+        // reads the bound prefix.
+        let (rows, distinct) = self.static_scores[v];
+        match ladder {
+            Ladder::RowCount => (rows, v as u64, 0, 0),
+            Ladder::Distinct => (distinct, rows, v as u64, 0),
+            Ladder::Refined => (
+                refined_span(&self.plan, &self.nodes, &self.plan.var_plans()[v]),
+                distinct,
+                rows,
+                v as u64,
+            ),
+        }
+    }
+
     /// Yields the next result tuple (laid out per [`LftjWalk::order`]), or
     /// `None` when the join is exhausted. The returned slice is only valid
     /// until the next call.
@@ -960,11 +1190,13 @@ impl LftjWalk {
         let nlevels = self.plan.var_plans().len();
         loop {
             let d = self.levels.len() - 1;
+            // The plan variable this depth binds (identity for static walks).
+            let var = self.depth_to_var[d];
             // Unbind this level's previous match (if any)…
             if self.levels[d].bound {
                 self.levels[d].bound = false;
                 self.prefix.pop();
-                for part in &self.plan.var_plans()[d].participants {
+                for part in &self.plan.var_plans()[var].participants {
                     // Each bind pushed one node frame of width `runs(atom)`.
                     let new_len = self.nodes[part.atom].len() - self.plan.runs(part.atom);
                     self.nodes[part.atom].truncate(new_len);
@@ -972,11 +1204,11 @@ impl LftjWalk {
             }
             // …and pull its next one.
             let kernel = self.kernel;
-            let step = self.levels[d].advance::<TRACK>(&self.plan, kernel, &mut self.probe[d]);
+            let step = self.levels[d].advance::<TRACK>(&self.plan, kernel, &mut self.probe[var]);
             match step {
                 Some(v) => {
                     self.prefix.push(v);
-                    for (c, part) in self.plan.var_plans()[d].participants.iter().enumerate() {
+                    for (c, part) in self.plan.var_plans()[var].participants.iter().enumerate() {
                         let nruns = self.plan.runs(part.atom);
                         self.levels[d].push_match_nodes(
                             c,
@@ -988,15 +1220,24 @@ impl LftjWalk {
                     self.levels[d].bound = true;
                     self.bindings += 1;
                     if TRACK {
-                        self.probe[d].bindings += 1;
+                        self.probe[var].bindings += 1;
+                    }
+                    if self.adaptive.is_some() {
+                        self.out[var] = v;
                     }
                     if d + 1 == nlevels {
-                        return Some(&self.prefix);
+                        return if self.adaptive.is_some() {
+                            Some(&self.out)
+                        } else {
+                            Some(&self.prefix)
+                        };
                     }
                     self.open_level();
                 }
                 None => {
                     self.levels.pop();
+                    let var = self.depth_to_var.pop().expect("depth stack aligned");
+                    self.var_open[var] = false;
                     if self.levels.is_empty() {
                         self.done = true;
                         return None;
@@ -1005,6 +1246,36 @@ impl LftjWalk {
             }
         }
     }
+}
+
+/// The *Ghanima* rung: the width of the sibling range variable `vp` would
+/// actually scan under the currently bound prefix — per participant the sum
+/// of the live runs' child spans (level-0 participants contribute their
+/// whole root level), minimised across participants. An O(participants ×
+/// runs) read of ranges the walk is about to open anyway, and a tight upper
+/// bound on how many values the binding can produce.
+fn refined_span(plan: &JoinPlan, nodes: &[Vec<u32>], vp: &VarPlan) -> u64 {
+    let mut best = u64::MAX;
+    for part in &vp.participants {
+        let nruns = plan.runs(part.atom);
+        let mut width = 0u64;
+        for r in 0..nruns {
+            let trie = plan.run_trie(part.atom, r);
+            let range = if part.level == 0 {
+                trie.root_range()
+            } else {
+                let frame = &nodes[part.atom];
+                let parent = frame[frame.len() - nruns + r];
+                if parent == ABSENT {
+                    continue;
+                }
+                trie.children(part.level - 1, parent)
+            };
+            width += u64::from(range.end - range.start);
+        }
+        best = best.min(width);
+    }
+    best
 }
 
 /// Streams result tuples of the join to `cb` in lexicographic order of the
@@ -1053,14 +1324,34 @@ pub fn lftj(plan: &JoinPlan) -> Relation {
 /// a disjoint cover of the value space (in range order) reproduces
 /// [`lftj`]'s output, order included.
 pub fn lftj_in_range(plan: &JoinPlan, root: &ValueRange) -> Relation {
+    lftj_in_range_counted(plan, root).0
+}
+
+/// Adaptive-ordering counters of one exhausted walk, harvested by
+/// materialising drivers into `JoinStats` (zero for static plans).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WalkCounters {
+    /// See [`LftjWalk::reorders`].
+    pub reorders: u64,
+    /// See [`LftjWalk::estimate_probes`].
+    pub estimate_probes: u64,
+}
+
+/// [`lftj_in_range`] that also returns the walk's adaptive-ordering
+/// counters, so engines can surface reorder decisions and estimate
+/// maintenance cost without re-running the join.
+pub fn lftj_in_range_counted(plan: &JoinPlan, root: &ValueRange) -> (Relation, WalkCounters) {
     let schema = Schema::new(plan.order().iter().cloned()).expect("distinct order");
     let mut out = Relation::new(schema);
-    let flow = lftj_foreach_until_in_range(plan, root, |t| {
+    let mut walk = LftjWalk::with_root_range(plan.clone(), root.clone());
+    while let Some(t) = walk.next_tuple() {
         out.push(t).expect("arity matches");
-        ControlFlow::Continue(())
-    });
-    debug_assert!(flow.is_continue());
-    out
+    }
+    let counters = WalkCounters {
+        reorders: walk.reorders(),
+        estimate_probes: walk.estimate_probes(),
+    };
+    (out, counters)
 }
 
 /// Counts result tuples without materialising them.
@@ -1663,6 +1954,169 @@ mod tests {
             assert!(plan3.has_empty_atom());
             let (got3, _) = drain(&plan3, ValueRange::all(), ProbeKernel::Block);
             assert!(got3.is_empty());
+        }
+    }
+
+    mod adaptive {
+        use super::*;
+
+        /// The two-branch query `Q(a,b,c) :- R(a,b), S(a,c), F(b), G(c)`:
+        /// after binding `a`, both `b` and `c` are admissible, so the
+        /// adaptive walk has genuine reorder freedom. Even `a`s are heavy
+        /// on the `b` branch, odd `a`s on the `c` branch, so *no* static
+        /// order avoids expanding a heavy branch on half the keys while
+        /// the refined ladder sidesteps both.
+        fn branch_relations(keys: u32, heavy: u32) -> (Relation, Relation, Relation, Relation) {
+            let hb: Vec<u32> = (1000..1000 + heavy).collect();
+            let hc: Vec<u32> = (2000..2000 + heavy).collect();
+            let mut r = Relation::new(Schema::of(&["a", "b"]));
+            let mut s = Relation::new(Schema::of(&["a", "c"]));
+            for a in 0..keys {
+                if a % 2 == 0 {
+                    for &b in &hb {
+                        r.push(&[v(a), v(b)]).unwrap();
+                    }
+                    s.push(&[v(a), v(600 + a % 16)]).unwrap();
+                } else {
+                    r.push(&[v(a), v(500 + a % 16)]).unwrap();
+                    for &c in &hc {
+                        s.push(&[v(a), v(c)]).unwrap();
+                    }
+                }
+            }
+            // Heavy values always pass their filter (so a static order that
+            // expands a heavy branch really pays for it), light values only
+            // rarely (the fail-fast opportunity): F = {501} ∪ heavy-b,
+            // G = {600} ∪ heavy-c, so a ≡ 1 (mod 16) odd keys and
+            // a ≡ 0 (mod 16) even keys survive and keep the result
+            // non-empty.
+            let mut f = Relation::new(Schema::of(&["b"]));
+            for b in std::iter::once(501).chain(hb.iter().copied()) {
+                f.push(&[v(b)]).unwrap();
+            }
+            let mut g = Relation::new(Schema::of(&["c"]));
+            for c in std::iter::once(600).chain(hc.iter().copied()) {
+                g.push(&[v(c)]).unwrap();
+            }
+            (r, s, f, g)
+        }
+
+        fn branch_plan(ladder: Option<Ladder>) -> JoinPlan {
+            let (r, s, f, g) = branch_relations(64, 24);
+            let plan = JoinPlan::new(&[&r, &s, &f, &g], &attrs(&["a", "b", "c"])).unwrap();
+            plan.with_ladder(ladder)
+        }
+
+        fn multiset(mut rows: Vec<Vec<ValueId>>) -> Vec<Vec<ValueId>> {
+            rows.sort();
+            rows
+        }
+
+        #[test]
+        fn every_rung_matches_the_static_walk() {
+            let (want, _) = drain(&branch_plan(None), ValueRange::all(), ProbeKernel::Block);
+            assert!(!want.is_empty(), "branch workload must have survivors");
+            let want = multiset(want);
+            for ladder in [Ladder::RowCount, Ladder::Distinct, Ladder::Refined] {
+                for kernel in [ProbeKernel::Scalar, ProbeKernel::Block] {
+                    let (got, _) = drain(&branch_plan(Some(ladder)), ValueRange::all(), kernel);
+                    assert_eq!(multiset(got), want, "{ladder:?} / {kernel:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn refined_rung_reorders_and_does_less_work() {
+            let mut walk = LftjWalk::new(branch_plan(Some(Ladder::Refined)));
+            while walk.next_tuple().is_some() {}
+            let mut static_walk = LftjWalk::new(branch_plan(None));
+            while static_walk.next_tuple().is_some() {}
+            assert_eq!(static_walk.reorders(), 0);
+            assert_eq!(static_walk.estimate_probes(), 0);
+            assert!(walk.reorders() > 0, "skew must force deviations");
+            assert!(walk.estimate_probes() > 0);
+            assert!(
+                walk.bindings() < static_walk.bindings() / 2,
+                "adaptive {} !< static {} / 2",
+                walk.bindings(),
+                static_walk.bindings()
+            );
+        }
+
+        #[test]
+        fn adaptive_tuples_stay_in_plan_layout() {
+            // Every yielded row must satisfy R(a,b) and S(a,c) under the
+            // plan's (a, b, c) layout even when `c` was bound before `b`.
+            let (r, s, _, _) = branch_relations(64, 24);
+            let mut walk = LftjWalk::new(branch_plan(Some(Ladder::Refined)));
+            let mut checked = 0usize;
+            while let Some(t) = walk.next_tuple() {
+                let (a, b, c) = (t[0], t[1], t[2]);
+                assert!(r.rows().any(|row| row[0] == a && row[1] == b));
+                assert!(s.rows().any(|row| row[0] == a && row[1] == c));
+                checked += 1;
+            }
+            assert!(checked > 0);
+        }
+
+        #[test]
+        fn adaptive_range_walks_partition_the_result() {
+            let plan = branch_plan(Some(Ladder::Refined));
+            let (full, _) = drain(&plan, ValueRange::all(), ProbeKernel::Block);
+            let split = ValueId(32);
+            let (lo, _) = drain(
+                &plan,
+                ValueRange {
+                    lo: ValueId(0),
+                    hi: Some(split),
+                },
+                ProbeKernel::Block,
+            );
+            let (hi, _) = drain(
+                &plan,
+                ValueRange {
+                    lo: split,
+                    hi: None,
+                },
+                ProbeKernel::Block,
+            );
+            let mut glued = lo;
+            glued.extend(hi);
+            assert_eq!(glued, full, "disjoint cover reproduces order too");
+        }
+
+        #[test]
+        fn tracked_adaptive_walks_report_choices_and_estimates() {
+            let plan = branch_plan(Some(Ladder::Refined));
+            let mut walk = LftjWalk::new(plan).with_probe_counters();
+            while walk.next_tuple().is_some() {}
+            let nvars = 3;
+            let hist = walk.choice_histogram();
+            assert_eq!(hist.len(), nvars * nvars);
+            // Depth 0 is pinned to the plan's first variable.
+            assert!(hist[0] > 0);
+            assert_eq!(hist[1], 0);
+            assert_eq!(hist[2], 0);
+            // Depth 1 must have opened both `b` and `c` at least once.
+            assert!(hist[nvars + 1] > 0, "b chosen at depth 1 sometimes");
+            assert!(hist[nvars + 2] > 0, "c chosen at depth 1 sometimes");
+            // Refined estimates upper-bound the actual bindings per var.
+            for (v, stats) in walk.probe_stats().iter().enumerate() {
+                assert!(
+                    walk.estimated_bindings()[v] >= stats.bindings,
+                    "estimate at var {v} is an upper bound"
+                );
+            }
+        }
+
+        #[test]
+        fn counted_materialisation_reports_reorders() {
+            let plan = branch_plan(Some(Ladder::Refined));
+            let (rel_adaptive, counters) = lftj_in_range_counted(&plan, &ValueRange::all());
+            assert!(counters.reorders > 0);
+            assert!(counters.estimate_probes > 0);
+            let static_rel = lftj(&branch_plan(None));
+            assert!(rel_adaptive.set_eq(&static_rel));
         }
     }
 }

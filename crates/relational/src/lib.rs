@@ -40,10 +40,10 @@ pub use catalog::Database;
 pub use delta::DeltaTrie;
 pub use error::{RelError, Result};
 pub use leapfrog::{block_seek, block_seek_counted, gallop, gallop_counted};
-pub use lftj::{LftjWalk, ProbeKernel};
-pub use plan::{JoinPlan, ValueRange};
+pub use lftj::{LftjWalk, ProbeKernel, WalkCounters};
+pub use plan::{JoinPlan, Ladder, ValueRange};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
 pub use stats::{BuildStats, JoinStats, LevelProbeStats, SortPath};
-pub use trie::{LevelLayout, Trie, TrieBuilder};
+pub use trie::{LevelLayout, LevelSummary, Trie, TrieBuilder};
 pub use value::{Dict, Value, ValueId};

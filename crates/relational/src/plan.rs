@@ -78,6 +78,46 @@ impl Default for ValueRange {
     }
 }
 
+/// The cardinality-estimate ladder steering runtime-adaptive variable
+/// ordering (the *Atreides* ladder).
+///
+/// Each rung names the estimate an adaptive [`crate::LftjWalk`] uses to
+/// score the admissible unbound variables at a depth before binding the
+/// cheapest one. The rungs trade estimate quality against read cost, and
+/// every rung breaks ties with all the rungs below it (then with plan
+/// position, so scoring is fully deterministic):
+///
+/// * [`Ladder::RowCount`] (*Jessica*) — the tuple count of the variable's
+///   smallest participating atom. Static per atom, O(1) to read.
+/// * [`Ladder::Distinct`] (*Paul*) — the distinct-value count of the
+///   variable's trie level in its cheapest participant, read off the
+///   build-time [`crate::trie::LevelSummary`]. Still prefix-independent.
+/// * [`Ladder::Refined`] (*Ghanima*, the default) — the width of the
+///   sibling range the variable's cursors would actually scan **under the
+///   current prefix**: the tightest O(1) upper bound on how many values the
+///   binding can produce, and the rung that reacts to skew one prefix at a
+///   time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Ladder {
+    /// Score by participating-atom row count (*Jessica*).
+    RowCount,
+    /// Score by build-time per-level distinct counts (*Paul*).
+    Distinct,
+    /// Score by the prefix-refined sibling-range width (*Ghanima*).
+    #[default]
+    Refined,
+}
+
+impl std::fmt::Display for Ladder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Ladder::RowCount => "rowcount",
+            Ladder::Distinct => "distinct",
+            Ladder::Refined => "refined",
+        })
+    }
+}
+
 /// One atom's participation in a variable's expansion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Participant {
@@ -119,6 +159,11 @@ pub struct JoinPlan {
     build_elapsed: Duration,
     /// How many tries [`JoinPlan::new`] built (zero for pre-built plans).
     tries_built: usize,
+    /// When set, walk-based engines defer level ordering to runtime and
+    /// score admissible variables with this ladder rung ([`Ladder`]);
+    /// `order` then acts as the skeleton order tries are leveled by (and
+    /// the static fallback schedule).
+    ladder: Option<Ladder>,
 }
 
 impl JoinPlan {
@@ -205,6 +250,7 @@ impl JoinPlan {
             var_plans,
             build_elapsed: Duration::ZERO,
             tries_built: 0,
+            ladder: None,
         })
     }
 
@@ -247,6 +293,22 @@ impl JoinPlan {
     /// The global variable order.
     pub fn order(&self) -> &[Attr] {
         &self.order
+    }
+
+    /// Attaches (or clears) a runtime-adaptive ordering ladder. Walks built
+    /// from the returned plan — including every morsel sub-walk cloned from
+    /// it — defer level ordering to runtime and score admissible variables
+    /// with `ladder`; result *tuples* are still laid out per
+    /// [`JoinPlan::order`].
+    #[must_use]
+    pub fn with_ladder(mut self, ladder: Option<Ladder>) -> JoinPlan {
+        self.ladder = ladder;
+        self
+    }
+
+    /// The runtime-adaptive ordering ladder, if one is attached.
+    pub fn ladder(&self) -> Option<Ladder> {
+        self.ladder
     }
 
     /// Time [`JoinPlan::new`] spent building tries ([`Duration::ZERO`] when

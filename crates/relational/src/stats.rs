@@ -153,6 +153,13 @@ pub struct JoinStats {
     /// atom was solid). Walk-based engines union these lazily; see
     /// `relational::delta`.
     pub delta_runs: usize,
+    /// Adaptive-ordering decisions that deviated from the static schedule
+    /// (summed across morsels; 0 for static plans and for level-wise
+    /// engines, which run the skeleton order).
+    pub reorders: u64,
+    /// Candidate-variable estimates computed by the adaptive chooser — the
+    /// estimate-maintenance cost meter (summed across morsels).
+    pub estimate_probes: u64,
 }
 
 impl JoinStats {
@@ -201,6 +208,13 @@ impl fmt::Display for JoinStats {
         }
         if self.bitset_levels > 0 {
             writeln!(f, "  {} bitset level(s)", self.bitset_levels)?;
+        }
+        if self.reorders > 0 || self.estimate_probes > 0 {
+            writeln!(
+                f,
+                "  adaptive: {} reorder(s), {} estimate probe(s)",
+                self.reorders, self.estimate_probes
+            )?;
         }
         for s in &self.stages {
             writeln!(f, "  {:<24} {:>12}", s.label, s.tuples)?;

@@ -45,6 +45,28 @@ struct TrieLevel {
     /// [`LevelLayout::Bitset`]. `vals` is always kept, so slice-consuming
     /// engines are unaffected by the layout choice.
     bits: Option<LevelBits>,
+    /// Cardinality summary of this level, attached at build time.
+    summary: LevelSummary,
+}
+
+/// Per-level cardinality summary, the static half of the adaptive-ordering
+/// estimate ladder ([`crate::plan::Ladder`]).
+///
+/// Attached by **both** trie builders at construction time, so a summary is
+/// always exact for the trie it hangs off — including the fresh solid trie a
+/// [`crate::delta::DeltaTrie`] compaction produces. `nodes` feeds no rung
+/// directly but is the denominator of the average-fanout reading
+/// (`next level's nodes / this level's nodes`); `distinct` is the *Paul*
+/// rung: how many distinct values a cursor over this level can bind.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSummary {
+    /// Number of trie nodes at this level (= distinct prefixes of length
+    /// `level + 1`).
+    pub nodes: u64,
+    /// Number of distinct *values* at this level, across all sibling groups.
+    /// Equals `nodes` at the root level, where the single group is globally
+    /// deduplicated.
+    pub distinct: u64,
 }
 
 impl TrieLevel {
@@ -266,6 +288,28 @@ fn attach_bitsets(levels: &mut [TrieLevel], min_nodes: usize) {
     }
 }
 
+/// Deterministic post-pass computing each level's [`LevelSummary`]. Like
+/// [`attach_bitsets`], it is invoked by **both** [`TrieBuilder::build`] and
+/// [`Trie::build_reference`], so differential suites comparing whole tries
+/// (derived `PartialEq`) keep holding. `scratch` is a reusable sort buffer
+/// (the builder keeps one across builds; the reference path allocates).
+fn attach_summaries(levels: &mut [TrieLevel], scratch: &mut Vec<ValueId>) {
+    for (d, level) in levels.iter_mut().enumerate() {
+        let nodes = level.vals.len() as u64;
+        let distinct = if d == 0 {
+            // The root level is one globally sorted, deduplicated group.
+            nodes
+        } else {
+            scratch.clear();
+            scratch.extend_from_slice(&level.vals);
+            scratch.sort_unstable();
+            scratch.dedup();
+            scratch.len() as u64
+        };
+        level.summary = LevelSummary { nodes, distinct };
+    }
+}
+
 /// A flat sorted trie over a relation under a fixed attribute order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trie {
@@ -359,10 +403,12 @@ impl Trie {
                 vals,
                 child_start: Vec::new(),
                 bits: None,
+                summary: LevelSummary::default(),
             });
             groups = next_groups;
         }
         attach_bitsets(&mut levels, BITSET_MIN_NODES);
+        attach_summaries(&mut levels, &mut Vec::new());
 
         Ok(Trie {
             attrs: order.to_vec(),
@@ -421,6 +467,12 @@ impl Trie {
     /// The value of a single node.
     pub fn value(&self, level: usize, node: u32) -> ValueId {
         self.levels[level].vals[node as usize]
+    }
+
+    /// The cardinality summary of `level`, attached at build time (exact
+    /// for this trie's contents).
+    pub fn level_summary(&self, level: usize) -> LevelSummary {
+        self.levels[level].summary
     }
 
     /// The physical [`LevelLayout`] of `level`.
@@ -574,6 +626,8 @@ pub struct TrieBuilder {
     counts: Vec<u32>,
     /// `diff[i]` = first level at which deduped rows `i` and `i+1` differ.
     diff: Vec<u32>,
+    /// Sort buffer for the per-level distinct counts ([`attach_summaries`]).
+    summary_scratch: Vec<ValueId>,
     /// Profile of the most recent build.
     last: Option<BuildStats>,
     /// Whether dense levels get the [`LevelLayout::Bitset`] layout
@@ -592,6 +646,7 @@ impl Default for TrieBuilder {
             perm_tmp: Vec::new(),
             counts: Vec::new(),
             diff: Vec::new(),
+            summary_scratch: Vec::new(),
             last: None,
             bitset_enabled: true,
             bitset_min_nodes: BITSET_MIN_NODES,
@@ -676,6 +731,7 @@ impl TrieBuilder {
         if self.bitset_enabled {
             attach_bitsets(&mut levels, self.bitset_min_nodes);
         }
+        attach_summaries(&mut levels, &mut self.summary_scratch);
         self.trim_scratch(arity, n);
 
         self.last = Some(BuildStats {
@@ -825,6 +881,7 @@ impl TrieBuilder {
         trim(&mut self.perm, n);
         trim(&mut self.perm_tmp, n);
         trim(&mut self.diff, n);
+        trim(&mut self.summary_scratch, n);
         // The histogram is sized by the value domain, not the row count; its
         // own dense-domain bound is already ~4n, so trim it on the same
         // scale.
@@ -840,6 +897,7 @@ impl TrieBuilder {
                 vals: Vec::new(),
                 child_start: Vec::new(),
                 bits: None,
+                summary: LevelSummary::default(),
             })
             .collect();
         for d in 0..arity {
@@ -898,6 +956,30 @@ mod tests {
         assert_eq!(t.values(1, c1), &[v(4), v(5)]);
         let c3 = t.children(0, 1);
         assert_eq!(t.values(1, c3), &[v(5)]);
+    }
+
+    #[test]
+    fn level_summaries_are_exact() {
+        // R(a, b) = {(1,4), (1,5), (3,5)}: level 0 has 2 nodes / 2 distinct,
+        // level 1 has 3 nodes but only 2 distinct values (5 repeats).
+        let t = Trie::from_relation(&sample());
+        assert_eq!(
+            t.level_summary(0),
+            LevelSummary {
+                nodes: 2,
+                distinct: 2
+            }
+        );
+        assert_eq!(
+            t.level_summary(1),
+            LevelSummary {
+                nodes: 3,
+                distinct: 2
+            }
+        );
+        let r = Trie::build_reference(&sample(), &["a".into(), "b".into()]).unwrap();
+        assert_eq!(r.level_summary(0), t.level_summary(0));
+        assert_eq!(r.level_summary(1), t.level_summary(1));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use relational::Value;
 use std::io::{self, Read, Write};
-use xjoin_core::{EngineKind, ExecOptions, OrderStrategy, Parallelism, RelAlg, XmlAlg};
+use xjoin_core::{EngineKind, ExecOptions, Ladder, OrderStrategy, Parallelism, RelAlg, XmlAlg};
 
 /// Protocol magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"XJ";
@@ -413,14 +413,24 @@ pub fn encode_options(out: &mut Vec<u8>, opts: &ExecOptions) {
             });
         }
     }
-    out.push(match opts.order {
-        OrderStrategy::Appearance => 0,
-        OrderStrategy::Cardinality => 1,
+    match &opts.order {
+        OrderStrategy::Appearance => out.push(0),
+        OrderStrategy::Cardinality => out.push(1),
+        // Adaptive carries its ladder rung in a sub-byte so options differing
+        // only by rung key distinct statement-cache entries.
+        OrderStrategy::Adaptive { ladder } => {
+            out.push(2);
+            out.push(match ladder {
+                Ladder::RowCount => 0,
+                Ladder::Distinct => 1,
+                Ladder::Refined => 2,
+            });
+        }
         // `Given` carries attribute lists the v1 wire does not name; callers
         // must pick a named strategy. Servers never see this byte — it is
         // rejected client-side in `Client` and decodes to an error anyway.
-        OrderStrategy::Given(_) => 0xFF,
-    });
+        OrderStrategy::Given(_) => out.push(0xFF),
+    }
     let mut flags = 0u8;
     if opts.partial_validation {
         flags |= 1;
@@ -476,6 +486,15 @@ pub fn decode_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
     let order = match c.u8()? {
         0 => OrderStrategy::Appearance,
         1 => OrderStrategy::Cardinality,
+        2 => {
+            let ladder = match c.u8()? {
+                0 => Ladder::RowCount,
+                1 => Ladder::Distinct,
+                2 => Ladder::Refined,
+                b => return Err(malformed(format!("unknown ladder rung {b}"))),
+            };
+            OrderStrategy::Adaptive { ladder }
+        }
         b => return Err(malformed(format!("unknown order strategy {b}"))),
     };
     let flags = c.u8()?;
@@ -749,6 +768,12 @@ mod tests {
             parallelism: Parallelism::Auto,
             ..Default::default()
         });
+        for ladder in [Ladder::RowCount, Ladder::Distinct, Ladder::Refined] {
+            v.push(ExecOptions {
+                order: OrderStrategy::Adaptive { ladder },
+                ..Default::default()
+            });
+        }
         v
     }
 
@@ -762,6 +787,26 @@ mod tests {
             // ExecOptions lacks Eq; compare the canonical encodings.
             assert_eq!(bytes, options_key(&back), "{opts:?}");
         }
+    }
+
+    #[test]
+    fn adaptive_rungs_key_distinct_cache_entries() {
+        let key = |ladder| {
+            options_key(&ExecOptions {
+                order: OrderStrategy::Adaptive { ladder },
+                ..Default::default()
+            })
+        };
+        let (a, b, c) = (
+            key(Ladder::RowCount),
+            key(Ladder::Distinct),
+            key(Ladder::Refined),
+        );
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        let static_key = options_key(&ExecOptions::default());
+        assert_ne!(c, static_key);
     }
 
     #[test]

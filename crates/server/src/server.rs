@@ -30,7 +30,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{Builder, JoinHandle};
 use std::time::{Duration, Instant};
-use xjoin_core::{collect_atoms, parse_query, query_log_bound, ExecOptions, QueryOutput};
+use xjoin_core::{
+    collect_atoms, parse_query_with_options, query_log_bound, ExecOptions, QueryOutput,
+};
 use xjoin_store::{PreparedQuery, QueryService, Snapshot, StoreError, VersionedStore};
 
 /// How long a blocked read waits before re-checking the shutdown flag.
@@ -487,12 +489,19 @@ fn get_or_prepare(
             return Ok((entry, true));
         }
     }
-    let query = parse_query(text).map_err(|e| error_reply(ErrorCode::Parse, &e))?;
+    // A `WITH ORDER` clause in the text overrides the wire options' order;
+    // the cache key stays sound because it includes the text itself.
+    let (query, text_order) =
+        parse_query_with_options(text).map_err(|e| error_reply(ErrorCode::Parse, &e))?;
+    let mut eff_opts = opts.clone();
+    if let Some(order) = text_order {
+        eff_opts.order = order;
+    }
     let snapshot = inner.store.snapshot();
     // Prepare outside the cache lock: preparation resolves atoms and may
     // walk the document. A racing duplicate prepares twice; the second
     // insert wins the key and the first Arc just serves its caller.
-    let prepared = PreparedQuery::prepare(&snapshot, &query, opts.clone())
+    let prepared = PreparedQuery::prepare(&snapshot, &query, eff_opts)
         .map_err(|e| error_reply(ErrorCode::Prepare, &e))?;
     let mut stmts = inner.stmts.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(entry) = stmts.lookup_key(text, &key) {
@@ -586,8 +595,8 @@ fn serve_query(
     // on the connection thread: they exist for comparisons, not serving, so
     // they get pricing + admission + the row budget, but no mid-execution
     // deadline enforcement.
-    let query = match parse_query(text) {
-        Ok(q) => q,
+    let (query, text_order) = match parse_query_with_options(text) {
+        Ok(r) => r,
         Err(e) => return error_reply(ErrorCode::Parse, &e),
     };
     let snapshot = inner.store.snapshot();
@@ -600,10 +609,13 @@ fn serve_query(
         Err(reply) => return reply,
     };
     let cap = effective_limit(opts.limit, req);
-    let opts = ExecOptions {
+    let mut opts = ExecOptions {
         limit: cap,
         ..opts.clone()
     };
+    if let Some(order) = text_order {
+        opts.order = order;
+    }
     let ctx = snapshot.ctx();
     match xjoin_core::execute(&ctx, &query, &opts) {
         Ok(out) => rows_reply(&snapshot, &out, cap),

@@ -452,6 +452,7 @@ impl PreparedQuery {
         } else {
             JoinPlan::from_shared(tries, &self.order).map_err(CoreError::from)?
         };
+        let plan = plan.with_ladder(self.options.order.ladder());
         Ok((plan, atom_sizes, cost))
     }
 

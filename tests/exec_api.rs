@@ -3,12 +3,15 @@
 //! result sets, `Rows` limit pushdown provably visits fewer tuples, and
 //! validation errors surface at prepare time.
 
+use bench::workloads::{
+    branch_skew_instance, branch_skew_query, triangle_query, zipf_graph_instance,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relational::{Database, Schema, Value};
+use relational::{Database, Ladder, Relation, Schema, Value, ValueId};
 use xjoin_core::{
     engine_for, execute, stream, CoreError, DataContext, EngineKind, ExecOptions, MultiModelQuery,
-    QueryBuilder,
+    OrderStrategy, QueryBuilder,
 };
 use xmldb::{TagIndex, XmlDocument};
 
@@ -87,6 +90,69 @@ fn every_engine_kind_agrees_on_random_instances() {
             }
         }
     }
+}
+
+/// A relation's rows as a sorted vector — the multiset signature.
+fn multiset(rel: &Relation) -> Vec<Vec<ValueId>> {
+    let mut rows: Vec<Vec<ValueId>> = rel.rows().map(|r| r.to_vec()).collect();
+    rows.sort();
+    rows
+}
+
+/// Every ladder rung of the adaptive order.
+fn rungs() -> [Ladder; 3] {
+    [Ladder::RowCount, Ladder::Distinct, Ladder::Refined]
+}
+
+/// Adaptive ordering is a pure execution-strategy change: for every
+/// plan-based [`EngineKind`] and every ladder rung, the adaptive run's
+/// result multiset is identical to the static run's — on random multi-model
+/// instances, a Zipf-skewed triangle, and the branch-skew workload the
+/// adaptive walk is designed to win on. Schemas may differ (adaptive pins
+/// the appearance skeleton), so results are aligned by projection first.
+#[test]
+fn adaptive_matches_static_for_every_plan_based_engine() {
+    let plan_based: Vec<EngineKind> = EngineKind::all()
+        .into_iter()
+        .filter(EngineKind::is_plan_based)
+        .collect();
+    let check = |db: &Database, doc: &XmlDocument, query: &MultiModelQuery, tag: &str| {
+        let index = TagIndex::build(doc);
+        let ctx = DataContext::new(db, doc, &index);
+        for &kind in &plan_based {
+            let static_out = execute(&ctx, query, &ExecOptions::for_engine(kind)).unwrap();
+            for ladder in rungs() {
+                let opts = ExecOptions {
+                    engine: kind,
+                    order: OrderStrategy::Adaptive { ladder },
+                    ..Default::default()
+                };
+                let adaptive = execute(&ctx, query, &opts).unwrap();
+                let aligned = static_out
+                    .results
+                    .project(adaptive.results.schema().attrs())
+                    .unwrap();
+                assert_eq!(
+                    multiset(&adaptive.results),
+                    multiset(&aligned),
+                    "{tag} engine {kind} ladder {ladder}: adaptive multiset != static"
+                );
+            }
+        }
+    };
+
+    // Uniform-random multi-model instances…
+    for seed in 0..3u64 {
+        let (db, doc) = random_instance(seed, 10, 30, 4);
+        let query = MultiModelQuery::new(&["S"], &["//r//x"]).unwrap();
+        check(&db, &doc, &query, &format!("random seed {seed}"));
+    }
+    // …a Zipf-skewed triangle…
+    let zipf = zipf_graph_instance(40, 160, 1.2, 7);
+    check(&zipf.db, &zipf.doc, &triangle_query(), "zipf triangle");
+    // …and the branch-skew workload the adaptive walk is designed to win on.
+    let skewed = branch_skew_instance(48, 8);
+    check(&skewed.db, &skewed.doc, &branch_skew_query(), "branch skew");
 }
 
 /// The `stream` entry point agrees with `execute` for every engine (same

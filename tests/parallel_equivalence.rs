@@ -9,15 +9,23 @@
 //! values, and walk work counters (`Rows::stats().visited`) sum across
 //! workers to the serial count.
 
-use bench::workloads::{clique4_query, graph_instance, triangle_query};
+use bench::workloads::{
+    branch_skew_instance, branch_skew_query, clique4_query, graph_instance, triangle_query,
+    zipf_graph_instance,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relational::{Attr, Database, JoinPlan, Relation, Schema, Value, ValueId};
+use relational::{
+    Attr, Database, DeltaTrie, JoinPlan, Ladder, LevelSummary, Relation, Schema, Trie, Value,
+    ValueId,
+};
+use std::sync::Arc;
 use xjoin_core::{
     execute, partition_root, stream, DataContext, EngineKind, ExecOptions, MultiModelQuery,
-    Parallelism,
+    OrderStrategy, Parallelism,
 };
+use xjoin_store::VersionedStore;
 use xmldb::{TagIndex, XmlDocument};
 
 /// Random instance: a table S(x, y) plus a random tree over tags {r, x, y}
@@ -242,6 +250,53 @@ fn parallel_matches_serial_on_graph_workloads() {
     }
 }
 
+/// Adaptive ordering composes with morsel parallelism: for every plan-based
+/// engine and every ladder rung, an adaptive run — serial and `Threads(4)`
+/// (the CI-forced width) — returns exactly the serial static result multiset
+/// on random, Zipfian, and branch-skew instances. Each worker re-derives its
+/// own order from its `ValueRange`, so this also checks that per-morsel
+/// reorder decisions cannot leak rows across morsel boundaries.
+#[test]
+fn adaptive_parallel_matches_static_serial() {
+    let rungs = [Ladder::RowCount, Ladder::Distinct, Ladder::Refined];
+    let check = |db: &Database, doc: &XmlDocument, query: &MultiModelQuery, tag: &str| {
+        let index = TagIndex::build(doc);
+        let ctx = DataContext::new(db, doc, &index);
+        for kind in plan_based() {
+            let static_serial = execute(&ctx, query, &ExecOptions::for_engine(kind)).unwrap();
+            for ladder in rungs {
+                for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+                    let opts = ExecOptions {
+                        engine: kind,
+                        order: OrderStrategy::Adaptive { ladder },
+                        parallelism,
+                        ..Default::default()
+                    };
+                    let adaptive = execute(&ctx, query, &opts).unwrap();
+                    let aligned = static_serial
+                        .results
+                        .project(adaptive.results.schema().attrs())
+                        .unwrap();
+                    assert_eq!(
+                        multiset(&adaptive.results),
+                        multiset(&aligned),
+                        "{tag} engine {kind} ladder {ladder} {parallelism:?}: \
+                         adaptive != static serial"
+                    );
+                }
+            }
+        }
+    };
+
+    let (db, doc) = random_instance(13, 12, 36, 4);
+    let query = MultiModelQuery::new(&["S"], &["//r//x"]).unwrap();
+    check(&db, &doc, &query, "random");
+    let zipf = zipf_graph_instance(36, 140, 1.2, 23);
+    check(&zipf.db, &zipf.doc, &triangle_query(), "zipf triangle");
+    let skewed = branch_skew_instance(32, 6);
+    check(&skewed.db, &skewed.doc, &branch_skew_query(), "branch skew");
+}
+
 /// Satellite fix: stats aggregation is summed and well-defined — a fully
 /// drained parallel iterator reports exactly the serial walk's `visited`
 /// count on a fixed dataset (morsels disjointly partition the bindings).
@@ -324,8 +379,88 @@ fn plan_of(rows: &[(u32, u32)]) -> JoinPlan {
     JoinPlan::new(&[&r], &order).unwrap()
 }
 
+/// Brute-force level summaries of a relation under set semantics: at level
+/// `l`, `nodes` is the number of distinct `l + 1`-prefixes and `distinct`
+/// the number of distinct values in column `l` — exactly what
+/// [`Trie::level_summary`] must report for a trie built from the relation.
+fn expected_summaries(rel: &Relation) -> Vec<LevelSummary> {
+    let arity = rel.schema().attrs().len();
+    (0..arity)
+        .map(|level| {
+            let mut prefixes = std::collections::BTreeSet::new();
+            let mut values = std::collections::BTreeSet::new();
+            for row in rel.rows() {
+                prefixes.insert(row[..=level].to_vec());
+                values.insert(row[level]);
+            }
+            LevelSummary {
+                nodes: prefixes.len() as u64,
+                distinct: values.len() as u64,
+            }
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The adaptive walk's cardinality summaries stay exact under
+    /// [`VersionedStore::append`] churn: after every random batch, tries
+    /// built from the stored relation (fast path and reference path alike)
+    /// report the brute-force summaries, the delta overlay's summary bound
+    /// dominates them, and compaction tightens the bound back to exact.
+    #[test]
+    fn level_summaries_stay_exact_under_append_churn(
+        init in prop::collection::vec((0i64..10, 0i64..10), 1..24),
+        batches in prop::collection::vec(
+            prop::collection::vec((0i64..10, 0i64..10), 1..10), 1..4),
+    ) {
+        let mut db = Database::new();
+        let rows: Vec<Vec<Value>> = init
+            .iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+            .collect();
+        db.load("T", Schema::of(&["a", "b"]), rows).unwrap();
+        let mut dict = db.dict().clone();
+        let mut b = XmlDocument::builder();
+        b.add_node(None, "r", None);
+        let doc = b.build(&mut dict);
+        *db.dict_mut() = dict;
+        let store = VersionedStore::new(db, doc);
+        let order: Vec<Attr> = vec!["a".into(), "b".into()];
+
+        let base = Trie::build(store.snapshot().db().relation("T").unwrap(), &order).unwrap();
+        let mut delta = DeltaTrie::new(Arc::new(base));
+
+        for batch in &batches {
+            let from = store.snapshot().relation_version("T").unwrap();
+            let to = store
+                .append("T", batch.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]))
+                .unwrap();
+            let snap = store.snapshot();
+            for seg in snap.delta_rows("T", from, to).expect("append logged a delta segment") {
+                delta.push_run(Arc::new(Trie::build(&seg, &order).unwrap())).unwrap();
+            }
+
+            let rel = snap.db().relation("T").unwrap();
+            let expect = expected_summaries(rel);
+            let fast = Trie::build(rel, &order).unwrap();
+            let reference = Trie::build_reference(rel, &order).unwrap();
+            let compacted = delta.compact().unwrap();
+            for (level, want) in expect.iter().enumerate() {
+                prop_assert_eq!(fast.level_summary(level), *want, "fast build, level {}", level);
+                prop_assert_eq!(reference.level_summary(level), *want,
+                    "reference build, level {}", level);
+                prop_assert_eq!(compacted.level_summary(level), *want,
+                    "compacted overlay, level {}", level);
+                let bound = delta.level_summary_bound(level);
+                prop_assert!(
+                    bound.nodes >= want.nodes && bound.distinct >= want.distinct,
+                    "level {}: overlay bound {:?} must dominate exact {:?}", level, bound, want
+                );
+            }
+        }
+    }
 
     /// Morsel planning property: for random tries and any K (including
     /// K ≥ the number of first-level values), the partition is a disjoint
